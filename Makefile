@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples reports experiments clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reports: bench
+	@ls benchmarks/reports/
+
+experiments:
+	$(PYTHON) -m repro experiment all
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache benchmarks/reports
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,54 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper artifact (figure/table) has one benchmark module.  Each
+benchmark:
+
+1. runs the corresponding canned experiment once (cached per session),
+2. writes the full report — the same rows/series the paper reports —
+   to ``benchmarks/reports/<id>.txt`` and echoes it to stdout,
+3. asserts the paper's qualitative claims still hold, and
+4. times the underlying evaluation kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import ExperimentOutcome, run_experiment
+
+#: Where the per-artifact reports are written.
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+_outcome_cache: dict[str, ExperimentOutcome] = {}
+
+
+def experiment_outcome(experiment_id: str) -> ExperimentOutcome:
+    """Run (once per session) and cache a canned experiment."""
+    if experiment_id not in _outcome_cache:
+        _outcome_cache[experiment_id] = run_experiment(experiment_id)
+    return _outcome_cache[experiment_id]
+
+
+def publish_report(experiment_id: str, report: str) -> pathlib.Path:
+    """Write a report file and echo it (visible with ``pytest -s``)."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{experiment_id}.txt"
+    path.write_text(report + "\n")
+    print(f"\n{'=' * 72}\n{report}\n{'=' * 72}")
+    return path
+
+
+def assert_claims(outcome: ExperimentOutcome) -> None:
+    """Fail the benchmark if any paper claim stopped holding."""
+    failing = [c for c in outcome.claims if not c.passed]
+    assert not failing, "paper claims failed: " + "; ".join(
+        f"{c.claim} ({c.detail})" for c in failing
+    )
+
+
+@pytest.fixture(scope="session")
+def reports_dir() -> pathlib.Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR

@@ -1,0 +1,109 @@
+"""Ablation: the paper's analytic approximations inside Y_S2.
+
+Two deliberate approximations are quantified:
+
+1. **Equation 19** neglects the term
+   ``(2 - rho1 - rho2) * int int tau h f`` against ``2 theta int int h f``
+   because ``rho1 + rho2`` is near 2 and ``theta`` is large.  We bound
+   the neglected term by ``(2 - rho_sum) * phi * (int_hf + int_h int_f)``
+   and report its worst-case impact on Y.
+
+2. **Equation 18 / Table 1** evaluates the mean time to error detection
+   as an accumulated reward that also accrues on sample paths where no
+   error ever occurs (it equals ``E[min(tau_det, tau_fail, phi)]``).
+   The exact defective moment ``E[tau * 1{detected by phi}]`` also has a
+   reward solution; we evaluate Y both ways and report the difference.
+   The paper's figures are consistent with the Table 1 reading, which
+   this reproduction therefore uses as primary.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish_report
+from repro.analysis.tables import format_table
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.gsu.performability import aggregate_breakdown, evaluate_index
+
+PHI_GRID = [1000.0, 4000.0, 7000.0, 10_000.0]
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return ConstituentSolver(PAPER_TABLE3)
+
+
+def test_ablation_eq19_neglected_term(solver, benchmark):
+    rows = []
+    for phi in PHI_GRID:
+        evaluation = evaluate_index(PAPER_TABLE3, phi, solver=solver)
+        rho_sum = evaluation.constituents["rho1"] + evaluation.constituents["rho2"]
+        kept = 2.0 * PAPER_TABLE3.theta * (
+            evaluation.constituents["int_hf"]
+            + evaluation.constituents["int_h"] * evaluation.constituents["int_f"]
+        )
+        neglected_bound = (2.0 - rho_sum) * phi * (
+            evaluation.constituents["int_hf"]
+            + evaluation.constituents["int_h"] * evaluation.constituents["int_f"]
+        )
+        denominator = evaluation.worth.ideal - evaluation.worth.guarded
+        y_shift_bound = (
+            evaluation.value
+            * evaluation.gamma
+            * neglected_bound
+            / denominator
+        )
+        rows.append([phi, kept, neglected_bound, y_shift_bound])
+    report = format_table(
+        ["phi", "kept subtrahend", "neglected-term bound", "|dY| bound"],
+        rows,
+        title="Ablation: Eq. 19's neglected (2 - rho_sum) double integral",
+    )
+    publish_report("ABL_EQ19", report)
+    # The paper's justification must hold: the neglected term moves Y by
+    # far less than the figure resolution (~0.01).
+    assert all(row[3] < 0.01 for row in rows)
+
+    def kernel():
+        return evaluate_index(PAPER_TABLE3, 7000.0, solver=solver).value
+
+    benchmark(kernel)
+
+
+def test_ablation_eq18_detection_time_structure(solver, benchmark):
+    rows = []
+    for phi in PHI_GRID:
+        evaluation = evaluate_index(PAPER_TABLE3, phi, solver=solver)
+        exact = solver.mean_detection_time_exact(phi)
+        exact_values = dict(evaluation.constituents)
+        exact_values["int_tau_h"] = exact
+        breakdown = aggregate_breakdown(
+            exact_values, {"theta": PAPER_TABLE3.theta, "phi": phi}
+        )
+        rows.append([
+            phi,
+            evaluation.constituents["int_tau_h"],
+            exact,
+            evaluation.value,
+            breakdown["Y"],
+        ])
+    report = format_table(
+        ["phi", "Table-1 int tau h", "exact E[tau 1{det}]",
+         "Y (Table 1)", "Y (exact moment)"],
+        rows,
+        title="Ablation: Eq. 18 detection-time structure vs exact moment",
+    )
+    publish_report("ABL_EQ18", report)
+    # The two readings produce materially different gamma values, hence
+    # different Y levels — but the same qualitative story (Y > 1, and an
+    # interior optimum).  The Table-1 reading reproduces the paper's
+    # reported magnitudes (max Y ~ 1.45-1.55).
+    table1_ys = [row[3] for row in rows]
+    exact_ys = [row[4] for row in rows]
+    assert all(y > 1.0 for y in table1_ys[1:] + exact_ys[1:])
+    assert max(table1_ys) == pytest.approx(1.54, abs=0.05)
+
+    def kernel():
+        return solver.mean_detection_time_exact(7000.0)
+
+    benchmark(kernel)

@@ -1,0 +1,101 @@
+"""Ablation: flat replicated state spaces vs exact replica lumping.
+
+UltraSAN's Rep operator avoids generating permutation-equivalent states
+of replicated submodels.  This reproduction generates the flat space and
+lumps it exactly afterwards; the ablation quantifies the reduction
+factor as replicas grow and verifies the quotient chain reproduces the
+flat solution.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import publish_report
+from repro.analysis.tables import format_table
+from repro.ctmc.steady_state import steady_state_distribution
+from repro.san.activities import Case, TimedActivity
+from repro.san.composition import replicate
+from repro.san.ctmc_builder import build_ctmc
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.san.symmetry import reduce_replicas
+
+
+def _worker() -> SANModel:
+    places = [
+        Place("idle", initial=1, capacity=1),
+        Place("busy", capacity=1),
+        Place("resource", initial=3, capacity=3),
+    ]
+    start = TimedActivity(
+        "start", rate=1.0,
+        input_arcs=[("idle", 1), ("resource", 1)],
+        cases=[Case(output_arcs=(("busy", 1),))],
+    )
+    finish = TimedActivity(
+        "finish", rate=2.0,
+        input_arcs=[("busy", 1)],
+        cases=[Case(output_arcs=(("idle", 1), ("resource", 1)))],
+    )
+    return SANModel("worker", places, [start, finish])
+
+
+@pytest.fixture(scope="module")
+def reduction_table():
+    rows = []
+    for count in (3, 5, 7, 9):
+        composed = replicate(
+            f"farm{count}", _worker(), count, common_places=["resource"]
+        )
+        compiled = build_ctmc(composed)
+        reduction = reduce_replicas(compiled, count=count)
+        # Verify exactness on the stationary busy-worker expectation.
+        flat_pi = steady_state_distribution(compiled.chain)
+        lumped_pi = steady_state_distribution(reduction.lumped.chain)
+        np.testing.assert_allclose(
+            reduction.lumped.project(flat_pi), lumped_pi, atol=1e-9
+        )
+        rows.append([
+            count,
+            reduction.original_states,
+            reduction.reduced_states,
+            reduction.lumped.reduction_factor,
+        ])
+    report = format_table(
+        ["replicas", "flat states", "lumped states", "reduction factor"],
+        rows,
+        title="Ablation: exact replica-symmetry lumping (3-token resource)",
+    )
+    publish_report("ABL_LUMPING", report)
+    return rows
+
+
+def test_ablation_lumping_reduction_grows(reduction_table):
+    factors = [row[3] for row in reduction_table]
+    assert factors == sorted(factors)
+    assert factors[-1] > 10.0  # 9 replicas: factorial-scale savings
+
+
+def test_ablation_lumping_solution_cost(reduction_table, benchmark):
+    composed = replicate(
+        "farm9_bench", _worker(), 9, common_places=["resource"]
+    )
+    compiled = build_ctmc(composed)
+    reduction = reduce_replicas(compiled, count=9)
+
+    def kernel():
+        return steady_state_distribution(reduction.lumped.chain)
+
+    benchmark(kernel)
+
+
+def test_ablation_flat_solution_cost(reduction_table, benchmark):
+    composed = replicate(
+        "farm9_flat", _worker(), 9, common_places=["resource"]
+    )
+    compiled = build_ctmc(composed)
+
+    def kernel():
+        return steady_state_distribution(compiled.chain)
+
+    benchmark(kernel)

@@ -1,0 +1,64 @@
+"""EXT — extension studies beyond the paper's one-at-a-time figures.
+
+* the optimal-phi / max-Y map over ``mu_new x theta`` (generalising
+  Figures 9 and 12 into one design-space view), and
+* the minimum AT coverage ``c*`` at which guarding pays at all
+  (locating the break-even the paper's c = 0.1 / 0.2 text studies only
+  bracket).
+"""
+
+from benchmarks.conftest import publish_report
+from repro.analysis.extensions import coverage_threshold, optimal_phi_map
+from repro.gsu.parameters import PAPER_TABLE3
+
+
+def test_extension_optimal_phi_map(benchmark):
+    result = optimal_phi_map(
+        PAPER_TABLE3,
+        "mu_new",
+        [2e-5, 5e-5, 1e-4, 2e-4],
+        "theta",
+        [2500.0, 5000.0, 10_000.0],
+        grid_points=10,
+    )
+    report = "\n".join([
+        "Extension: optimal phi (max Y) over the mu_new x theta design space",
+        "",
+        result.to_table(),
+        "",
+        result.to_heatmap("phi"),
+    ])
+    publish_report("EXT_PHIMAP", report)
+    # Consistency with the paper's corners.
+    assert result.optimal_phi[2][2] == 7000.0  # Fig 9 base point
+    assert result.optimal_phi[2][1] == 2500.0  # Fig 12 base point
+
+    def kernel():
+        return optimal_phi_map(
+            PAPER_TABLE3,
+            "mu_new", [5e-5, 1e-4],
+            "theta", [5000.0, 10_000.0],
+            grid_points=10,
+        )
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+
+
+def test_extension_coverage_threshold(benchmark):
+    base = PAPER_TABLE3.with_overrides(alpha=2500.0, beta=2500.0)
+    threshold = coverage_threshold(base, tolerance=0.005)
+    report = "\n".join([
+        "Extension: minimum AT coverage for guarded operation to pay off",
+        f"  c* = {threshold:.3f}  (alpha = beta = 2500)",
+        "",
+        "Paper text brackets: c = 0.1 'not worthwhile', c = 0.2 'too",
+        "insignificant to justify' (max Y = 1.06) — the break-even sits",
+        "between them.",
+    ])
+    publish_report("EXT_COVERAGE", report)
+    assert 0.05 < threshold < 0.2
+
+    def kernel():
+        return coverage_threshold(base, tolerance=0.05)
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

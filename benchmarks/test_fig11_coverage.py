@@ -1,0 +1,33 @@
+"""FIG11 — Figure 11: effect of acceptance-test coverage on the optimal
+guarded-operation duration (theta = 10000, alpha = beta = 2500).
+
+Regenerates the three figure curves (c in {0.95, 0.75, 0.50}) plus the
+two text-only studies (c = 0.2, c = 0.1), checks the paper's claims
+(optimum insensitive to c; max Y highly sensitive; guarding pointless at
+c = 0.1), and times a coverage-variant curve evaluation.
+"""
+
+from benchmarks.conftest import assert_claims, experiment_outcome, publish_report
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.gsu.performability import evaluate_index
+
+
+def test_fig11_reproduction(benchmark):
+    outcome = experiment_outcome("FIG11")
+    publish_report("FIG11", outcome.report)
+    assert_claims(outcome)
+
+    # Timed kernel: Y at the shared optimum for the lowest figure
+    # coverage — exercises a full RMGd recompile-free evaluation.
+    params = PAPER_TABLE3.with_overrides(
+        alpha=2500.0, beta=2500.0, coverage=0.50
+    )
+    solver = ConstituentSolver(params)
+    evaluate_index(params, 6000.0, solver=solver)  # warm caches
+
+    def kernel():
+        return evaluate_index(params, 6000.0, solver=solver).value
+
+    y = benchmark(kernel)
+    assert 1.0 < y < 1.3

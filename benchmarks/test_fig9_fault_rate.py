@@ -1,0 +1,40 @@
+"""FIG9 — Figure 9: effect of the fault-manifestation rate on the
+optimal guarded-operation duration (theta = 10000).
+
+Regenerates both curves (``mu_new`` in {1e-4, 5e-5}) over the paper's
+1000-hour ``phi`` grid, checks the paper's claims (optima at 7000 and
+5000 hours, smaller ``mu_new`` favouring shorter guarding), and times
+the full two-curve regeneration.
+"""
+
+from benchmarks.conftest import assert_claims, experiment_outcome, publish_report
+from repro.analysis.experiments import run_experiment
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.gsu.performability import evaluate_index
+
+
+def test_fig9_reproduction(benchmark):
+    outcome = experiment_outcome("FIG9")
+    publish_report("FIG9", outcome.report)
+    assert_claims(outcome)
+
+    # Timed kernel: one full Y(phi) evaluation with warm models — the
+    # unit of work a phi sweep is made of.
+    solver = ConstituentSolver(PAPER_TABLE3)
+    evaluate_index(PAPER_TABLE3, 7000.0, solver=solver)  # warm caches
+
+    def kernel():
+        return evaluate_index(PAPER_TABLE3, 7000.0, solver=solver).value
+
+    y = benchmark(kernel)
+    assert 1.4 < y < 1.6
+
+
+def test_fig9_full_experiment_runtime(benchmark):
+    # Times the complete two-curve, 11-point regeneration from cold
+    # models (what `run_experiment("FIG9")` costs end to end).
+    outcome = benchmark.pedantic(
+        lambda: run_experiment("FIG9"), rounds=1, iterations=1
+    )
+    assert_claims(outcome)

@@ -1,0 +1,70 @@
+"""EXT — hybrid constituent evaluation (the paper's stated future work).
+
+Runs the hybrid composition — X' dependability constituents from
+replicated MDCD protocol simulations, the rest reward-model-solved —
+and verifies the analytic Y sits inside the propagated confidence
+interval.  Times both the simulation-backed constituent estimation and
+the Monte-Carlo uncertainty propagation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish_report
+from repro.core.constituent import EvaluationContext
+from repro.gsu.hybrid import build_hybrid_pipeline, hybrid_evaluate
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.performability import evaluate_index
+from repro.gsu.validation import SCALED_VALIDATION_PARAMS
+
+PHI = 10.0
+
+
+def test_hybrid_evaluation(benchmark):
+    params = SCALED_VALIDATION_PARAMS
+    solver = ConstituentSolver(params)
+    hybrid = hybrid_evaluate(
+        params, PHI, replications=300, seed=11, solver=solver
+    )
+    analytic = evaluate_index(params, PHI, solver=solver).value
+    low, high = hybrid.confidence_interval(0.99)
+
+    lines = [
+        "Hybrid evaluation (paper Section 7 future work)",
+        f"  analytic Y            = {analytic:.4f}",
+        f"  hybrid Y              = {hybrid.value:.4f}",
+        f"  99% propagated CI     = [{low:.4f}, {high:.4f}]",
+        f"  analytic inside CI    = {low <= analytic <= high}",
+        "",
+        "Constituent provenance:",
+    ]
+    for name, uv in sorted(hybrid.result.constituents.items()):
+        kind = "simulated" if uv.std_error > 0 else "analytic"
+        suffix = f" ± {uv.std_error:.5g}" if uv.std_error else ""
+        lines.append(f"  [{kind:>9}] {name:<22} = {uv.mean:.6g}{suffix}")
+    publish_report("EXT_HYBRID", "\n".join(lines))
+    assert low <= analytic <= high
+
+    # Timed kernel: the Monte-Carlo uncertainty propagation with the
+    # replication set already collected.
+    pipeline = build_hybrid_pipeline(params, PHI, replications=300, seed=11)
+    context = EvaluationContext(
+        solver.models(), {"phi": PHI, "theta": params.theta}
+    )
+
+    def kernel():
+        return pipeline.evaluate(
+            context, propagate_samples=1000, rng=np.random.default_rng(3)
+        ).value
+
+    benchmark(kernel)
+
+
+def test_hybrid_simulation_cost(benchmark):
+    # What collecting the replication set itself costs (the part a real
+    # testbed would replace with measurement).
+    params = SCALED_VALIDATION_PARAMS
+
+    def kernel():
+        return build_hybrid_pipeline(params, PHI, replications=50, seed=1)
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

@@ -1,0 +1,98 @@
+"""Scaling benchmarks for the SAN engine itself.
+
+State-space generation and solution cost as replicated submodels grow —
+the engineering envelope a downstream adopter of the framework cares
+about.  Uses the Join/Replicate composition operators on a
+worker-with-shared-resource submodel (state space grows combinatorially
+with the replica count).
+"""
+
+import pytest
+
+from benchmarks.conftest import publish_report
+from repro.analysis.tables import format_table
+from repro.ctmc.steady_state import steady_state_distribution
+from repro.san.activities import Case, TimedActivity
+from repro.san.composition import replicate
+from repro.san.ctmc_builder import build_ctmc
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+def _worker() -> SANModel:
+    places = [
+        Place("idle", initial=1, capacity=1),
+        Place("busy", capacity=1),
+        Place("resource", initial=2, capacity=2),
+    ]
+    start = TimedActivity(
+        "start", rate=1.0,
+        input_arcs=[("idle", 1), ("resource", 1)],
+        cases=[Case(output_arcs=(("busy", 1),))],
+    )
+    finish = TimedActivity(
+        "finish", rate=2.0,
+        input_arcs=[("busy", 1)],
+        cases=[Case(output_arcs=(("idle", 1), ("resource", 1)))],
+    )
+    return SANModel("worker", places, [start, finish])
+
+
+@pytest.fixture(scope="module")
+def scaling_table():
+    rows = []
+    for count in (2, 4, 6, 8):
+        composed = replicate(
+            f"workers{count}", _worker(), count, common_places=["resource"]
+        )
+        compiled = build_ctmc(composed)
+        pi = steady_state_distribution(compiled.chain)
+        busy = compiled.probability_vector_for(
+            lambda m: any(
+                m[f"rep{i}_busy"] == 1 for i in range(count)
+            )
+        )
+        rows.append([
+            count,
+            compiled.num_states,
+            compiled.chain.num_transitions,
+            float(pi @ busy),
+        ])
+    report = format_table(
+        ["replicas", "tangible states", "transitions", "P(any busy)"],
+        rows,
+        title="SAN engine scaling: replicated workers over a shared resource",
+    )
+    publish_report("SCALING", report)
+    return rows
+
+
+def test_scaling_state_space_growth(scaling_table):
+    states = [row[1] for row in scaling_table]
+    # Growth is combinatorial but bounded by the resource constraint.
+    assert states == sorted(states)
+    assert states[-1] < 2_000
+
+
+@pytest.mark.parametrize("count", [2, 4, 6])
+def test_scaling_build_cost(benchmark, count, scaling_table):
+    composed = replicate(
+        f"bench_workers{count}", _worker(), count, common_places=["resource"]
+    )
+
+    def kernel():
+        return build_ctmc(composed).num_states
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+
+
+def test_scaling_solution_cost(benchmark, scaling_table):
+    composed = replicate(
+        "solve_workers8", _worker(), 8, common_places=["resource"]
+    )
+    compiled = build_ctmc(composed)
+
+    def kernel():
+        return steady_state_distribution(compiled.chain)
+
+    benchmark(kernel)

@@ -1,0 +1,35 @@
+"""TAB1 — Table 1: constituent measures and SAN reward structures in RMGd.
+
+Solves the four Table 1 reward variables (detection probability, mean
+time to detection, detected-then-failed probability, no-error
+probability) with the exact predicate-rate pairs the paper specifies,
+verifies the outcome partition, and times the two solution kinds the
+table uses (instant-of-time at phi, accumulated over [0, phi]).
+"""
+
+from benchmarks.conftest import assert_claims, experiment_outcome, publish_report
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import PAPER_TABLE3
+
+
+def test_tab1_reproduction(benchmark):
+    outcome = experiment_outcome("TAB1")
+    publish_report("TAB1", outcome.report)
+    assert_claims(outcome)
+
+    solver = ConstituentSolver(PAPER_TABLE3)
+    solver.rm_gd  # compile outside the timed region
+
+    def kernel():
+        return (
+            solver.int_h(7000.0),
+            solver.int_tau_h(7000.0),
+            solver.int_hf(7000.0),
+            solver.p_gop_no_error(7000.0),
+        )
+
+    int_h, int_tau_h, int_hf, p_a1 = benchmark(kernel)
+    assert 0.0 < int_h < 1.0
+    assert 0.0 < int_tau_h < 7000.0
+    assert int_hf >= 0.0
+    assert 0.0 < p_a1 < 1.0

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Mission-planning study: how long should onboard upgrades be guarded?
+
+A flight-software team plans upgrades for three components of differing
+maturity (fault-manifestation rates estimated from onboard validation)
+across two mission phases (time to the next upgrade window).  For each
+combination the study reports the optimal guarded-operation duration,
+the achievable degradation reduction, and whether guarding is worth its
+overhead at all — the engineering decision the paper's index Y was
+designed for.
+
+Run:  python examples/upgrade_planning.py
+"""
+
+from repro.analysis import ascii_curves, run_sweep
+from repro.analysis.tables import format_table
+from repro.ctmc.sensitivity import finite_difference_sensitivity
+from repro.gsu import PAPER_TABLE3, evaluate_index, find_optimal_phi
+
+COMPONENTS = [
+    ("attitude-control (mature rewrite)", 2e-5),
+    ("science-pipeline (moderate churn)", 1e-4),
+    ("experimental-compression (fresh)", 5e-4),
+]
+MISSION_PHASES = [
+    ("long cruise phase", 10_000.0),
+    ("pre-encounter phase", 4_000.0),
+]
+
+
+def main() -> None:
+    rows = []
+    for component, mu_new in COMPONENTS:
+        for phase, theta in MISSION_PHASES:
+            params = PAPER_TABLE3.with_overrides(mu_new=mu_new, theta=theta)
+            optimum = find_optimal_phi(params, step=theta / 20.0)
+            rows.append([
+                component,
+                phase,
+                mu_new,
+                optimum.phi,
+                optimum.y,
+                "guard" if optimum.beneficial else "skip guarding",
+            ])
+    print(format_table(
+        ["component", "mission phase", "mu_new", "phi*", "max Y", "decision"],
+        rows,
+        title="Upgrade planning summary",
+    ))
+
+    # Show the full trade-off curve for the moderate component.
+    params = PAPER_TABLE3.with_overrides(mu_new=1e-4)
+    sweep = run_sweep(params, label="science-pipeline, cruise phase")
+    print()
+    print(ascii_curves([sweep], title="Degradation-reduction index Y(phi)"))
+
+    # Local sensitivity of Y at the chosen duration to the fault-rate
+    # estimate — how much does an estimation error move the answer?
+    optimum = find_optimal_phi(params)
+    sensitivity = finite_difference_sensitivity(
+        lambda mu: evaluate_index(
+            params.with_overrides(mu_new=mu), optimum.phi
+        ).value,
+        at=params.mu_new,
+        relative_step=0.05,
+    )
+    print()
+    print(f"At phi*={optimum.phi:g}: Y = {sensitivity.measure_value:.4f}")
+    print(f"  dY/dmu_new = {sensitivity.derivative:.4g} "
+          f"(elasticity {sensitivity.elasticity:+.3f})")
+    print("  => a 10% error in the fault-rate estimate moves Y by "
+          f"~{abs(sensitivity.elasticity) * 10:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

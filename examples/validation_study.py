@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Cross-validate the analytic reward-model solution against the
+executable MDCD protocol.
+
+The SAN/CTMC chain and the protocol simulator are independent
+implementations; this study runs replicated protocol missions on a
+scaled parameter set, censors them at the guarded-operation boundary
+exactly the way the decomposed model X' is, and compares every
+constituent measure.  It also contrasts the closed-form approximations
+of `repro.gsu.analytic` with the exact numerical solutions.
+
+Run:  python examples/validation_study.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.gsu import ConstituentSolver
+from repro.gsu.analytic import (
+    detection_probability,
+    overhead_p1new,
+    probability_no_error_gop,
+    survival_unprotected,
+)
+from repro.gsu.validation import (
+    SCALED_VALIDATION_PARAMS,
+    validate_constituents,
+)
+
+
+def main() -> None:
+    params = SCALED_VALIDATION_PARAMS
+    phi = 10.0
+
+    print("=== Protocol simulation vs reward-model solution ===\n")
+    report = validate_constituents(
+        params, phi=phi, replications=400, seed=11
+    )
+    print(report.summary())
+    verdict = "CONSISTENT" if report.all_consistent else "INCONSISTENT"
+    print(f"\nOverall: {verdict}\n")
+
+    print("=== Closed-form approximations vs numerical solutions ===\n")
+    solver = ConstituentSolver(params)
+    rows = [
+        ["P(X'_phi in A1')",
+         probability_no_error_gop(params, phi), solver.p_gop_no_error(phi)],
+        ["int_0^phi h",
+         detection_probability(params, phi), solver.int_h(phi)],
+        ["P(X''_theta in A1'')",
+         survival_unprotected(params, params.theta),
+         solver.p_normal_no_failure(params.theta, "new")],
+        ["1 - rho1", overhead_p1new(params), 1.0 - solver.rho1()],
+    ]
+    print(format_table(
+        ["measure", "closed form", "numerical"],
+        rows,
+    ))
+    print("\nThe closed forms neglect propagation, believed/actual "
+          "contamination divergence, and busy-time losses; the numerical "
+          "solutions account for all of them — the residual gaps show "
+          "those effects' size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Performability Analysis of Guarded-Operation
+Duration: A Successive Model-Translation Approach" (Tai, Sanders, Alkalai,
+Chau, Tso — DSN 2002).
+
+Subpackages
+-----------
+``repro.san``
+    Stochastic activity network modeling framework (UltraSAN-like).
+``repro.ctmc``
+    CTMC engine and Markov reward model solvers.
+``repro.des``
+    Discrete-event simulation kernel.
+``repro.mdcd``
+    Executable MDCD (message-driven confidence-driven) protocol.
+``repro.core``
+    The paper's contribution: the successive model-translation pipeline.
+``repro.gsu``
+    The guarded-software-upgrading case study (models RMGd/RMGp/RMNd,
+    constituent measures, performability index Y).
+``repro.analysis``
+    Experiment harness reproducing the paper's figures and tables.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,41 @@
+"""Experiment harness reproducing the paper's evaluation section.
+
+* :mod:`~repro.analysis.sweep` — generic parameter sweeps over ``Y(phi)``.
+* :mod:`~repro.analysis.tables` — paper-style tabular formatting.
+* :mod:`~repro.analysis.plotting` — terminal ASCII rendering of the
+  ``Y(phi)`` curves.
+* :mod:`~repro.analysis.experiments` — one canned experiment per paper
+  figure/table (FIG9-FIG12, TAB1-TAB3) with the paper's qualitative
+  claims encoded as checkable assertions.
+"""
+
+from repro.analysis.sweep import SweepPoint, SweepResult, run_sweep
+from repro.analysis.tables import format_table, sweep_table
+from repro.analysis.plotting import ascii_curves
+from repro.analysis.extensions import (
+    OptimalPhiMap,
+    coverage_threshold,
+    optimal_phi_map,
+)
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentOutcome,
+    run_experiment,
+)
+
+__all__ = [
+    "OptimalPhiMap",
+    "coverage_threshold",
+    "optimal_phi_map",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentOutcome",
+    "SweepPoint",
+    "SweepResult",
+    "ascii_curves",
+    "format_table",
+    "run_experiment",
+    "run_sweep",
+    "sweep_table",
+]

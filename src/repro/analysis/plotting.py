@@ -1,0 +1,83 @@
+"""Terminal ASCII rendering of Y(phi) curves.
+
+The benchmark harness prints these next to the numeric tables so the
+curve *shapes* — where the optimum falls, how fast Y decays after the
+peak — can be eyeballed against the paper's figures without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.sweep import SweepResult
+
+#: Glyphs assigned to curves, in order (matching the paper's solid dot /
+#: hollow dot / triangle convention loosely).
+_GLYPHS = "o*^x+#"
+
+
+def ascii_curves(
+    sweeps: Sequence[SweepResult],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Render one or more ``Y(phi)`` curves as an ASCII chart.
+
+    All sweeps must share a ``phi`` grid.  The y-axis spans the data
+    range padded slightly; a reference line marks ``Y = 1`` when it lies
+    inside the range.
+    """
+    if not sweeps:
+        raise ValueError("no sweeps supplied")
+    if width < 20 or height < 5:
+        raise ValueError("chart must be at least 20x5 characters")
+    grid = sweeps[0].phis
+    for sweep in sweeps[1:]:
+        if sweep.phis != grid:
+            raise ValueError("sweeps must share a phi grid")
+
+    all_values = [v for s in sweeps for v in s.values]
+    y_min, y_max = min(all_values), max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    pad = 0.05 * (y_max - y_min)
+    y_lo, y_hi = y_min - pad, y_max + pad
+    x_lo, x_hi = min(grid), max(grid)
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_cell(phi: float, y: float) -> tuple[int, int]:
+        col = round((phi - x_lo) / (x_hi - x_lo) * (width - 1)) if x_hi > x_lo else 0
+        row = round((y_hi - y) / (y_hi - y_lo) * (height - 1))
+        return min(max(row, 0), height - 1), min(max(col, 0), width - 1)
+
+    if y_lo <= 1.0 <= y_hi:
+        ref_row, _ = to_cell(x_lo, 1.0)
+        for col in range(width):
+            canvas[ref_row][col] = "."
+
+    for sweep, glyph in zip(sweeps, _GLYPHS):
+        for phi, y in zip(sweep.phis, sweep.values):
+            row, col = to_cell(phi, y)
+            canvas[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{y_hi:8.3f} |"
+        elif i == height - 1:
+            label = f"{y_lo:8.3f} |"
+        else:
+            label = " " * 9 + "|"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9} {x_lo:<12.6g}{'phi':^{max(0, width - 26)}}{x_hi:>12.6g}")
+    legend = "   ".join(
+        f"{glyph} {sweep.label}" for sweep, glyph in zip(sweeps, _GLYPHS)
+    )
+    lines.append("  legend: " + legend)
+    return "\n".join(lines)

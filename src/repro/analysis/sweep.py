@@ -1,0 +1,112 @@
+"""Parameter sweeps over the performability index.
+
+A sweep evaluates ``Y(phi)`` over a ``phi`` grid for one parameter set
+(one *curve* of a paper figure).  Multi-curve figures are lists of
+sweeps; see :mod:`repro.analysis.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import GSUParameters
+from repro.gsu.performability import PerformabilityEvaluation, sweep_phi
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One ``(phi, Y)`` point with its full evaluation attached."""
+
+    phi: float
+    y: float
+    evaluation: PerformabilityEvaluation
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One full ``Y(phi)`` curve.
+
+    Attributes
+    ----------
+    label:
+        Curve label (e.g. ``"mu_new = 0.0001"``).
+    params:
+        The parameter set swept.
+    points:
+        The evaluated grid, in ``phi`` order.
+    """
+
+    label: str
+    params: GSUParameters
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def phis(self) -> list[float]:
+        """The ``phi`` grid."""
+        return [p.phi for p in self.points]
+
+    @property
+    def values(self) -> list[float]:
+        """The ``Y`` values."""
+        return [p.y for p in self.points]
+
+    def optimum(self) -> SweepPoint:
+        """The grid point with maximal ``Y``."""
+        return max(self.points, key=lambda p: p.y)
+
+    def value_at(self, phi: float) -> float:
+        """``Y`` at an exact grid point ``phi``."""
+        for point in self.points:
+            if point.phi == phi:
+                return point.y
+        raise KeyError(f"phi={phi} is not on the sweep grid")
+
+
+def default_grid(theta: float, step: float = 1000.0) -> list[float]:
+    """The paper's evaluation grid: ``0, step, 2*step, ..., theta``."""
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    grid: list[float] = []
+    value = 0.0
+    while value < theta:
+        grid.append(round(value, 9))
+        value += step
+    grid.append(theta)
+    return grid
+
+
+def run_sweep(
+    params: GSUParameters,
+    label: str = "",
+    phis: list[float] | None = None,
+    step: float = 1000.0,
+    solver: ConstituentSolver | None = None,
+) -> SweepResult:
+    """Evaluate one ``Y(phi)`` curve.
+
+    Parameters
+    ----------
+    params:
+        Parameter set for the curve.
+    label:
+        Display label; defaults to a compact parameter summary.
+    phis:
+        Explicit grid; default is the paper's 1000-hour grid over
+        ``[0, theta]`` (``step`` configurable).
+    solver:
+        Optional shared solver (model reuse across curves that differ
+        only in ``phi``).
+    """
+    if phis is None:
+        phis = default_grid(params.theta, step=step)
+    evaluations = sweep_phi(params, phis, solver=solver)
+    points = tuple(
+        SweepPoint(phi=e.phi, y=e.value, evaluation=e) for e in evaluations
+    )
+    if not label:
+        label = (
+            f"theta={params.theta:g}, mu_new={params.mu_new:g}, "
+            f"c={params.coverage:g}, alpha={params.alpha:g}"
+        )
+    return SweepResult(label=label, params=params, points=points)

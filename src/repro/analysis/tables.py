@@ -1,0 +1,74 @@
+"""Tabular result formatting.
+
+Produces the plain-text tables the benchmark harness prints — one row
+set per paper artifact, mirroring how the paper reports its series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.sweep import SweepResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are shown with six significant digits; all other values use
+    ``str``.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sweep_table(sweeps: Sequence[SweepResult], title: str = "") -> str:
+    """A multi-curve ``Y(phi)`` table (one column per curve).
+
+    All sweeps must share the same ``phi`` grid.
+    """
+    if not sweeps:
+        raise ValueError("no sweeps supplied")
+    grid = sweeps[0].phis
+    for sweep in sweeps[1:]:
+        if sweep.phis != grid:
+            raise ValueError(
+                f"sweep {sweep.label!r} has a different phi grid"
+            )
+    headers = ["phi"] + [s.label for s in sweeps]
+    rows = [
+        [phi] + [s.values[i] for s in sweeps] for i, phi in enumerate(grid)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def optimum_table(sweeps: Sequence[SweepResult], title: str = "") -> str:
+    """Per-curve optimum summary (``phi*``, ``Y(phi*)``, beneficial?)."""
+    headers = ["curve", "optimal phi", "max Y", "beneficial"]
+    rows = []
+    for sweep in sweeps:
+        best = sweep.optimum()
+        rows.append(
+            [sweep.label, best.phi, best.y, "yes" if best.y > 1.0 else "no"]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,423 @@
+"""Command-line interface.
+
+Exposes the reproduction's main entry points without writing Python::
+
+    python -m repro evaluate --phi 7000
+    python -m repro sweep --step 1000 --mu-new 5e-5
+    python -m repro optimal --refine
+    python -m repro experiment FIG9
+    python -m repro validate --phi 10 --replications 300
+    python -m repro hybrid --phi 10 --replications 300
+    python -m repro measure rmgd --predicate "MARK(detected)==1" --at 7000
+    python -m repro solve my_model.json --predicate "MARK(up)==1"
+    python -m repro export-model rmgd --format dot
+
+Model-bound commands accept the Table 3 parameter overrides
+(``--theta``, ``--lam``, ``--mu-new``, ``--mu-old``, ``--coverage``,
+``--p-ext``, ``--alpha``, ``--beta``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.plotting import ascii_curves
+from repro.analysis.sweep import run_sweep
+from repro.analysis.tables import optimum_table, sweep_table
+from repro.gsu.hybrid import hybrid_evaluate
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.models.rm_gd import build_rm_gd
+from repro.gsu.models.rm_gp import build_rm_gp
+from repro.gsu.models.rm_nd import build_rm_nd
+from repro.gsu.optimizer import find_optimal_phi
+from repro.gsu.parameters import PAPER_TABLE3, GSUParameters
+from repro.gsu.performability import evaluate_index
+from repro.gsu.validation import SCALED_VALIDATION_PARAMS, validate_constituents
+from repro.san.export import graph_to_dict, model_to_dict, model_to_dot
+from repro.san.reachability import explore
+
+_PARAM_FLAGS = (
+    ("theta", float),
+    ("lam", float),
+    ("mu_new", float),
+    ("mu_old", float),
+    ("coverage", float),
+    ("p_ext", float),
+    ("alpha", float),
+    ("beta", float),
+)
+
+
+def _add_parameter_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("model parameters (Table 3 overrides)")
+    for name, kind in _PARAM_FLAGS:
+        group.add_argument(
+            f"--{name.replace('_', '-')}", type=kind, default=None,
+            dest=name,
+        )
+
+
+def _params_from(args: argparse.Namespace, base: GSUParameters) -> GSUParameters:
+    overrides = {
+        name: getattr(args, name)
+        for name, _kind in _PARAM_FLAGS
+        if getattr(args, name, None) is not None
+    }
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Performability analysis of guarded-operation duration "
+            "(DSN 2002 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="evaluate the performability index Y at one phi"
+    )
+    evaluate.add_argument("--phi", type=float, required=True)
+    _add_parameter_flags(evaluate)
+
+    sweep = sub.add_parser("sweep", help="sweep Y(phi) over [0, theta]")
+    sweep.add_argument("--step", type=float, default=1000.0)
+    sweep.add_argument("--no-chart", action="store_true")
+    _add_parameter_flags(sweep)
+
+    optimal = sub.add_parser(
+        "optimal", help="find the optimal guarded-operation duration"
+    )
+    optimal.add_argument("--step", type=float, default=1000.0)
+    optimal.add_argument("--refine", action="store_true")
+    _add_parameter_flags(optimal)
+
+    experiment = sub.add_parser(
+        "experiment", help="run a canned paper experiment"
+    )
+    experiment.add_argument(
+        "experiment_id",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="paper artifact id (FIG9..FIG12, TAB1..TAB3) or 'all'",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="cross-validate reward models against protocol simulation "
+             "(defaults to the scaled validation parameter set)",
+    )
+    validate.add_argument("--phi", type=float, default=10.0)
+    validate.add_argument("--replications", type=int, default=300)
+    validate.add_argument("--seed", type=int, default=0)
+    _add_parameter_flags(validate)
+
+    hybrid = sub.add_parser(
+        "hybrid",
+        help="hybrid evaluation: X' constituents from protocol simulation "
+             "(defaults to the scaled validation parameter set)",
+    )
+    hybrid.add_argument("--phi", type=float, default=10.0)
+    hybrid.add_argument("--replications", type=int, default=300)
+    hybrid.add_argument("--seed", type=int, default=0)
+    _add_parameter_flags(hybrid)
+
+    measure = sub.add_parser(
+        "measure",
+        help="solve a custom reward measure on a GSU model from a "
+             "textual predicate (UltraSAN MARK() syntax)",
+    )
+    measure.add_argument("model", choices=["rmgd", "rmgp", "rmnd"])
+    measure.add_argument(
+        "--predicate",
+        action="append",
+        required=True,
+        metavar="EXPR[:RATE]",
+        help="predicate-rate pair, e.g. "
+             "'MARK(detected)==1 && MARK(failure)==0:1.0' "
+             "(rate defaults to 1; repeatable)",
+    )
+    measure.add_argument(
+        "--solution",
+        choices=["instant", "accumulated", "steady"],
+        default="instant",
+    )
+    measure.add_argument(
+        "--at", type=float, default=None,
+        help="time horizon for instant/accumulated solutions",
+    )
+    measure.add_argument(
+        "--rate",
+        choices=["new", "old"],
+        default="new",
+        help="first-component fault rate for rmnd",
+    )
+    _add_parameter_flags(measure)
+
+    report = sub.add_parser(
+        "report",
+        help="generate the full reproduction report (markdown)",
+    )
+    report.add_argument("--output", default=None, help="write to a file")
+    report.add_argument(
+        "--no-extensions", action="store_true",
+        help="skip the slower design-space extension studies",
+    )
+
+    solve = sub.add_parser(
+        "solve",
+        help="solve a reward measure on a user-supplied JSON SAN model",
+    )
+    solve.add_argument(
+        "model_file", help="path to a declarative JSON model specification"
+    )
+    solve.add_argument(
+        "--predicate",
+        action="append",
+        required=True,
+        metavar="EXPR[:RATE]",
+        help="predicate-rate pair over the model's places (repeatable)",
+    )
+    solve.add_argument(
+        "--solution",
+        choices=["instant", "accumulated", "steady"],
+        default="steady",
+    )
+    solve.add_argument("--at", type=float, default=None)
+
+    export = sub.add_parser(
+        "export-model", help="export a SAN reward model (DOT or JSON)"
+    )
+    export.add_argument("model", choices=["rmgd", "rmgp", "rmnd"])
+    export.add_argument(
+        "--format", choices=["dot", "json", "states"], default="dot"
+    )
+    export.add_argument(
+        "--rate",
+        choices=["new", "old"],
+        default="new",
+        help="first-component fault rate for rmnd",
+    )
+    _add_parameter_flags(export)
+
+    return parser
+
+
+def _cmd_evaluate(args) -> int:
+    params = _params_from(args, PAPER_TABLE3)
+    solver = ConstituentSolver(params)
+    evaluation = evaluate_index(params, args.phi, solver=solver)
+    print(f"Y({args.phi:g}) = {evaluation.value:.6f}")
+    print(f"E[W_I]   = {evaluation.worth.ideal:.2f}")
+    print(f"E[W_0]   = {evaluation.worth.unguarded:.2f}")
+    print(f"E[W_phi] = {evaluation.worth.guarded:.2f} "
+          f"(Y_S1 = {evaluation.y_s1:.2f}, Y_S2 = {evaluation.y_s2:.2f}, "
+          f"gamma = {evaluation.gamma:.4f})")
+    print("constituents:")
+    for name, value in sorted(evaluation.constituents.items()):
+        print(f"  {name:<22} = {value:.6g}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    params = _params_from(args, PAPER_TABLE3)
+    sweep = run_sweep(params, step=args.step)
+    print(sweep_table([sweep], title="Y(phi)"))
+    print()
+    print(optimum_table([sweep]))
+    if not args.no_chart:
+        print()
+        print(ascii_curves([sweep], title="Y(phi)"))
+    return 0
+
+
+def _cmd_optimal(args) -> int:
+    params = _params_from(args, PAPER_TABLE3)
+    result = find_optimal_phi(params, step=args.step, refine=args.refine)
+    verdict = "beneficial" if result.beneficial else "NOT beneficial"
+    print(f"optimal phi = {result.phi:g} with Y = {result.y:.6f} ({verdict})")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    ids = sorted(EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
+    status = 0
+    for experiment_id in ids:
+        outcome = run_experiment(experiment_id)
+        print(outcome.report)
+        print()
+        if not outcome.all_claims_hold:
+            status = 1
+    return status
+
+
+def _cmd_validate(args) -> int:
+    params = _params_from(args, SCALED_VALIDATION_PARAMS)
+    report = validate_constituents(
+        params, args.phi, replications=args.replications, seed=args.seed
+    )
+    print(report.summary())
+    print()
+    verdict = "CONSISTENT" if report.all_consistent else "INCONSISTENT"
+    print(f"overall: {verdict}")
+    return 0 if report.all_consistent else 1
+
+
+def _cmd_hybrid(args) -> int:
+    params = _params_from(args, SCALED_VALIDATION_PARAMS)
+    hybrid = hybrid_evaluate(
+        params, args.phi, replications=args.replications, seed=args.seed
+    )
+    low, high = hybrid.confidence_interval()
+    print(f"hybrid Y({args.phi:g}) = {hybrid.value:.4f}  "
+          f"95% CI [{low:.4f}, {high:.4f}]")
+    for name, uv in sorted(hybrid.result.constituents.items()):
+        kind = "simulated" if uv.std_error > 0 else "analytic"
+        suffix = f" ± {uv.std_error:.5g}" if uv.std_error else ""
+        print(f"  [{kind:>9}] {name:<22} = {uv.mean:.6g}{suffix}")
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    from repro.san.ctmc_builder import build_ctmc
+    from repro.san.rewards import instant_of_time, interval_of_time, steady_state
+    from repro.san.spec import reward_structure_from_spec
+
+    params = _params_from(args, PAPER_TABLE3)
+    solver = ConstituentSolver(params)
+    if args.model == "rmgd":
+        compiled = solver.rm_gd
+    elif args.model == "rmgp":
+        compiled = solver.rm_gp
+    else:
+        compiled = solver.rm_nd_new if args.rate == "new" else solver.rm_nd_old
+
+    pairs = []
+    for spec in args.predicate:
+        text, _, rate_text = spec.rpartition(":")
+        if text and _is_float(rate_text):
+            pairs.append((text, float(rate_text)))
+        else:
+            pairs.append((spec, 1.0))
+    structure = reward_structure_from_spec("cli_measure", pairs)
+
+    if args.solution == "steady":
+        value = steady_state(compiled, structure)
+        print(f"steady-state reward on {args.model.upper()}: {value:.8g}")
+        return 0
+    if args.at is None:
+        print("error: --at is required for instant/accumulated solutions",
+              file=sys.stderr)
+        return 2
+    if args.solution == "instant":
+        value = instant_of_time(compiled, structure, args.at, method="auto")
+        print(f"instant-of-time reward at t={args.at:g} on "
+              f"{args.model.upper()}: {value:.8g}")
+    else:
+        value = interval_of_time(compiled, structure, args.at, method="auto")
+        print(f"accumulated reward over [0, {args.at:g}] on "
+              f"{args.model.upper()}: {value:.8g}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(include_extensions=not args.no_extensions)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.san.ctmc_builder import build_ctmc
+    from repro.san.rewards import instant_of_time, interval_of_time, steady_state
+    from repro.san.serialization import model_from_json
+    from repro.san.spec import reward_structure_from_spec
+
+    with open(args.model_file) as handle:
+        model = model_from_json(handle.read())
+    compiled = build_ctmc(model)
+    print(f"model {model.name!r}: {compiled.num_states} tangible states "
+          f"({compiled.graph.num_vanishing} vanishing eliminated)")
+    pairs = []
+    for spec in args.predicate:
+        text, _, rate_text = spec.rpartition(":")
+        if text and _is_float(rate_text):
+            pairs.append((text, float(rate_text)))
+        else:
+            pairs.append((spec, 1.0))
+    structure = reward_structure_from_spec("cli_solve", pairs)
+    if args.solution == "steady":
+        print(f"steady-state reward: {steady_state(compiled, structure):.8g}")
+        return 0
+    if args.at is None:
+        print("error: --at is required for instant/accumulated solutions",
+              file=sys.stderr)
+        return 2
+    if args.solution == "instant":
+        value = instant_of_time(compiled, structure, args.at, method="auto")
+        print(f"instant-of-time reward at t={args.at:g}: {value:.8g}")
+    else:
+        value = interval_of_time(compiled, structure, args.at, method="auto")
+        print(f"accumulated reward over [0, {args.at:g}]: {value:.8g}")
+    return 0
+
+
+def _is_float(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _cmd_export_model(args) -> int:
+    params = _params_from(args, PAPER_TABLE3)
+    if args.model == "rmgd":
+        model = build_rm_gd(params)
+    elif args.model == "rmgp":
+        model = build_rm_gp(params)
+    else:
+        rate = params.mu_new if args.rate == "new" else params.mu_old
+        model = build_rm_nd(params, rate)
+    if args.format == "dot":
+        print(model_to_dot(model))
+    elif args.format == "json":
+        print(json.dumps(model_to_dict(model), indent=2))
+    else:
+        print(json.dumps(graph_to_dict(explore(model)), indent=2))
+    return 0
+
+
+_COMMANDS = {
+    "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+    "optimal": _cmd_optimal,
+    "experiment": _cmd_experiment,
+    "validate": _cmd_validate,
+    "hybrid": _cmd_hybrid,
+    "measure": _cmd_measure,
+    "report": _cmd_report,
+    "solve": _cmd_solve,
+    "export-model": _cmd_export_model,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: successive model translation.
+
+The paper's thesis is that a performability measure too complex to map
+onto a single reward structure can be *translated* — through sample-path
+decomposition and analytic manipulation — into an aggregate of
+**constituent reward variables**, each of which maps directly onto a
+reward structure in a small base model (Figure 3 of the paper).
+
+This package provides the formalised pipeline:
+
+* :class:`~repro.core.constituent.ConstituentMeasure` — one solvable
+  reward variable (which base model, which reward structure, which
+  solution type).
+* :class:`~repro.core.translation.TranslationStage` /
+  :class:`~repro.core.translation.TranslationPipeline` — the documented
+  chain of translation steps from the design-oriented formulation to the
+  evaluation-oriented aggregate, plus the evaluation engine that solves
+  all constituent measures and applies the aggregation function.
+* :class:`~repro.core.index.PerformabilityIndex` — the ratio-form
+  performability index ``Y`` of Section 3 (Equation 1), generalised to
+  any ideal/actual/baseline worth formulation.
+
+:mod:`repro.gsu.performability` instantiates this machinery with the
+paper's nine constituent measures and three SAN reward models.
+"""
+
+from repro.core.constituent import (
+    ConstituentMeasure,
+    EvaluationContext,
+    SolutionType,
+)
+from repro.core.hybrid import (
+    AnalyticSource,
+    ConstituentSource,
+    HybridPipeline,
+    HybridResult,
+    MeasurementSource,
+    SimulationSource,
+    UncertainValue,
+)
+from repro.core.index import PerformabilityIndex, WorthModel
+from repro.core.translation import (
+    TranslationPipeline,
+    TranslationResult,
+    TranslationStage,
+)
+
+__all__ = [
+    "AnalyticSource",
+    "ConstituentMeasure",
+    "ConstituentSource",
+    "EvaluationContext",
+    "HybridPipeline",
+    "HybridResult",
+    "MeasurementSource",
+    "PerformabilityIndex",
+    "SimulationSource",
+    "SolutionType",
+    "TranslationPipeline",
+    "TranslationResult",
+    "TranslationStage",
+    "UncertainValue",
+    "WorthModel",
+]

@@ -1,0 +1,231 @@
+"""Hybrid constituent evaluation with uncertainty propagation.
+
+The paper's concluding remarks observe that once a performability
+measure is translated into constituent reward variables, each
+constituent can be computed by *any* technique — analytic solution,
+testbed measurement, or simulation — and proposes investigating such
+hybrid compositions as future work.  This module implements it:
+
+* :class:`UncertainValue` — a point estimate with a standard error.
+* Constituent sources: :class:`AnalyticSource` (exact, zero error),
+  :class:`MeasurementSource` (an empirical value with its error, e.g.
+  from a testbed), :class:`SimulationSource` (replicated samples reduced
+  to mean/SE).
+* :class:`HybridPipeline` — a :class:`~repro.core.translation.TranslationPipeline`
+  whose constituents may be overridden per source, evaluated with
+  Monte-Carlo propagation of the constituent uncertainty through the
+  aggregation function to a distribution over the final measure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.constituent import ConstituentMeasure, EvaluationContext
+from repro.core.translation import TranslationPipeline
+
+
+@dataclass(frozen=True)
+class UncertainValue:
+    """A point estimate with sampling uncertainty.
+
+    Attributes
+    ----------
+    mean:
+        Point estimate.
+    std_error:
+        Standard error (0 for exact analytic values).
+    lower / upper:
+        Optional hard bounds the quantity must respect (probabilities
+        are clamped to [0, 1] during propagation).
+    """
+
+    mean: float
+    std_error: float = 0.0
+    lower: float = -math.inf
+    upper: float = math.inf
+
+    def __post_init__(self):
+        if self.std_error < 0:
+            raise ValueError(f"std_error must be >= 0, got {self.std_error}")
+        if not self.lower <= self.mean <= self.upper:
+            raise ValueError(
+                f"mean {self.mean} outside bounds [{self.lower}, {self.upper}]"
+            )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` normal samples, clipped to the declared bounds."""
+        if self.std_error == 0.0:
+            return np.full(n, self.mean)
+        draws = rng.normal(self.mean, self.std_error, n)
+        return np.clip(draws, self.lower, self.upper)
+
+
+class ConstituentSource:
+    """Base class: something that can produce a constituent's value."""
+
+    def evaluate(self, context: EvaluationContext) -> UncertainValue:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AnalyticSource(ConstituentSource):
+    """Solve the constituent numerically on its base model (exact)."""
+
+    measure: ConstituentMeasure
+
+    def evaluate(self, context: EvaluationContext) -> UncertainValue:
+        return UncertainValue(mean=self.measure.evaluate(context))
+
+
+@dataclass(frozen=True)
+class MeasurementSource(ConstituentSource):
+    """An externally measured value (testbed, field data).
+
+    The measurement is independent of the evaluation context; declare
+    bounds when the quantity is a probability or a rate.
+    """
+
+    value: float
+    std_error: float = 0.0
+    lower: float = -math.inf
+    upper: float = math.inf
+
+    def evaluate(self, context: EvaluationContext) -> UncertainValue:
+        return UncertainValue(
+            mean=self.value,
+            std_error=self.std_error,
+            lower=self.lower,
+            upper=self.upper,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationSource(ConstituentSource):
+    """Replicated simulation samples reduced to an uncertain value.
+
+    ``sampler(context)`` must return per-replication samples of the
+    constituent (a sequence of floats).
+    """
+
+    sampler: Callable[[EvaluationContext], Sequence[float]]
+    lower: float = -math.inf
+    upper: float = math.inf
+
+    def evaluate(self, context: EvaluationContext) -> UncertainValue:
+        samples = np.asarray(list(self.sampler(context)), dtype=np.float64)
+        if samples.size == 0:
+            raise ValueError("simulation source produced no samples")
+        mean = float(samples.mean())
+        std_error = (
+            float(samples.std(ddof=1) / math.sqrt(samples.size))
+            if samples.size > 1
+            else 0.0
+        )
+        mean = min(max(mean, self.lower), self.upper)
+        return UncertainValue(
+            mean=mean, std_error=std_error, lower=self.lower, upper=self.upper
+        )
+
+
+@dataclass
+class HybridResult:
+    """Outcome of a hybrid evaluation.
+
+    Attributes
+    ----------
+    value:
+        The aggregate at the constituent means.
+    constituents:
+        ``{name: UncertainValue}``.
+    samples:
+        Monte-Carlo samples of the aggregate under constituent
+        uncertainty (empty when propagation was skipped).
+    """
+
+    value: float
+    constituents: dict[str, UncertainValue]
+    samples: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def std_error(self) -> float:
+        """Standard deviation of the propagated aggregate samples."""
+        return float(self.samples.std(ddof=1)) if self.samples.size > 1 else 0.0
+
+    def confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Percentile interval of the propagated aggregate."""
+        if self.samples.size == 0:
+            return (self.value, self.value)
+        tail = 100.0 * (1.0 - confidence) / 2.0
+        low, high = np.percentile(self.samples, [tail, 100.0 - tail])
+        return (float(low), float(high))
+
+
+class HybridPipeline:
+    """A translation pipeline with per-constituent source overrides.
+
+    Parameters
+    ----------
+    pipeline:
+        The base translation pipeline (defines constituents and the
+        aggregation function).
+    sources:
+        ``{constituent name: ConstituentSource}`` overrides; constituents
+        not named fall back to :class:`AnalyticSource` on their declared
+        base model.
+    """
+
+    def __init__(
+        self,
+        pipeline: TranslationPipeline,
+        sources: Mapping[str, ConstituentSource] | None = None,
+    ):
+        self.pipeline = pipeline
+        overrides = dict(sources or {})
+        known = {m.name for m in pipeline.measures}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ValueError(
+                f"source overrides for unknown constituents: {sorted(unknown)}"
+            )
+        self.sources: dict[str, ConstituentSource] = {}
+        for measure in pipeline.measures:
+            self.sources[measure.name] = overrides.get(
+                measure.name, AnalyticSource(measure)
+            )
+
+    def evaluate(
+        self,
+        context: EvaluationContext,
+        propagate_samples: int = 2000,
+        rng: np.random.Generator | None = None,
+    ) -> HybridResult:
+        """Evaluate all constituents and propagate their uncertainty.
+
+        ``propagate_samples = 0`` skips Monte-Carlo propagation (point
+        estimate only).
+        """
+        values = {
+            name: source.evaluate(context)
+            for name, source in self.sources.items()
+        }
+        means = {name: uv.mean for name, uv in values.items()}
+        point = float(self.pipeline.aggregate(means, context.parameters))
+        if propagate_samples <= 0 or all(
+            uv.std_error == 0.0 for uv in values.values()
+        ):
+            return HybridResult(value=point, constituents=values)
+        rng = rng or np.random.default_rng()
+        draws = {
+            name: uv.sample(rng, propagate_samples)
+            for name, uv in values.items()
+        }
+        samples = np.empty(propagate_samples)
+        for k in range(propagate_samples):
+            sampled = {name: float(draws[name][k]) for name in draws}
+            samples[k] = self.pipeline.aggregate(sampled, context.parameters)
+        return HybridResult(value=point, constituents=values, samples=samples)

@@ -1,0 +1,98 @@
+"""The performability index ``Y`` (Section 3 of the paper).
+
+``Y`` compares the expected total performance degradation (mission-worth
+reduction from the ideal case) without protection against the degradation
+with a guarded operation of duration ``phi``:
+
+    Y = (E[W_I] - E[W_0]) / (E[W_I] - E[W_phi])        (Equation 1)
+
+``Y > 1`` means the guarded operation reduces expected total performance
+degradation; the optimal ``phi`` maximises ``Y``.
+
+:class:`WorthModel` packages the three worth expectations;
+:class:`PerformabilityIndex` computes ``Y`` and classifies the outcome.
+The classes are deliberately independent of the GSU case study so the
+index can be reused for any ideal/baseline/configured triple.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorthModel:
+    """Expected mission-worth triple ``(E[W_I], E[W_0], E[W_phi])``.
+
+    Attributes
+    ----------
+    ideal:
+        ``E[W_I]`` — worth of a perfectly reliable, overhead-free system.
+    unguarded:
+        ``E[W_0]`` — worth with no guarded operation at all.
+    guarded:
+        ``E[W_phi]`` — worth with the guarded operation under study.
+    """
+
+    ideal: float
+    unguarded: float
+    guarded: float
+
+    def __post_init__(self):
+        if not (
+            math.isfinite(self.ideal)
+            and math.isfinite(self.unguarded)
+            and math.isfinite(self.guarded)
+        ):
+            raise ValueError("worth values must be finite")
+        if self.ideal < self.unguarded - 1e-9:
+            raise ValueError(
+                f"ideal worth {self.ideal} below unguarded worth "
+                f"{self.unguarded} — the ideal case must dominate"
+            )
+
+    @property
+    def unguarded_degradation(self) -> float:
+        """``E[W_I] - E[W_0]`` — degradation with no protection."""
+        return self.ideal - self.unguarded
+
+    @property
+    def guarded_degradation(self) -> float:
+        """``E[W_I] - E[W_phi]`` — degradation with guarded operation."""
+        return self.ideal - self.guarded
+
+
+@dataclass(frozen=True)
+class PerformabilityIndex:
+    """The index ``Y`` with its interpretation helpers."""
+
+    worth: WorthModel
+
+    @property
+    def value(self) -> float:
+        """``Y`` per Equation 1 (``inf`` if guarded degradation is 0)."""
+        denominator = self.worth.guarded_degradation
+        if denominator <= 0.0:
+            return math.inf
+        return self.worth.unguarded_degradation / denominator
+
+    @property
+    def beneficial(self) -> bool:
+        """True when ``Y > 1`` — guarded operation reduces degradation."""
+        return self.value > 1.0
+
+    @property
+    def degradation_reduction(self) -> float:
+        """Absolute reduction of expected total performance degradation.
+
+        ``(E[W_I] - E[W_0]) - (E[W_I] - E[W_phi]) = E[W_phi] - E[W_0]``.
+        """
+        return self.worth.guarded - self.worth.unguarded
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __str__(self) -> str:
+        verdict = "beneficial" if self.beneficial else "not beneficial"
+        return f"Y = {self.value:.4f} ({verdict})"

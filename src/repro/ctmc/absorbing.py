@@ -1,0 +1,148 @@
+"""Absorbing-chain analysis.
+
+The paper's ``RMGd`` model is an absorbing CTMC (failure states and the
+post-detection normal mode both trap probability mass at the relevant
+time scales).  Absorption probabilities and expected times to absorption
+provide independent cross-checks on the transient solutions, and the
+expected-time machinery underlies the mean-time-to-detection analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.errors import CTMCError
+
+
+@dataclass
+class AbsorbingAnalysis:
+    """Results of analysing an absorbing CTMC.
+
+    Attributes
+    ----------
+    transient_states:
+        Indices of states with positive exit rate.
+    absorbing_states:
+        Indices of states with zero exit rate.
+    absorption_matrix:
+        ``B[i, j]`` — probability of ultimate absorption in
+        ``absorbing_states[j]`` starting from ``transient_states[i]``.
+    expected_times:
+        ``tau[i]`` — expected time to absorption from
+        ``transient_states[i]``.
+    """
+
+    transient_states: list[int]
+    absorbing_states: list[int]
+    absorption_matrix: np.ndarray
+    expected_times: np.ndarray
+    _transient_pos: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        self._transient_pos = {s: i for i, s in enumerate(self.transient_states)}
+
+    def absorption_probability(self, source: int, target: int) -> float:
+        """P(absorbed in ``target`` | start in ``source``)."""
+        if source in self._transient_pos:
+            j = self.absorbing_states.index(target)
+            return float(self.absorption_matrix[self._transient_pos[source], j])
+        return 1.0 if source == target else 0.0
+
+    def expected_time(self, source: int) -> float:
+        """Expected time to absorption starting from ``source``."""
+        if source in self._transient_pos:
+            return float(self.expected_times[self._transient_pos[source]])
+        return 0.0
+
+
+def analyze_absorbing(chain: CTMC) -> AbsorbingAnalysis:
+    """Full absorbing-chain analysis of ``chain``.
+
+    Requires at least one absorbing state; every transient state must be
+    able to reach an absorbing state (otherwise expected times diverge and
+    the linear solves fail).
+    """
+    transient = chain.transient_states()
+    absorbing = chain.absorbing_states()
+    if not absorbing:
+        raise CTMCError("chain has no absorbing states")
+    if not transient:
+        return AbsorbingAnalysis(
+            transient_states=[],
+            absorbing_states=absorbing,
+            absorption_matrix=np.zeros((0, len(absorbing))),
+            expected_times=np.zeros(0),
+        )
+    q = chain.generator.tocsc()
+    t_idx = np.array(transient, dtype=np.intp)
+    a_idx = np.array(absorbing, dtype=np.intp)
+    # Partition the generator: T (transient->transient), R (transient->absorbing).
+    t_block = q[t_idx][:, t_idx].tocsc()
+    r_block = q[t_idx][:, a_idx].toarray()
+    # Absorption probabilities solve T B = -R.
+    b = spla.spsolve(t_block, -r_block)
+    b = np.atleast_2d(b)
+    if b.shape != (len(transient), len(absorbing)):
+        b = b.reshape(len(transient), len(absorbing))
+    # Expected times solve T tau = -1.
+    tau = spla.spsolve(t_block, -np.ones(len(transient)))
+    tau = np.atleast_1d(tau)
+    if np.any(~np.isfinite(tau)) or np.any(tau < -1e-9):
+        raise CTMCError(
+            "expected time to absorption is not finite — some transient "
+            "state cannot reach an absorbing state"
+        )
+    return AbsorbingAnalysis(
+        transient_states=transient,
+        absorbing_states=absorbing,
+        absorption_matrix=np.clip(b, 0.0, 1.0),
+        expected_times=np.clip(tau, 0.0, None),
+    )
+
+
+def absorption_probabilities(chain: CTMC) -> dict[int, float]:
+    """Ultimate absorption probability of each absorbing state.
+
+    Weighted by the chain's initial distribution; includes initial mass
+    already sitting on absorbing states.
+    """
+    analysis = analyze_absorbing(chain)
+    init = chain.initial_distribution
+    out: dict[int, float] = {}
+    for j, a_state in enumerate(analysis.absorbing_states):
+        mass = init[a_state]
+        for i, t_state in enumerate(analysis.transient_states):
+            mass += init[t_state] * analysis.absorption_matrix[i, j]
+        out[a_state] = float(mass)
+    return out
+
+
+def mean_time_to_absorption(chain: CTMC) -> float:
+    """Expected time until the chain enters any absorbing state."""
+    analysis = analyze_absorbing(chain)
+    init = chain.initial_distribution
+    total = 0.0
+    for i, t_state in enumerate(analysis.transient_states):
+        total += init[t_state] * analysis.expected_times[i]
+    return float(total)
+
+
+def fundamental_matrix(chain: CTMC) -> np.ndarray:
+    """Dense fundamental matrix ``N = (-T)^{-1}``.
+
+    ``N[i, j]`` is the expected total time spent in transient state ``j``
+    before absorption, starting from transient state ``i``.  Exposed for
+    tests and fine-grained analyses; dense, so intended for small chains.
+    """
+    transient = chain.transient_states()
+    if not transient:
+        return np.zeros((0, 0))
+    q = chain.generator.tocsc()
+    t_idx = np.array(transient, dtype=np.intp)
+    t_block = q[t_idx][:, t_idx].toarray()
+    return np.linalg.inv(-t_block)

@@ -1,0 +1,129 @@
+"""Discrete-time Markov chain utilities.
+
+Provides the embedded jump chain and the uniformized chain of a CTMC,
+plus a small :class:`DTMC` container with stationary-distribution and
+n-step solvers.  Used by the power-method steady-state backend and by
+tests that cross-validate CTMC results through their discrete skeletons.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.errors import CTMCError, DimensionError
+from repro.ctmc.linalg import as_csr, validate_distribution
+from repro.ctmc.uniformization import uniformize
+
+
+class DTMC:
+    """A finite discrete-time Markov chain.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Row-stochastic matrix ``P``.
+    initial:
+        Initial distribution (defaults to unit mass on state 0).
+    labels:
+        Optional per-state labels.
+    """
+
+    def __init__(self, transition_matrix, initial=None, labels: Sequence[Hashable] | None = None):
+        self._p = as_csr(transition_matrix)
+        n, m = self._p.shape
+        if n != m:
+            raise DimensionError(f"transition matrix must be square, got {self._p.shape}")
+        row_sums = np.asarray(self._p.sum(axis=1)).ravel()
+        if self._p.nnz and self._p.data.min() < -1e-12:
+            raise CTMCError("transition matrix has negative entries")
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            raise CTMCError(
+                f"transition matrix rows must sum to 1 (worst: {row_sums.min():g}..{row_sums.max():g})"
+            )
+        if initial is None:
+            init = np.zeros(n)
+            init[0] = 1.0
+        else:
+            init = initial
+        self._initial = validate_distribution(init, n)
+        self._labels = list(labels) if labels is not None else None
+
+    @property
+    def transition_matrix(self) -> sp.csr_matrix:
+        """The row-stochastic transition matrix ``P``."""
+        return self._p
+
+    @property
+    def initial_distribution(self) -> np.ndarray:
+        """The initial distribution (copy)."""
+        return self._initial.copy()
+
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return self._p.shape[0]
+
+    def step(self, distribution: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Advance ``distribution`` by ``steps`` transitions."""
+        if steps < 0:
+            raise CTMCError(f"steps must be non-negative, got {steps}")
+        vec = np.asarray(distribution, dtype=np.float64)
+        for _ in range(steps):
+            vec = vec @ self._p
+        return vec
+
+    def distribution_at(self, steps: int) -> np.ndarray:
+        """Distribution after ``steps`` transitions from the initial one."""
+        return self.step(self._initial, steps)
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Solve ``pi P = pi`` with normalisation (direct sparse solve)."""
+        n = self.num_states
+        if n == 1:
+            return np.array([1.0])
+        a = (self._p.T - sp.identity(n)).tolil()
+        a[n - 1, :] = 1.0
+        b = np.zeros(n)
+        b[n - 1] = 1.0
+        pi = spla.spsolve(a.tocsc(), b)
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if total <= 0:
+            raise CTMCError("stationary solve produced a zero vector")
+        return pi / total
+
+
+def embedded_dtmc(chain: CTMC) -> DTMC:
+    """The jump chain of ``chain``.
+
+    Transition probabilities are ``q_ij / |q_ii|`` for ``i != j``;
+    absorbing CTMC states become absorbing DTMC states (self-loop 1).
+    """
+    q = chain.generator.tocoo()
+    n = chain.num_states
+    exits = chain.exit_rates()
+    rows, cols, vals = [], [], []
+    for i, j, rate in zip(q.row, q.col, q.data):
+        if i == j:
+            continue
+        rows.append(i)
+        cols.append(j)
+        vals.append(rate / exits[i])
+    for i in range(n):
+        if exits[i] <= 0:
+            rows.append(i)
+            cols.append(i)
+            vals.append(1.0)
+    p = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    return DTMC(p, initial=chain.initial_distribution, labels=chain.labels)
+
+
+def uniformized_dtmc(chain: CTMC, rate: float | None = None) -> tuple[DTMC, float]:
+    """The uniformized chain ``P = I + Q / Lambda`` and the rate used."""
+    p, lam = uniformize(chain.generator, rate=rate)
+    return DTMC(p, initial=chain.initial_distribution, labels=chain.labels), lam

@@ -1,0 +1,30 @@
+"""Exception types raised by the CTMC engine."""
+
+
+class CTMCError(Exception):
+    """Base class for all errors raised by :mod:`repro.ctmc`."""
+
+
+class InvalidGeneratorError(CTMCError):
+    """The supplied matrix is not a valid CTMC generator.
+
+    A valid generator has non-negative off-diagonal entries and rows that
+    sum to zero (within numerical tolerance).
+    """
+
+
+class InvalidDistributionError(CTMCError):
+    """A probability vector is malformed (negative mass or wrong total)."""
+
+
+class ConvergenceError(CTMCError):
+    """An iterative solver failed to reach the requested tolerance."""
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class DimensionError(CTMCError):
+    """Operands have incompatible shapes."""

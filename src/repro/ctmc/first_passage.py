@@ -1,0 +1,149 @@
+"""First-passage time analysis.
+
+First-passage quantities answer "when does the chain first hit a state
+set A?" — e.g. time to first error detection, or to first failure.  The
+standard construction makes A absorbing: transitions out of A are
+removed, and the transient probability of being in A in the modified
+chain is exactly the first-passage CDF.
+
+Provides:
+
+* :func:`make_absorbing` — the modified chain.
+* :func:`first_passage_cdf` — ``P(T_A <= t)``.
+* :func:`first_passage_density` — numerical density on a grid.
+* :func:`mean_first_passage_time` / :func:`first_passage_quantile`.
+
+The GSU study uses these to cross-check the detection-time measures: the
+mean time to detection *given* detection happens is a conditioned
+first-passage moment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.absorbing import analyze_absorbing
+from repro.ctmc.chain import CTMC
+from repro.ctmc.errors import CTMCError
+from repro.ctmc.transient import transient_distribution
+
+
+def _resolve_states(chain: CTMC, states) -> np.ndarray:
+    idx = []
+    for s in states:
+        idx.append(s if isinstance(s, (int, np.integer)) else chain.state_index(s))
+    arr = np.unique(np.asarray(idx, dtype=np.intp))
+    if arr.size == 0:
+        raise CTMCError("target state set is empty")
+    if arr.min() < 0 or arr.max() >= chain.num_states:
+        raise CTMCError(f"target state out of range: {arr}")
+    return arr
+
+
+def make_absorbing(chain: CTMC, states) -> CTMC:
+    """A copy of ``chain`` where ``states`` are made absorbing.
+
+    All outgoing transitions of the target states are removed; the
+    initial distribution and labels are preserved.
+    """
+    targets = _resolve_states(chain, states)
+    q = chain.generator.tolil(copy=True)
+    for s in targets:
+        q.rows[s] = []
+        q.data[s] = []
+    return CTMC(q.tocsr(), initial=chain.initial_distribution, labels=chain.labels)
+
+
+def first_passage_cdf(chain: CTMC, states, t: float) -> float:
+    """``P(T_A <= t)`` — probability the chain hits ``states`` by ``t``.
+
+    States with initial mass inside ``A`` count as hit at time 0.
+    """
+    modified = make_absorbing(chain, states)
+    targets = _resolve_states(chain, states)
+    pi_t = transient_distribution(modified, t, method="auto")
+    return float(pi_t[targets].sum())
+
+
+def first_passage_density(
+    chain: CTMC, states, times: np.ndarray
+) -> np.ndarray:
+    """Numerical first-passage density on a grid of ``times``.
+
+    Differentiates the CDF with :func:`numpy.gradient`; intended for
+    plotting and quadrature cross-checks, not for high-precision work.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    if times.ndim != 1 or times.size < 3:
+        raise CTMCError("need a 1-D grid of at least 3 time points")
+    if np.any(np.diff(times) <= 0):
+        raise CTMCError("time grid must be strictly increasing")
+    from repro.ctmc.transient import transient_grid
+
+    modified = make_absorbing(chain, states)
+    targets = _resolve_states(chain, states)
+    distributions = transient_grid(modified, times)
+    cdf = distributions[:, targets].sum(axis=1)
+    return np.gradient(cdf, times)
+
+
+def mean_first_passage_time(chain: CTMC, states) -> float:
+    """``E[T_A]`` — finite only if ``A`` is hit with probability 1."""
+    modified = make_absorbing(chain, states)
+    targets = set(int(s) for s in _resolve_states(chain, states))
+    analysis = analyze_absorbing(modified)
+    # Other absorbing states (never reaching A) imply infinite mean.
+    other_absorbing = [
+        s for s in analysis.absorbing_states if s not in targets
+    ]
+    init = chain.initial_distribution
+    if other_absorbing:
+        for i, t_state in enumerate(analysis.transient_states):
+            if init[t_state] > 0:
+                mass_elsewhere = sum(
+                    analysis.absorption_matrix[i, analysis.absorbing_states.index(s)]
+                    for s in other_absorbing
+                )
+                if mass_elsewhere > 1e-12:
+                    return float("inf")
+        if any(init[s] > 0 for s in other_absorbing):
+            return float("inf")
+    total = 0.0
+    for i, t_state in enumerate(analysis.transient_states):
+        total += init[t_state] * analysis.expected_times[i]
+    return float(total)
+
+
+def first_passage_quantile(
+    chain: CTMC,
+    states,
+    probability: float,
+    upper_bound: float | None = None,
+    tolerance: float = 1e-6,
+) -> float:
+    """The ``probability``-quantile of ``T_A`` by bisection on the CDF.
+
+    Raises if the requested probability is not reached by
+    ``upper_bound`` (the hit may have probability < 1).
+    """
+    if not 0.0 < probability < 1.0:
+        raise CTMCError(f"probability must be in (0, 1), got {probability}")
+    if first_passage_cdf(chain, states, 0.0) >= probability:
+        return 0.0
+    if upper_bound is None:
+        max_exit = float(np.max(chain.exit_rates(), initial=1.0))
+        upper_bound = max(1.0, 1000.0 * chain.num_states / max(max_exit, 1e-12))
+    if first_passage_cdf(chain, states, upper_bound) < probability:
+        raise CTMCError(
+            f"P(T_A <= {upper_bound:g}) < {probability}; the target may be "
+            "unreachable with that probability"
+        )
+    lo, hi = 0.0, float(upper_bound)
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if first_passage_cdf(chain, states, mid) >= probability:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)

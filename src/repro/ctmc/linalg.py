@@ -1,0 +1,114 @@
+"""Shared sparse linear-algebra helpers and input validation.
+
+All solvers in :mod:`repro.ctmc` funnel their inputs through the
+validators here so that malformed generators and distributions fail fast
+with a clear message instead of producing silently wrong numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.errors import (
+    DimensionError,
+    InvalidDistributionError,
+    InvalidGeneratorError,
+)
+
+#: Default absolute tolerance used when validating generators/distributions.
+VALIDATION_ATOL = 1e-9
+
+
+def as_csr(matrix) -> sp.csr_matrix:
+    """Coerce ``matrix`` (dense array, sparse matrix, or nested lists) to CSR.
+
+    Always returns a float64 CSR matrix; a copy is made only if needed.
+    """
+    if sp.issparse(matrix):
+        return matrix.tocsr().astype(np.float64, copy=False)
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DimensionError(f"expected a 2-D matrix, got shape {arr.shape}")
+    return sp.csr_matrix(arr)
+
+
+def validate_generator(q: sp.csr_matrix, atol: float = VALIDATION_ATOL) -> sp.csr_matrix:
+    """Validate that ``q`` is a CTMC infinitesimal generator.
+
+    Checks that the matrix is square, off-diagonal entries are
+    non-negative, and each row sums to (approximately) zero.  Returns the
+    validated matrix so calls can be chained.
+    """
+    n, m = q.shape
+    if n != m:
+        raise InvalidGeneratorError(f"generator must be square, got {q.shape}")
+    if n == 0:
+        raise InvalidGeneratorError("generator must be non-empty")
+    diag = q.diagonal()
+    off = q - sp.diags(diag)
+    if off.nnz and off.data.min() < -atol:
+        raise InvalidGeneratorError(
+            f"negative off-diagonal rate {off.data.min():g} in generator"
+        )
+    row_sums = np.asarray(q.sum(axis=1)).ravel()
+    worst = float(np.max(np.abs(row_sums))) if n else 0.0
+    if worst > atol * max(1.0, float(np.abs(diag).max() if n else 1.0)):
+        raise InvalidGeneratorError(
+            f"generator rows must sum to zero; worst residual {worst:g}"
+        )
+    return q
+
+
+def validate_distribution(pi, size: int, atol: float = 1e-8) -> np.ndarray:
+    """Validate a probability vector of length ``size``.
+
+    Small negative entries within ``atol`` (numerical noise) are clipped
+    to zero and the vector is renormalised.
+    """
+    vec = np.asarray(pi, dtype=np.float64).ravel()
+    if vec.shape[0] != size:
+        raise DimensionError(
+            f"distribution has length {vec.shape[0]}, expected {size}"
+        )
+    if vec.min() < -atol:
+        raise InvalidDistributionError(
+            f"distribution has negative mass {vec.min():g}"
+        )
+    total = float(vec.sum())
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise InvalidDistributionError(
+            f"distribution mass is {total:g}, expected 1"
+        )
+    vec = np.clip(vec, 0.0, None)
+    return vec / vec.sum()
+
+
+def validate_rewards(rewards, size: int) -> np.ndarray:
+    """Validate a reward-rate vector of length ``size`` (any real values)."""
+    vec = np.asarray(rewards, dtype=np.float64).ravel()
+    if vec.shape[0] != size:
+        raise DimensionError(
+            f"reward vector has length {vec.shape[0]}, expected {size}"
+        )
+    if not np.all(np.isfinite(vec)):
+        raise InvalidDistributionError("reward vector contains non-finite values")
+    return vec
+
+
+def exit_rates(q: sp.csr_matrix) -> np.ndarray:
+    """Total exit rate of each state (the negated diagonal of ``q``)."""
+    return -q.diagonal()
+
+
+def uniformization_rate(q: sp.csr_matrix, slack: float = 1.02) -> float:
+    """A uniformization constant ``Lambda >= max_i |q_ii|``.
+
+    ``slack`` > 1 keeps the uniformized DTMC aperiodic (every state gets a
+    self-loop), which the power-method steady-state solver relies on.
+    """
+    max_exit = float(np.max(-q.diagonal()))
+    if max_exit <= 0.0:
+        # All states absorbing; any positive rate works.
+        return 1.0
+    return slack * max_exit

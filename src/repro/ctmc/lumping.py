@@ -1,0 +1,154 @@
+"""Exact (ordinary) lumping of CTMCs.
+
+A partition of the state space is *ordinarily lumpable* when, for every
+block ``B`` and every state ``i``, the total rate from ``i`` into ``B``
+depends only on ``i``'s own block.  The quotient chain over the blocks
+is then an exact CTMC whose transient and stationary block probabilities
+equal the aggregated probabilities of the original chain.
+
+This is the reduction UltraSAN's *Rep* operator exploits for replicated
+submodels: permuting identical replicas cannot change the future, so
+states that differ only by a replica permutation form lumpable blocks.
+:func:`repro.san.symmetry.replica_partition` constructs exactly that
+partition for models built with
+:func:`repro.san.composition.replicate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.errors import CTMCError
+
+#: Relative tolerance when checking block-rate equality.
+_LUMP_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class LumpedCTMC:
+    """A lumped chain plus the mapping back to the original states.
+
+    Attributes
+    ----------
+    chain:
+        The quotient CTMC (one state per block).
+    blocks:
+        ``blocks[b]`` — original state indices forming block ``b``.
+    block_of:
+        ``block_of[i]`` — block index of original state ``i``.
+    """
+
+    chain: CTMC
+    blocks: tuple[tuple[int, ...], ...]
+    block_of: tuple[int, ...]
+
+    @property
+    def reduction_factor(self) -> float:
+        """Original states per lumped state."""
+        return len(self.block_of) / len(self.blocks)
+
+    def lift(self, block_vector: np.ndarray) -> np.ndarray:
+        """Expand a per-block vector to a per-original-state vector
+        (each original state receives its block's value)."""
+        return np.asarray(block_vector)[list(self.block_of)]
+
+    def project(self, state_vector: np.ndarray) -> np.ndarray:
+        """Aggregate a per-state probability vector to block masses."""
+        vec = np.asarray(state_vector, dtype=np.float64)
+        out = np.zeros(len(self.blocks))
+        for b, members in enumerate(self.blocks):
+            out[b] = vec[list(members)].sum()
+        return out
+
+
+def _normalise_partition(
+    partition: Sequence[Sequence[int]], n: int
+) -> tuple[tuple[int, ...], ...]:
+    seen: set[int] = set()
+    blocks = []
+    for block in partition:
+        members = tuple(sorted(int(i) for i in block))
+        if not members:
+            raise CTMCError("partition contains an empty block")
+        for i in members:
+            if i < 0 or i >= n:
+                raise CTMCError(f"state index {i} out of range")
+            if i in seen:
+                raise CTMCError(f"state {i} appears in more than one block")
+            seen.add(i)
+        blocks.append(members)
+    if len(seen) != n:
+        missing = sorted(set(range(n)) - seen)
+        raise CTMCError(f"partition misses states {missing[:10]}")
+    return tuple(blocks)
+
+
+def check_lumpability(
+    chain: CTMC, partition: Sequence[Sequence[int]]
+) -> bool:
+    """Whether ``partition`` is ordinarily lumpable for ``chain``."""
+    try:
+        lump(chain, partition)
+        return True
+    except CTMCError:
+        return False
+
+
+def lump(chain: CTMC, partition: Sequence[Sequence[int]]) -> LumpedCTMC:
+    """Build the exact quotient chain over ``partition``.
+
+    Raises
+    ------
+    CTMCError
+        If the partition is malformed or not ordinarily lumpable
+        (block rates differ between members of a block beyond
+        tolerance).
+    """
+    n = chain.num_states
+    blocks = _normalise_partition(partition, n)
+    block_of = [0] * n
+    for b, members in enumerate(blocks):
+        for i in members:
+            block_of[i] = b
+    q = chain.generator.tocsr()
+    k = len(blocks)
+    rates: dict[tuple[int, int], float] = {}
+    # For each state, total rate into each other block; members of one
+    # block must agree.
+    for b, members in enumerate(blocks):
+        reference: dict[int, float] | None = None
+        for i in members:
+            into: dict[int, float] = {}
+            row = q.getrow(i)
+            for j, rate in zip(row.indices, row.data):
+                if j == i:
+                    continue
+                target = block_of[j]
+                if target != b:
+                    into[target] = into.get(target, 0.0) + rate
+            if reference is None:
+                reference = into
+            else:
+                keys = set(reference) | set(into)
+                for key in keys:
+                    a, c = reference.get(key, 0.0), into.get(key, 0.0)
+                    scale = max(abs(a), abs(c), 1e-30)
+                    if abs(a - c) > _LUMP_RTOL * scale + 1e-14:
+                        raise CTMCError(
+                            f"partition not lumpable: states {members[0]} "
+                            f"and {i} disagree on the rate into block {key} "
+                            f"({a:g} vs {c:g})"
+                        )
+        for target, rate in (reference or {}).items():
+            if rate > 0.0:
+                rates[(b, target)] = rate
+    initial = np.zeros(k)
+    init = chain.initial_distribution
+    for b, members in enumerate(blocks):
+        initial[b] = float(init[list(members)].sum())
+    lumped = CTMC.from_rates(k, rates, initial=initial)
+    return LumpedCTMC(chain=lumped, blocks=blocks, block_of=tuple(block_of))

@@ -1,0 +1,78 @@
+"""Finite-difference sensitivity of reward measures to model parameters.
+
+The paper's evaluation is a sensitivity study in disguise: Figures 9-12
+vary ``mu_new``, ``alpha``/``beta``, ``c``, and ``theta`` and observe the
+optimal guarded-operation duration.  This module provides the generic
+numerical machinery: given a function ``parameter value -> measure``, it
+estimates local derivatives and elasticities with central differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Local sensitivity of a measure to one parameter.
+
+    Attributes
+    ----------
+    parameter_value:
+        The point the derivative is taken at.
+    measure_value:
+        The measure evaluated at ``parameter_value``.
+    derivative:
+        Central-difference estimate of ``d measure / d parameter``.
+    elasticity:
+        Dimensionless relative sensitivity
+        ``(d measure / measure) / (d parameter / parameter)``.
+    """
+
+    parameter_value: float
+    measure_value: float
+    derivative: float
+    elasticity: float
+
+
+def finite_difference_sensitivity(
+    measure: Callable[[float], float],
+    at: float,
+    relative_step: float = 1e-4,
+) -> SensitivityResult:
+    """Estimate the local sensitivity of ``measure`` at parameter ``at``.
+
+    Uses a central difference with step ``relative_step * |at|`` (or
+    ``relative_step`` itself when ``at`` is zero, so the step never
+    collapses).  ``measure`` is called three times (at, at-h, at+h).
+    """
+    if relative_step <= 0:
+        raise ValueError(f"relative_step must be positive, got {relative_step}")
+    h = relative_step * abs(at) if at != 0.0 else relative_step
+    centre = measure(at)
+    lo = measure(at - h)
+    hi = measure(at + h)
+    derivative = (hi - lo) / (2.0 * h)
+    if centre != 0.0 and at != 0.0:
+        elasticity = derivative * at / centre
+    else:
+        elasticity = float("nan")
+    return SensitivityResult(
+        parameter_value=at,
+        measure_value=centre,
+        derivative=derivative,
+        elasticity=elasticity,
+    )
+
+
+def sweep_sensitivity(
+    measure: Callable[[float], float],
+    points: list[float],
+    relative_step: float = 1e-4,
+) -> list[SensitivityResult]:
+    """Sensitivities of ``measure`` at each point in ``points``."""
+    return [
+        finite_difference_sensitivity(measure, p, relative_step=relative_step)
+        for p in points
+    ]

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+A small, general event-driven simulation core used by the executable
+MDCD protocol substrate (:mod:`repro.mdcd`):
+
+* :class:`~repro.des.engine.Engine` — event list, simulation clock,
+  scheduling, run-until-horizon execution.
+* :class:`~repro.des.events.Event` — scheduled callbacks with
+  deterministic tie-breaking.
+* :mod:`~repro.des.rng` — independent named random streams.
+* :mod:`~repro.des.stats` — online statistics (Welford), time-weighted
+  accumulators, replication/batch-means confidence intervals.
+"""
+
+from repro.des.engine import Engine
+from repro.des.events import Event, EventQueue
+from repro.des.rng import RandomStreams
+from repro.des.stats import (
+    ConfidenceInterval,
+    OnlineStatistics,
+    TimeWeightedAccumulator,
+    batch_means,
+    replication_interval,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "Engine",
+    "Event",
+    "EventQueue",
+    "OnlineStatistics",
+    "RandomStreams",
+    "TimeWeightedAccumulator",
+    "batch_means",
+    "replication_interval",
+]

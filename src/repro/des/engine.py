@@ -1,0 +1,120 @@
+"""The discrete-event simulation engine.
+
+The :class:`Engine` owns the clock and the event queue, dispatches events
+in time order, and stops at a configurable horizon or when the queue
+drains.  Components schedule work with :meth:`Engine.schedule` (relative
+delay) or :meth:`Engine.schedule_at` (absolute time).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.des.events import Event, EventQueue, SimulationError
+
+#: Safety cap on dispatched events, guarding against scheduling loops.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+class Engine:
+    """A sequential discrete-event simulation engine."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._max_events = max_events
+        self._dispatched = 0
+        self._running = False
+        self._trace: list[tuple[float, str]] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total events executed so far."""
+        return self._dispatched
+
+    def enable_trace(self) -> None:
+        """Record ``(time, tag)`` for every dispatched event."""
+        self._trace = []
+
+    @property
+    def trace(self) -> list[tuple[float, str]]:
+        """The recorded event trace (empty unless enabled)."""
+        return list(self._trace) if self._trace is not None else []
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self._queue.push(self._now + delay, action, priority=priority, tag=tag)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self._queue.push(time, action, priority=priority, tag=tag)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Dispatch events in time order.
+
+        Runs until the queue empties or the next event would fire after
+        ``until``; the clock is then advanced to ``until`` if given.
+        Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run)")
+        self._running = True
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self._dispatched += 1
+                if self._dispatched > self._max_events:
+                    raise SimulationError(
+                        f"dispatched more than {self._max_events} events — "
+                        "scheduling loop suspected"
+                    )
+                if self._trace is not None:
+                    self._trace.append((event.time, event.tag))
+                event.action()
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> Event | None:
+        """Dispatch exactly one event; returns it, or ``None`` if empty."""
+        if not self._queue:
+            return None
+        event = self._queue.pop()
+        self._now = event.time
+        self._dispatched += 1
+        if self._trace is not None:
+            self._trace.append((event.time, event.tag))
+        event.action()
+        return event

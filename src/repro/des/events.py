@@ -1,0 +1,98 @@
+"""Events and the pending-event queue.
+
+Events are ordered by ``(time, priority, sequence)``: earlier time first,
+then lower priority number, then FIFO insertion order.  The explicit
+sequence number makes simulations fully deterministic for a given seed —
+simultaneous events never rely on heap-implementation order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(Exception):
+    """Raised for invalid scheduling or execution operations."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time the event fires at.
+    priority:
+        Tie-breaker among simultaneous events (lower fires first).
+    sequence:
+        Insertion order; assigned by the queue.
+    action:
+        Zero-argument callable executed when the event fires.
+    tag:
+        Free-form label for traces and debugging.
+    cancelled:
+        Lazily-deleted flag; cancelled events are skipped on pop.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    tag: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` with lazy cancellation."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not e.cancelled for e in self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time``; returns the event."""
+        if not callable(action):
+            raise SimulationError("event action must be callable")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            action=action,
+            tag=tag,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next non-cancelled event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Fire time of the next non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,132 @@
+"""Closed-form approximations for independent solver validation.
+
+When message rates dwarf fault rates (``lam >> mu``), the GSU models
+collapse to simple exponential-competition forms with known closed
+solutions.  These are *approximations of the models*, not of the solvers
+— tests use them as order-of-magnitude anchors and as exact references
+for degenerate parameterisations, while exact solver correctness is
+checked against hand-built small CTMCs elsewhere.
+
+Approximation logic (time scales per the paper, Section 3.3): after a
+fault manifests in the active new version, its next external message
+(rate ``lam * p_ext``) meets an acceptance test and is either detected
+(coverage ``c``) or escapes (failure).  Because ``lam * p_ext >> mu``,
+the post-manifestation delay is negligible at mission time scales, so
+
+* failure rate without protection  ``~ mu``,
+* detection flow under G-OP        ``~ mu * c``,
+* undetected-failure flow          ``~ mu * (1 - c)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gsu.parameters import GSUParameters
+
+
+def survival_unprotected(params: GSUParameters, t: float) -> float:
+    """Closed-form ``P(X''_t in A1'')`` for the upgraded normal mode.
+
+    ``exp(-(mu_new + mu_old) t)`` — either active process manifesting a
+    fault leads (almost immediately) to an erroneous external message.
+    """
+    return math.exp(-(params.mu_new + params.mu_old) * t)
+
+
+def survival_recovered(params: GSUParameters, t: float) -> float:
+    """Closed-form survival of the recovered (old/old) system."""
+    return math.exp(-2.0 * params.mu_old * t)
+
+
+def probability_no_error_gop(params: GSUParameters, phi: float) -> float:
+    """Closed-form ``P(X'_phi in A1')``: no fault manifestation in any
+    process through the guarded interval."""
+    total_rate = params.mu_new + 2.0 * params.mu_old
+    return math.exp(-total_rate * phi)
+
+
+def detection_probability(params: GSUParameters, phi: float) -> float:
+    """Closed-form ``int_0^phi h(tau) dtau``.
+
+    A manifested fault is detected with probability ``c`` at its first
+    external-message validation; faults in ``P1old``/``P2`` are
+    ``mu_old``-rare and neglected.
+    """
+    return params.coverage * (1.0 - math.exp(-params.mu_new * phi))
+
+
+def undetected_failure_probability(params: GSUParameters, phi: float) -> float:
+    """Closed-form P(undetected erroneous message fails the system by phi)."""
+    return (1.0 - params.coverage) * (1.0 - math.exp(-params.mu_new * phi))
+
+
+def mean_time_to_first_event(params: GSUParameters, phi: float) -> float:
+    """Closed-form Table-1 accumulated measure ``int_0^phi tau h``.
+
+    Equals ``E[min(T_fault, phi)] = (1 - exp(-mu_new phi)) / mu_new`` in
+    the fast-message limit.
+    """
+    return (1.0 - math.exp(-params.mu_new * phi)) / params.mu_new
+
+
+def overhead_p1new(params: GSUParameters) -> float:
+    """Closed-form ``1 - rho1``.
+
+    ``P1new`` alternates forward progress at rate ``lam * p_ext`` into
+    ATs of mean length ``1/alpha``: a two-state cycle with busy fraction
+    ``(lam p_ext / alpha) / (1 + lam p_ext / alpha)``.
+    """
+    ratio = params.external_rate / params.alpha
+    return ratio / (1.0 + ratio)
+
+
+def performability_index_approx(params: GSUParameters, phi: float) -> float:
+    """A fully closed-form ``Y(phi)`` for sanity anchoring.
+
+    Combines the closed forms above through the paper's aggregation
+    (Equations 1, 8, 15-21) using the closed-form overhead for both
+    processes (``rho2`` approximated like ``rho1`` with an extra
+    checkpointing term).
+    """
+    theta = params.theta
+    e_wi = 2.0 * theta
+    e_w0 = e_wi * survival_unprotected(params, theta)
+    if phi == 0.0:
+        return 1.0
+    rho1 = 1.0 - overhead_p1new(params)
+    # P2: AT cycle like P1new plus checkpoint establishments triggered at
+    # roughly the internal-message rate times the fraction of time clean.
+    clean_fraction = overhead_reset_fraction(params)
+    ckpt_rate = params.internal_rate * clean_fraction
+    rho2 = 1.0 - overhead_p1new(params) - ckpt_rate / params.beta
+    rho_sum = rho1 + rho2
+    p_s1 = probability_no_error_gop(params, phi) * survival_unprotected(
+        params, theta - phi
+    )
+    y_s1 = (rho_sum * phi + 2.0 * (theta - phi)) * p_s1
+    int_h = detection_probability(params, phi)
+    int_tau_h = mean_time_to_first_event(params, phi)
+    int_f = 1.0 - survival_recovered(params, theta - phi)
+    gamma = 1.0 - int_tau_h / theta
+    y_s2 = gamma * (
+        2.0 * theta * int_h
+        - (2.0 - rho_sum) * int_tau_h
+        - 2.0 * theta * int_h * int_f
+    )
+    e_wphi = y_s1 + y_s2
+    denominator = e_wi - e_wphi
+    if denominator <= 0:
+        return math.inf
+    return (e_wi - e_w0) / denominator
+
+
+def overhead_reset_fraction(params: GSUParameters) -> float:
+    """Approximate steady-state fraction of time ``P2`` is believed clean.
+
+    ``P2`` turns dirty at the internal-message rate and is cleared by
+    successful external validations of either active process (rate
+    ``2 lam p_ext``)."""
+    dirty_rate = params.internal_rate
+    clear_rate = 2.0 * params.external_rate
+    return clear_rate / (dirty_rate + clear_rate)

@@ -1,0 +1,144 @@
+"""Hybrid performability evaluation for the GSU study.
+
+Wires the generic hybrid machinery (:mod:`repro.core.hybrid`) to the GSU
+case: the dependability constituents of ``X'`` (`int_h`, `p_gd_phi_a1`,
+`int_tau_h`, `int_hf`) can be estimated from replicated MDCD protocol
+simulations instead of the RMGd reward model, while the remaining
+constituents stay analytic — exactly the hybrid composition the paper's
+concluding remarks propose.  Uncertainty from the simulated constituents
+propagates to a confidence interval on ``Y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constituent import EvaluationContext
+from repro.core.hybrid import (
+    HybridPipeline,
+    HybridResult,
+    SimulationSource,
+)
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import GSUParameters
+from repro.gsu.performability import build_translation_pipeline
+from repro.mdcd.scenario import ScenarioResult, run_replications
+
+#: The constituents replaced by protocol simulation in the hybrid mode.
+SIMULATED_CONSTITUENTS = ("int_h", "p_gd_phi_a1", "int_tau_h", "int_hf")
+
+
+@dataclass(frozen=True)
+class HybridEvaluation:
+    """Hybrid ``Y`` with its uncertainty.
+
+    Attributes
+    ----------
+    phi:
+        The evaluated guarded-operation duration.
+    result:
+        The underlying :class:`~repro.core.hybrid.HybridResult`.
+    """
+
+    phi: float
+    result: HybridResult
+
+    @property
+    def value(self) -> float:
+        """Point estimate of ``Y``."""
+        return self.result.value
+
+    def confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Propagated percentile interval for ``Y``."""
+        return self.result.confidence_interval(confidence)
+
+
+def _per_replication_samples(
+    results: list[ScenarioResult], phi: float, which: str
+) -> list[float]:
+    """Per-replication sample of one X' constituent, censored at phi."""
+    if which not in SIMULATED_CONSTITUENTS:
+        raise ValueError(f"unknown simulated constituent {which!r}")
+    samples = []
+    for r in results:
+        detected = (
+            r.detection_time is not None and r.detection_time <= phi
+        )
+        failed = r.failure_time is not None and r.failure_time <= phi
+        if which == "int_h":
+            samples.append(1.0 if detected and not failed else 0.0)
+        elif which == "p_gd_phi_a1":
+            samples.append(1.0 if not detected and not failed else 0.0)
+        elif which == "int_hf":
+            samples.append(1.0 if detected and failed else 0.0)
+        elif which == "int_tau_h":
+            first_event = phi
+            if r.detection_time is not None:
+                first_event = min(first_event, r.detection_time)
+            if r.failure_time is not None:
+                first_event = min(first_event, r.failure_time)
+            samples.append(first_event)
+        else:
+            raise ValueError(f"unknown simulated constituent {which!r}")
+    return samples
+
+
+def build_hybrid_pipeline(
+    params: GSUParameters,
+    phi: float,
+    replications: int = 300,
+    seed: int = 0,
+) -> HybridPipeline:
+    """A hybrid pipeline with the X' constituents simulation-backed.
+
+    One replication set is shared by all four simulated constituents
+    (they are different functionals of the same mission sample paths).
+    """
+    params.validate_phi(phi)
+    results = run_replications(params, phi, replications, seed=seed)
+    sources = {}
+    for name in SIMULATED_CONSTITUENTS:
+        bounds = (
+            (0.0, float(phi)) if name == "int_tau_h" else (0.0, 1.0)
+        )
+
+        def sampler(_context, which=name):
+            return _per_replication_samples(results, phi, which)
+
+        sources[name] = SimulationSource(
+            sampler=sampler, lower=bounds[0], upper=bounds[1]
+        )
+    return HybridPipeline(build_translation_pipeline(), sources)
+
+
+def hybrid_evaluate(
+    params: GSUParameters,
+    phi: float,
+    replications: int = 300,
+    seed: int = 0,
+    propagate_samples: int = 2000,
+    solver: ConstituentSolver | None = None,
+) -> HybridEvaluation:
+    """Evaluate ``Y(phi)`` with simulation-backed X' constituents.
+
+    The analytic constituents (``rho1``, ``rho2``, the RMNd survivals)
+    stay reward-model-solved; the X' dependability constituents come
+    from ``replications`` MDCD protocol missions, and their sampling
+    error propagates into a confidence interval on ``Y``.
+    """
+    if solver is None:
+        solver = ConstituentSolver(params)
+    hybrid = build_hybrid_pipeline(
+        params, phi, replications=replications, seed=seed
+    )
+    context = EvaluationContext(
+        solver.models(), {"phi": phi, "theta": params.theta}
+    )
+    result = hybrid.evaluate(
+        context,
+        propagate_samples=propagate_samples,
+        rng=np.random.default_rng(seed + 1),
+    )
+    return HybridEvaluation(phi=phi, result=result)

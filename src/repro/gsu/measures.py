@@ -1,0 +1,265 @@
+"""The nine constituent measures and their SAN reward structures.
+
+This module is the executable form of the paper's Tables 1 and 2 plus the
+``RMNd`` reward structure of Section 5.2.3.  Each reward structure is a
+predicate-rate pair list exactly as specified (UltraSAN style), written
+against the markings of :mod:`repro.gsu.models`.
+
+==================  =======  =============================================
+measure             model    reward variable
+==================  =======  =============================================
+``int_h``           RMGd     instant at ``phi``; ``detected==1 && failure==0`` rate 1
+``int_tau_h``       RMGd     accumulated over ``[0, phi]``; ``detected==0``
+                             rate 1, ``detected==0 && failure==1`` rate -1
+``int_hf``          RMGd     instant at ``phi``; ``detected==1 && failure==1`` rate 1
+``p_gd_phi_a1``     RMGd     instant at ``phi``; ``detected==0 && failure==0`` rate 1
+``rho1``            RMGp     1 - steady state of ``MARK(P1nExt)==1`` rate 1
+``rho2``            RMGp     1 - steady state of P2's checkpoint/AT busy states
+``p_nd_theta``      RMNd     instant at ``theta``; ``failure==0`` rate 1 (``mu_new``)
+``p_nd_theta_phi``  RMNd     instant at ``theta - phi``; same structure (``mu_new``)
+``int_f``           RMNd     1 - instant at ``theta - phi``; same structure (``mu_old``)
+==================  =======  =============================================
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.gsu.models.rm_gd import build_rm_gd
+from repro.gsu.models.rm_gp import build_rm_gp
+from repro.gsu.models.rm_nd import build_rm_nd
+from repro.gsu.parameters import GSUParameters
+from repro.san.ctmc_builder import CompiledSAN, build_ctmc
+from repro.san.marking import Marking
+from repro.san.rewards import (
+    PredicateRatePair,
+    RewardStructure,
+    instant_of_time,
+    interval_of_time,
+    steady_state,
+)
+
+# ----------------------------------------------------------------------
+# Reward structures (Table 1 — RMGd)
+# ----------------------------------------------------------------------
+#: ``int_0^phi h(tau) dtau`` — P(error detected and no failure by phi).
+RS_INT_H = RewardStructure(
+    name="int_h",
+    rate_rewards=(
+        PredicateRatePair(
+            predicate=lambda m: m["detected"] == 1 and m["failure"] == 0,
+            rate=1.0,
+            label="MARK(detected)==1 && MARK(failure)==0",
+        ),
+    ),
+)
+
+#: ``int_0^phi tau h(tau) dtau`` — mean time to error detection, as the
+#: accumulated reward the paper specifies (+1 on A2', -1 on A4').
+RS_INT_TAU_H = RewardStructure(
+    name="int_tau_h",
+    rate_rewards=(
+        PredicateRatePair(
+            predicate=lambda m: m["detected"] == 0,
+            rate=1.0,
+            label="MARK(detected)==0",
+        ),
+        PredicateRatePair(
+            predicate=lambda m: m["detected"] == 0 and m["failure"] == 1,
+            rate=-1.0,
+            label="MARK(detected)==0 && MARK(failure)==1",
+        ),
+    ),
+)
+
+#: ``int_0^phi int_tau^phi h(tau) f(x) dx dtau`` — P(detected during G-OP
+#: and the recovered system fails by phi).
+RS_INT_HF = RewardStructure(
+    name="int_hf",
+    rate_rewards=(
+        PredicateRatePair(
+            predicate=lambda m: m["detected"] == 1 and m["failure"] == 1,
+            rate=1.0,
+            label="MARK(detected)==1 && MARK(failure)==1",
+        ),
+    ),
+)
+
+#: ``P(X'_phi in A1')`` — no error occurred through the G-OP interval.
+RS_A1_GOP = RewardStructure(
+    name="p_a1_gop",
+    rate_rewards=(
+        PredicateRatePair(
+            predicate=lambda m: m["detected"] == 0 and m["failure"] == 0,
+            rate=1.0,
+            label="MARK(detected)==0 && MARK(failure)==0",
+        ),
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Reward structures (Table 2 — RMGp); solved as 1 - rho.
+# ----------------------------------------------------------------------
+#: ``1 - rho1`` — fraction of time P1new is not making forward progress.
+RS_OVERHEAD_1 = RewardStructure(
+    name="overhead_p1n",
+    rate_rewards=(
+        PredicateRatePair(
+            predicate=lambda m: m["P1nExt"] == 1,
+            rate=1.0,
+            label="MARK(P1nExt)==1",
+        ),
+    ),
+)
+
+#: ``1 - rho2`` — fraction of time P2 is checkpointing or running an AT.
+RS_OVERHEAD_2 = RewardStructure(
+    name="overhead_p2",
+    rate_rewards=(
+        PredicateRatePair(
+            predicate=lambda m: m["P2Check"] == 1,
+            rate=1.0,
+            label="MARK(P2Check)==1 (checkpoint establishment)",
+        ),
+        PredicateRatePair(
+            predicate=lambda m: m["P2Ext"] == 1 and m["P2DB"] == 1,
+            rate=1.0,
+            label="MARK(P2Ext)==1 && MARK(P2DB)==1 (AT validation)",
+        ),
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Reward structure (Section 5.2.3 — RMNd)
+# ----------------------------------------------------------------------
+#: ``P(no failure by t)`` in the normal mode.
+RS_ND_ALIVE = RewardStructure(
+    name="nd_alive",
+    rate_rewards=(
+        PredicateRatePair(
+            predicate=lambda m: m["failure"] == 0,
+            rate=1.0,
+            label="MARK(failure)==0",
+        ),
+    ),
+)
+
+
+class ConstituentSolver:
+    """Solves the nine constituent measures for one parameter set.
+
+    Base models are compiled lazily and cached; in a ``phi`` sweep the
+    same compiled models serve every sweep point.
+    """
+
+    def __init__(self, params: GSUParameters):
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Compiled base models
+    # ------------------------------------------------------------------
+    @cached_property
+    def rm_gd(self) -> CompiledSAN:
+        """``RMGd`` compiled to a CTMC."""
+        return build_ctmc(build_rm_gd(self.params))
+
+    @cached_property
+    def rm_gp(self) -> CompiledSAN:
+        """``RMGp`` compiled to a CTMC."""
+        return build_ctmc(build_rm_gp(self.params))
+
+    @cached_property
+    def rm_nd_new(self) -> CompiledSAN:
+        """``RMNd`` with the first component at ``mu_new``."""
+        return build_ctmc(build_rm_nd(self.params, self.params.mu_new))
+
+    @cached_property
+    def rm_nd_old(self) -> CompiledSAN:
+        """``RMNd`` with the first component at ``mu_old``."""
+        return build_ctmc(build_rm_nd(self.params, self.params.mu_old))
+
+    def models(self) -> dict[str, CompiledSAN]:
+        """All compiled base models, keyed for the evaluation context."""
+        return {
+            "RMGd": self.rm_gd,
+            "RMGp": self.rm_gp,
+            "RMNd_new": self.rm_nd_new,
+            "RMNd_old": self.rm_nd_old,
+        }
+
+    # ------------------------------------------------------------------
+    # Table 1 measures (RMGd)
+    # ------------------------------------------------------------------
+    def int_h(self, phi: float) -> float:
+        """``int_0^phi h(tau) dtau`` — P(detected & recovered alive at phi)."""
+        phi = self.params.validate_phi(phi)
+        return instant_of_time(self.rm_gd, RS_INT_H, phi, method="auto")
+
+    def int_tau_h(self, phi: float) -> float:
+        """``int_0^phi tau h(tau) dtau`` per the Table 1 structure."""
+        phi = self.params.validate_phi(phi)
+        return interval_of_time(self.rm_gd, RS_INT_TAU_H, phi, method="auto")
+
+    def int_hf(self, phi: float) -> float:
+        """``int_0^phi int_tau^phi h f`` — detected then failed by phi."""
+        phi = self.params.validate_phi(phi)
+        return instant_of_time(self.rm_gd, RS_INT_HF, phi, method="auto")
+
+    def p_gop_no_error(self, phi: float) -> float:
+        """``P(X'_phi in A1')`` — survived G-OP with no error."""
+        phi = self.params.validate_phi(phi)
+        return instant_of_time(self.rm_gd, RS_A1_GOP, phi, method="auto")
+
+    def mean_detection_time_exact(self, phi: float) -> float:
+        """Exact ``E[tau * 1{detected by phi}]`` (ablation alternative).
+
+        The Table 1 accumulated structure equals
+        ``E[min(tau_detect, tau_undetected_failure, phi)]``, which also
+        accrues reward on sample paths that never see an error.  The
+        exact detection-time moment admits its own reward solution:
+        ``phi * P(detected at phi) - int_0^phi P(detected at t) dt``.
+        See the ``eq18`` ablation benchmark.
+        """
+        phi = self.params.validate_phi(phi)
+        detected_now = RewardStructure(
+            name="detected_any",
+            rate_rewards=(
+                PredicateRatePair(
+                    predicate=lambda m: m["detected"] == 1, rate=1.0
+                ),
+            ),
+        )
+        at_phi = instant_of_time(self.rm_gd, detected_now, phi, method="auto")
+        integral = interval_of_time(self.rm_gd, detected_now, phi, method="auto")
+        return phi * at_phi - integral
+
+    # ------------------------------------------------------------------
+    # Table 2 measures (RMGp)
+    # ------------------------------------------------------------------
+    def rho1(self) -> float:
+        """Steady-state forward-progress fraction of ``P1new``."""
+        return 1.0 - steady_state(self.rm_gp, RS_OVERHEAD_1)
+
+    def rho2(self) -> float:
+        """Steady-state forward-progress fraction of ``P2``."""
+        return 1.0 - steady_state(self.rm_gp, RS_OVERHEAD_2)
+
+    # ------------------------------------------------------------------
+    # RMNd measures (Section 5.2.3)
+    # ------------------------------------------------------------------
+    def p_normal_no_failure(self, t: float, which: str = "new") -> float:
+        """``P(X''_t in A1'')`` — normal mode survives ``t`` hours.
+
+        ``which`` selects the first component's fault rate: ``"new"``
+        (upgraded software) or ``"old"`` (post-recovery system).
+        """
+        if t < 0:
+            raise ValueError(f"time must be non-negative, got {t}")
+        model = self.rm_nd_new if which == "new" else self.rm_nd_old
+        return instant_of_time(model, RS_ND_ALIVE, t, method="auto")
+
+    def int_f(self, phi: float) -> float:
+        """``int_phi^theta f(x) dx`` — recovered system fails in the rest
+        of the mission (complement of survival over ``theta - phi``)."""
+        phi = self.params.validate_phi(phi)
+        return 1.0 - self.p_normal_no_failure(self.params.theta - phi, "old")

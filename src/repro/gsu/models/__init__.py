@@ -1,0 +1,18 @@
+"""The three SAN reward models of the composite base model.
+
+* :func:`~repro.gsu.models.rm_gd.build_rm_gd` — ``RMGd`` (paper Fig. 6):
+  dependability behaviour during the guarded-operation interval,
+  including post-recovery normal-mode behaviour up to ``phi``.
+* :func:`~repro.gsu.models.rm_gp.build_rm_gp` — ``RMGp`` (paper Fig. 7):
+  performance-overhead behaviour under the G-OP mode (checkpointing and
+  acceptance testing), solved at steady state.
+* :func:`~repro.gsu.models.rm_nd.build_rm_nd` — ``RMNd`` (paper Fig. 8):
+  normal-mode behaviour (fault manifestation, error propagation,
+  failure), parameterised by the first component's fault rate.
+"""
+
+from repro.gsu.models.rm_gd import build_rm_gd
+from repro.gsu.models.rm_gp import build_rm_gp
+from repro.gsu.models.rm_nd import build_rm_nd
+
+__all__ = ["build_rm_gd", "build_rm_gp", "build_rm_nd"]

@@ -1,0 +1,332 @@
+"""``RMGd`` — the dependability reward model for guarded operation.
+
+Reproduces the paper's Figure 6 model: system behaviour during the
+pre-designated G-OP interval ``[0, phi]``, *including* post-recovery
+normal-mode behaviour up to ``phi`` (the sample-path subsets
+``Ua``/``Ub``/``Uc`` of Section 4.1 all live inside this model).
+
+State places
+------------
+``P1Nctn`` / ``P1Octn`` / ``P2ctn``
+    Whether the process state of ``P1new`` / ``P1old`` / ``P2`` is
+    *actually* contaminated.
+``dirty_bit``
+    Whether ``P2`` (and the shadow ``P1old``) are *considered* potentially
+    contaminated.  ``P1new`` is always considered potentially contaminated
+    during G-OP, so it needs no dirty bit (Section 5.2.2 of the paper).
+``detected``
+    An erroneous external message was caught by an acceptance test;
+    error recovery has completed and the system runs ``P1old`` + ``P2``
+    in the normal mode.
+``failure``
+    An erroneous external message escaped detection — system failure
+    (absorbing).
+``P1Nat_pend`` / ``P2at_pend``
+    Tokens representing an external message awaiting acceptance test;
+    consumed by *instantaneous* AT activities (the paper justifies
+    instantaneous ATs in RMGd because mean time to error occurrence is
+    orders of magnitude larger than an AT execution).
+
+Behavioural rules encoded in the gates (Sections 2 and 5.1):
+
+* A fault manifests in a process at its fault-manifestation rate; a
+  contaminated process's outgoing messages are erroneous.
+* Internal messages from the always-suspect ``P1new`` set ``P2``'s dirty
+  bit; messages from a contaminated sender contaminate the receiver.
+* External messages from ``P1new`` always undergo AT during G-OP;
+  external messages from ``P2`` undergo AT only while its dirty bit is
+  set.  An AT detects an erroneous message with probability ``c``.
+* A **successful** AT resets the dirty bit (the ``P1Nok_ext`` /
+  ``P2ok_ext`` output gates): validated computation retroactively clears
+  the *considered contaminated* status — which can wrongly clear an
+  actually contaminated ``P2`` (the paper's scenario 2), later causing an
+  unvalidated erroneous external message, i.e. failure.
+* Detection triggers recovery: ``P1old`` takes over, rollback restores
+  clean states, and the system continues in the normal mode (no further
+  checkpointing or AT) where any erroneous external message causes
+  failure.
+"""
+
+from __future__ import annotations
+
+from repro.gsu.parameters import GSUParameters
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+def _in_gop(m: Marking) -> bool:
+    """System under guarded operation (no detection, no failure)."""
+    return m["detected"] == 0 and m["failure"] == 0
+
+
+def _recovered(m: Marking) -> bool:
+    """Normal mode after successful error recovery."""
+    return m["detected"] == 1 and m["failure"] == 0
+
+
+def build_rm_gd(
+    params: GSUParameters,
+    at_style: str = "instantaneous",
+) -> SANModel:
+    """Construct the ``RMGd`` SAN for a given parameter set.
+
+    Parameters
+    ----------
+    params:
+        The study parameters.
+    at_style:
+        ``"instantaneous"`` (default) models acceptance tests as
+        instantaneous activities, as the paper does in RMGd (mean time to
+        error occurrence is orders of magnitude above an AT execution).
+        ``"timed"`` models them as exponential activities at rate
+        ``params.alpha`` instead — the alternative the paper's
+        simplification avoids, kept for the vanishing-elimination
+        ablation benchmark (larger, stiffer state space).
+    """
+    if at_style not in ("instantaneous", "timed"):
+        raise ValueError(
+            f"at_style must be 'instantaneous' or 'timed', got {at_style!r}"
+        )
+    c = params.coverage
+    places = [
+        Place("P1Nctn"),
+        Place("P1Octn"),
+        Place("P2ctn"),
+        Place("dirty_bit"),
+        Place("detected"),
+        Place("failure"),
+        Place("P1Nat_pend", capacity=1),
+        Place("P2at_pend", capacity=1),
+    ]
+
+    # ------------------------------------------------------------------
+    # Fault manifestations
+    # ------------------------------------------------------------------
+    p1n_fm = TimedActivity(
+        "P1Nfm",
+        rate=params.mu_new,
+        input_gates=[
+            InputGate(
+                "ig_p1n_fm",
+                predicate=lambda m: _in_gop(m) and m["P1Nctn"] == 0,
+            )
+        ],
+        cases=[Case(output_gates=(OutputGate(
+            "og_p1n_fm", lambda m: m.set("P1Nctn", 1)), ))],
+    )
+    p1o_fm = TimedActivity(
+        "P1Ofm",
+        rate=params.mu_old,
+        input_gates=[
+            InputGate(
+                "ig_p1o_fm",
+                predicate=lambda m: m["failure"] == 0 and m["P1Octn"] == 0,
+            )
+        ],
+        cases=[Case(output_gates=(OutputGate(
+            "og_p1o_fm", lambda m: m.set("P1Octn", 1)), ))],
+    )
+    p2_fm = TimedActivity(
+        "P2fm",
+        rate=params.mu_old,
+        input_gates=[
+            InputGate(
+                "ig_p2_fm",
+                predicate=lambda m: m["failure"] == 0 and m["P2ctn"] == 0,
+            )
+        ],
+        cases=[Case(output_gates=(OutputGate(
+            "og_p2_fm", lambda m: m.set("P2ctn", 1)), ))],
+    )
+
+    # ------------------------------------------------------------------
+    # Message-sending activities
+    # ------------------------------------------------------------------
+    def p1n_internal(m: Marking) -> Marking:
+        # P1new's internal message makes P2 considered potentially
+        # contaminated; an actually erroneous state propagates.
+        m = m.set("dirty_bit", 1)
+        if m["P1Nctn"] == 1:
+            m = m.set("P2ctn", 1)
+        return m
+
+    p1n_msg = TimedActivity(
+        "P1Nmsg",
+        rate=params.lam,
+        # The pend guard only matters for the timed-AT variant, where a
+        # pending validation occupies the process; with instantaneous
+        # ATs no tangible marking ever holds a pend token.
+        input_gates=[InputGate(
+            "ig_p1n_msg",
+            predicate=lambda m: _in_gop(m) and m["P1Nat_pend"] == 0,
+        )],
+        cases=[
+            Case(
+                probability=params.p_ext,
+                output_arcs=(("P1Nat_pend", 1),),
+                label="external",
+            ),
+            Case(
+                probability=1.0 - params.p_ext,
+                output_gates=(OutputGate("og_p1n_int", p1n_internal),),
+                label="internal",
+            ),
+        ],
+    )
+
+    def p2_external(m: Marking) -> Marking:
+        if m["detected"] == 0 and m["dirty_bit"] == 1:
+            # Potentially contaminated active process under G-OP: AT.
+            return m.set("P2at_pend", 1)
+        if m["P2ctn"] == 1:
+            # No AT (considered clean during G-OP, or normal mode):
+            # an erroneous external message escapes -> system failure.
+            return m.set("failure", 1)
+        return m
+
+    def p2_internal(m: Marking) -> Marking:
+        if m["P2ctn"] == 1:
+            if m["detected"] == 0:
+                m = m.set("P1Nctn", 1)
+            m = m.set("P1Octn", 1)
+        return m
+
+    p2_msg = TimedActivity(
+        "P2msg",
+        rate=params.lam,
+        input_gates=[
+            InputGate(
+                "ig_p2_msg",
+                predicate=lambda m: m["failure"] == 0
+                and m["P2at_pend"] == 0,
+            )
+        ],
+        cases=[
+            Case(
+                probability=params.p_ext,
+                output_gates=(OutputGate("og_p2_ext", p2_external),),
+                label="external",
+            ),
+            Case(
+                probability=1.0 - params.p_ext,
+                output_gates=(OutputGate("og_p2_int", p2_internal),),
+                label="internal",
+            ),
+        ],
+    )
+
+    def p1o_external(m: Marking) -> Marking:
+        if m["P1Octn"] == 1:
+            return m.set("failure", 1)
+        return m
+
+    def p1o_internal(m: Marking) -> Marking:
+        if m["P1Octn"] == 1:
+            return m.set("P2ctn", 1)
+        return m
+
+    p1o_msg = TimedActivity(
+        "P1Omsg",
+        rate=params.lam,
+        input_gates=[InputGate("ig_p1o_msg", predicate=_recovered)],
+        cases=[
+            Case(
+                probability=params.p_ext,
+                output_gates=(OutputGate("og_p1o_ext", p1o_external),),
+                label="external",
+            ),
+            Case(
+                probability=1.0 - params.p_ext,
+                output_gates=(OutputGate("og_p1o_int", p1o_internal),),
+                label="internal",
+            ),
+        ],
+    )
+
+    # ------------------------------------------------------------------
+    # Instantaneous acceptance tests
+    # ------------------------------------------------------------------
+    def recovery(m: Marking) -> Marking:
+        # Detection -> rollback/roll-forward: P1old takes over with a
+        # clean, consistent state; safeguards stop.
+        return m.update(
+            {"detected": 1, "P2ctn": 0, "P1Octn": 0, "dirty_bit": 0}
+        )
+
+    p1n_at_cases = [
+        Case(
+            probability=lambda m: 1.0 if m["P1Nctn"] == 0 else 0.0,
+            output_gates=(OutputGate(
+                "P1Nok_ext", lambda m: m.set("dirty_bit", 0)),),
+            label="pass",
+        ),
+        Case(
+            probability=lambda m: c if m["P1Nctn"] == 1 else 0.0,
+            output_gates=(OutputGate("og_p1n_detect", recovery),),
+            label="detected",
+        ),
+        Case(
+            probability=lambda m: (1.0 - c) if m["P1Nctn"] == 1 else 0.0,
+            output_gates=(OutputGate(
+                "og_p1n_escape", lambda m: m.set("failure", 1)),),
+            label="escape",
+        ),
+    ]
+    p2_at_cases = [
+        Case(
+            probability=lambda m: 1.0 if m["P2ctn"] == 0 else 0.0,
+            output_gates=(OutputGate(
+                "P2ok_ext", lambda m: m.set("dirty_bit", 0)),),
+            label="pass",
+        ),
+        Case(
+            probability=lambda m: c if m["P2ctn"] == 1 else 0.0,
+            output_gates=(OutputGate("og_p2_detect", recovery),),
+            label="detected",
+        ),
+        Case(
+            probability=lambda m: (1.0 - c) if m["P2ctn"] == 1 else 0.0,
+            output_gates=(OutputGate(
+                "og_p2_escape", lambda m: m.set("failure", 1)),),
+            label="escape",
+        ),
+    ]
+
+    timed = [p1n_fm, p1o_fm, p2_fm, p1n_msg, p2_msg, p1o_msg]
+    instantaneous = []
+    if at_style == "instantaneous":
+        instantaneous = [
+            InstantaneousActivity(
+                "P1Nat", input_arcs=[("P1Nat_pend", 1)], cases=p1n_at_cases
+            ),
+            InstantaneousActivity(
+                "P2at", input_arcs=[("P2at_pend", 1)], cases=p2_at_cases
+            ),
+        ]
+    else:
+        timed.extend(
+            [
+                TimedActivity(
+                    "P1Nat",
+                    rate=params.alpha,
+                    input_arcs=[("P1Nat_pend", 1)],
+                    cases=p1n_at_cases,
+                ),
+                TimedActivity(
+                    "P2at",
+                    rate=params.alpha,
+                    input_arcs=[("P2at_pend", 1)],
+                    cases=p2_at_cases,
+                ),
+            ]
+        )
+
+    return SANModel(
+        name="RMGd" if at_style == "instantaneous" else "RMGd_timedAT",
+        places=places,
+        timed_activities=timed,
+        instantaneous_activities=instantaneous,
+    )

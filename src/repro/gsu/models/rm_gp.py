@@ -1,0 +1,209 @@
+"""``RMGp`` — the performance-overhead reward model for guarded operation.
+
+Reproduces the paper's Figure 7 model: the error-containment activities
+of the MDCD protocol — checkpoint establishment and acceptance-test
+validation — driven by message-passing events and the dynamically
+adjusted confidence (dirty bits) in the processes.  Failure behaviour is
+deliberately omitted (ideal execution environment), as the model's only
+purpose is the steady-state forward-progress fractions ``rho1`` and
+``rho2`` (Table 2).
+
+Process states
+--------------
+``P1new``: ``P1nReady`` (forward progress) or ``P1nExt`` (running an AT
+on one of its external messages — every ``P1new`` external message is
+validated because ``P1new`` is always considered potentially
+contaminated).
+
+``P2``: ``P2Ready``, ``P2Ext`` (AT on an own external message, performed
+only while its dirty bit ``P2DB`` is set), or ``P2Check`` (establishing a
+checkpoint, triggered when an internal message from the always-suspect
+``P1new`` arrives while ``P2DB == 0`` — the MDCD checkpointing rule).
+
+``P1old`` (shadow): ``P1oReady`` or ``P1oCheck``; it checkpoints when a
+message from a dirty ``P2`` newly contaminates it.  Its overhead is
+modelled for fidelity but not measured.
+
+Confidence dynamics: a successful AT completion (by ``P1new`` or ``P2``)
+resets the dirty bits of ``P2`` and ``P1old`` — validated computation
+clears the *considered contaminated* status (the ``ok_ext`` output gates
+of the paper).  Resets are suppressed while the process concerned is
+mid-checkpoint, keeping its busy state consistent.
+"""
+
+from __future__ import annotations
+
+from repro.gsu.parameters import GSUParameters
+from repro.san.activities import Case, TimedActivity
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+def build_rm_gp(params: GSUParameters) -> SANModel:
+    """Construct the ``RMGp`` SAN for a given parameter set."""
+    places = [
+        Place("P1nReady", initial=1, capacity=1),
+        Place("P1nExt", capacity=1),
+        Place("P2Ready", initial=1, capacity=1),
+        Place("P2Ext", capacity=1),
+        Place("P2Check", capacity=1),
+        Place("P2DB", capacity=1),
+        Place("P1oReady", initial=1, capacity=1),
+        Place("P1oCheck", capacity=1),
+        Place("P1oDB", capacity=1),
+    ]
+
+    # ------------------------------------------------------------------
+    # P1new: message sending and acceptance tests
+    # ------------------------------------------------------------------
+    def p1n_start_at(m: Marking) -> Marking:
+        return m.update({"P1nReady": 0, "P1nExt": 1})
+
+    def p1n_internal(m: Marking) -> Marking:
+        # MDCD rule: P2 checkpoints when a message from the always-dirty
+        # P1new newly makes its clean state potentially contaminated.
+        if m["P2DB"] == 0:
+            if m["P2Ready"] == 1:
+                return m.update({"P2Ready": 0, "P2Check": 1, "P2DB": 1})
+            # P2 is busy (mid-AT); it still becomes considered dirty but
+            # the checkpoint is subsumed by the ongoing activity.
+            return m.set("P2DB", 1)
+        return m
+
+    p1n_msg = TimedActivity(
+        "P1nMsg",
+        rate=params.lam,
+        input_gates=[
+            InputGate("ig_p1n_ready", predicate=lambda m: m["P1nReady"] == 1)
+        ],
+        cases=[
+            Case(
+                probability=params.p_ext,
+                output_gates=(OutputGate("og_p1n_se", p1n_start_at),),
+                label="external",
+            ),
+            Case(
+                probability=1.0 - params.p_ext,
+                output_gates=(OutputGate("og_p1n_si", p1n_internal),),
+                label="internal",
+            ),
+        ],
+    )
+
+    def reset_confidence(m: Marking) -> Marking:
+        # Successful validation clears P2's and P1old's dirty bits
+        # unless they are mid-checkpoint for that very contamination.
+        if m["P2Check"] == 0 and m["P2Ext"] == 0:
+            m = m.set("P2DB", 0)
+        if m["P1oCheck"] == 0:
+            m = m.set("P1oDB", 0)
+        return m
+
+    def p1n_at_done(m: Marking) -> Marking:
+        m = m.update({"P1nExt": 0, "P1nReady": 1})
+        return reset_confidence(m)
+
+    p1n_at = TimedActivity(
+        "P1nAT",
+        rate=params.alpha,
+        input_gates=[
+            InputGate("ig_p1n_at", predicate=lambda m: m["P1nExt"] == 1)
+        ],
+        cases=[Case(output_gates=(OutputGate("og_p1n_ok", p1n_at_done),))],
+    )
+
+    # ------------------------------------------------------------------
+    # P2: message sending, acceptance tests, checkpointing
+    # ------------------------------------------------------------------
+    def p2_external(m: Marking) -> Marking:
+        if m["P2DB"] == 1:
+            return m.update({"P2Ready": 0, "P2Ext": 1})
+        return m  # considered clean: no AT required
+
+    def p2_internal(m: Marking) -> Marking:
+        # P2's internal message reaches P1new (always suspect anyway,
+        # no checkpoint) and the shadow P1old: a message from a dirty P2
+        # newly contaminating P1old triggers P1old's checkpoint.
+        if m["P2DB"] == 1 and m["P1oDB"] == 0:
+            if m["P1oReady"] == 1:
+                return m.update({"P1oReady": 0, "P1oCheck": 1, "P1oDB": 1})
+            return m.set("P1oDB", 1)
+        return m
+
+    p2_msg = TimedActivity(
+        "P2Msg",
+        rate=params.lam,
+        input_gates=[
+            InputGate("ig_p2_ready", predicate=lambda m: m["P2Ready"] == 1)
+        ],
+        cases=[
+            Case(
+                probability=params.p_ext,
+                output_gates=(OutputGate("og_p2_se", p2_external),),
+                label="external",
+            ),
+            Case(
+                probability=1.0 - params.p_ext,
+                output_gates=(OutputGate("og_p2_si", p2_internal),),
+                label="internal",
+            ),
+        ],
+    )
+
+    def p2_at_done(m: Marking) -> Marking:
+        m = m.update({"P2Ext": 0, "P2Ready": 1, "P2DB": 0})
+        if m["P1oCheck"] == 0:
+            m = m.set("P1oDB", 0)
+        return m
+
+    p2_at = TimedActivity(
+        "P2AT",
+        rate=params.alpha,
+        input_gates=[
+            InputGate("ig_p2_at", predicate=lambda m: m["P2Ext"] == 1)
+        ],
+        cases=[Case(output_gates=(OutputGate("og_p2_ok", p2_at_done),))],
+    )
+
+    p2_ckpt = TimedActivity(
+        "P2_CKPT",
+        rate=params.beta,
+        input_gates=[
+            InputGate("ig_p2_ck", predicate=lambda m: m["P2Check"] == 1)
+        ],
+        cases=[
+            Case(
+                output_gates=(OutputGate(
+                    "og_p2_ck",
+                    lambda m: m.update({"P2Check": 0, "P2Ready": 1}),
+                ),)
+            )
+        ],
+    )
+
+    # ------------------------------------------------------------------
+    # P1old (shadow): checkpointing only
+    # ------------------------------------------------------------------
+    p1o_ckpt = TimedActivity(
+        "P1o_CKPT",
+        rate=params.beta,
+        input_gates=[
+            InputGate("ig_p1o_ck", predicate=lambda m: m["P1oCheck"] == 1)
+        ],
+        cases=[
+            Case(
+                output_gates=(OutputGate(
+                    "og_p1o_ck",
+                    lambda m: m.update({"P1oCheck": 0, "P1oReady": 1}),
+                ),)
+            )
+        ],
+    )
+
+    return SANModel(
+        name="RMGp",
+        places=places,
+        timed_activities=[p1n_msg, p1n_at, p2_msg, p2_at, p2_ckpt, p1o_ckpt],
+    )

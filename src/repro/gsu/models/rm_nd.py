@@ -1,0 +1,131 @@
+"""``RMNd`` — the normal-mode reward model.
+
+Reproduces the paper's Figure 8 model: two application processes in
+mission operation with **no** safeguard activities — fault
+manifestation, error propagation through internal messages, and failure
+on any erroneous external message.
+
+The model is parameterised by the fault-manifestation rate of the first
+software component (Section 5.2.3): with ``mu_new`` it represents the
+upgraded system (for ``P(X''_theta in A1'')`` and
+``P(X''_(theta-phi) in A1'')``), and with ``mu_old`` it represents the
+recovered ``P1old``-based system (for ``int_phi^theta f(x) dx``).
+"""
+
+from __future__ import annotations
+
+from repro.gsu.parameters import GSUParameters
+from repro.san.activities import Case, TimedActivity
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+def build_rm_nd(params: GSUParameters, first_component_rate: float) -> SANModel:
+    """Construct the ``RMNd`` SAN.
+
+    Parameters
+    ----------
+    params:
+        The study parameters (message rates, ``mu_old`` for ``P2``).
+    first_component_rate:
+        Fault-manifestation rate assigned to the first software
+        component's process — ``params.mu_new`` or ``params.mu_old``
+        depending on which constituent measure is being solved.
+    """
+    if first_component_rate <= 0:
+        raise ValueError(
+            f"first component fault rate must be positive, got "
+            f"{first_component_rate}"
+        )
+    places = [
+        Place("P1ctn"),
+        Place("P2ctn"),
+        Place("failure"),
+    ]
+
+    def alive(m: Marking) -> bool:
+        return m["failure"] == 0
+
+    p1_fm = TimedActivity(
+        "P1fm",
+        rate=first_component_rate,
+        input_gates=[
+            InputGate(
+                "ig_p1_fm", predicate=lambda m: alive(m) and m["P1ctn"] == 0
+            )
+        ],
+        cases=[Case(output_gates=(OutputGate(
+            "og_p1_fm", lambda m: m.set("P1ctn", 1)),))],
+    )
+    p2_fm = TimedActivity(
+        "P2fm",
+        rate=params.mu_old,
+        input_gates=[
+            InputGate(
+                "ig_p2_fm", predicate=lambda m: alive(m) and m["P2ctn"] == 0
+            )
+        ],
+        cases=[Case(output_gates=(OutputGate(
+            "og_p2_fm", lambda m: m.set("P2ctn", 1)),))],
+    )
+
+    def external(ctn_place: str):
+        def gate(m: Marking) -> Marking:
+            if m[ctn_place] == 1:
+                return m.set("failure", 1)
+            return m
+
+        return gate
+
+    def internal(ctn_place: str, other_place: str):
+        def gate(m: Marking) -> Marking:
+            if m[ctn_place] == 1:
+                return m.set(other_place, 1)
+            return m
+
+        return gate
+
+    p1_msg = TimedActivity(
+        "P1Nmsg",
+        rate=params.lam,
+        input_gates=[InputGate("ig_p1_msg", predicate=alive)],
+        cases=[
+            Case(
+                probability=params.p_ext,
+                output_gates=(OutputGate("og_p1_ext", external("P1ctn")),),
+                label="external",
+            ),
+            Case(
+                probability=1.0 - params.p_ext,
+                output_gates=(OutputGate(
+                    "og_p1_int", internal("P1ctn", "P2ctn")),),
+                label="internal",
+            ),
+        ],
+    )
+    p2_msg = TimedActivity(
+        "P2msg",
+        rate=params.lam,
+        input_gates=[InputGate("ig_p2_msg", predicate=alive)],
+        cases=[
+            Case(
+                probability=params.p_ext,
+                output_gates=(OutputGate("og_p2_ext", external("P2ctn")),),
+                label="external",
+            ),
+            Case(
+                probability=1.0 - params.p_ext,
+                output_gates=(OutputGate(
+                    "og_p2_int", internal("P2ctn", "P1ctn")),),
+                label="internal",
+            ),
+        ],
+    )
+
+    return SANModel(
+        name="RMNd",
+        places=places,
+        timed_activities=[p1_fm, p2_fm, p1_msg, p2_msg],
+    )

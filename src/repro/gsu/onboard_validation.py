@@ -1,0 +1,287 @@
+"""Stage 1 of GSU: onboard validation and fault-rate estimation.
+
+The paper's methodology (Section 2, Figure 1) runs the uploaded version
+in the *shadow* first — onboard validation — before guarded operation:
+outgoing messages are suppressed but logged, and the error log is
+downloaded "for validation-results monitoring and Bayesian-statistics
+reliability analyses" (citing Littlewood & Wright's stopping rules);
+"onboard extended testing leads to a better estimation of the
+fault-manifestation rate of the upgraded software."
+
+The paper then *assumes* ``mu_new`` is known.  This module closes the
+loop it describes:
+
+* :class:`GammaRatePosterior` — conjugate Bayesian inference for the
+  fault-manifestation rate from the validation error log (Poisson
+  manifestations over an observation window).
+* :func:`simulate_validation_stage` — generate an error log by running
+  the shadow process under fault injection on the DES kernel.
+* :class:`ValidationStoppingRule` — continue validation until the
+  posterior pins the rate down (relative credible-interval width), in
+  the spirit of [17].
+* :func:`plan_guarded_operation` — feed the posterior into the
+  performability analysis: optimal ``phi`` at the posterior mean plus
+  the induced uncertainty band on ``Y`` (reusing the hybrid
+  uncertainty-propagation machinery).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.des.engine import Engine
+from repro.des.rng import RandomStreams
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.optimizer import OptimalDuration, find_optimal_phi
+from repro.gsu.parameters import GSUParameters
+from repro.gsu.performability import evaluate_index
+from repro.mdcd.failure import FaultInjector
+from repro.mdcd.process import ApplicationProcess, ProcessRole
+
+
+@dataclass(frozen=True)
+class GammaRatePosterior:
+    """Gamma-conjugate posterior for a Poisson manifestation rate.
+
+    With prior ``Gamma(shape0, rate0)`` and ``events`` manifestations
+    observed over ``exposure`` hours, the posterior is
+    ``Gamma(shape0 + events, rate0 + exposure)``.
+
+    Attributes
+    ----------
+    shape / rate:
+        The posterior Gamma parameters (``rate`` in 1/hours-of-exposure,
+        i.e. the inverse-scale).
+    """
+
+    shape: float
+    rate: float
+
+    def __post_init__(self):
+        if self.shape <= 0 or self.rate <= 0:
+            raise ValueError(
+                f"Gamma parameters must be positive, got "
+                f"shape={self.shape}, rate={self.rate}"
+            )
+
+    @classmethod
+    def from_observation(
+        cls,
+        events: int,
+        exposure: float,
+        prior_shape: float = 0.5,
+        prior_rate: float = 1.0,
+    ) -> "GammaRatePosterior":
+        """Posterior from an error-log summary.
+
+        The default prior (``Gamma(0.5, 1)``, Jeffreys-like) is weak:
+        one observed manifestation dominates it.
+        """
+        if events < 0:
+            raise ValueError(f"events must be >= 0, got {events}")
+        if exposure <= 0:
+            raise ValueError(f"exposure must be positive, got {exposure}")
+        return cls(shape=prior_shape + events, rate=prior_rate + exposure)
+
+    def update(self, events: int, exposure: float) -> "GammaRatePosterior":
+        """A new posterior incorporating more log data."""
+        if events < 0 or exposure < 0:
+            raise ValueError("events and exposure must be non-negative")
+        return GammaRatePosterior(
+            shape=self.shape + events, rate=self.rate + exposure
+        )
+
+    @property
+    def mean(self) -> float:
+        """Posterior mean of the manifestation rate."""
+        return self.shape / self.rate
+
+    @property
+    def std(self) -> float:
+        """Posterior standard deviation."""
+        return math.sqrt(self.shape) / self.rate
+
+    def credible_interval(self, mass: float = 0.95) -> tuple[float, float]:
+        """Equal-tailed credible interval for the rate."""
+        dist = stats.gamma(a=self.shape, scale=1.0 / self.rate)
+        tail = (1.0 - mass) / 2.0
+        return (float(dist.ppf(tail)), float(dist.ppf(1.0 - tail)))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` posterior samples of the rate."""
+        return rng.gamma(self.shape, 1.0 / self.rate, n)
+
+
+@dataclass(frozen=True)
+class ValidationLog:
+    """Summary of one onboard-validation run.
+
+    Attributes
+    ----------
+    duration:
+        Hours of shadow execution.
+    manifestations:
+        Fault manifestations recorded in the error log.
+    posterior:
+        The resulting rate posterior.
+    """
+
+    duration: float
+    manifestations: int
+    posterior: GammaRatePosterior
+
+
+def simulate_validation_stage(
+    true_rate: float,
+    duration: float,
+    seed: int | None = None,
+    prior_shape: float = 0.5,
+    prior_rate: float = 1.0,
+) -> ValidationLog:
+    """Run the shadow process under fault injection and build the log.
+
+    The shadow's outputs are suppressed, so validation observes exactly
+    the manifestation process — simulated on the DES kernel with the
+    same fault injector the guarded-operation scenarios use.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    engine = Engine()
+    streams = RandomStreams(seed)
+    shadow = ApplicationProcess("P1new", ProcessRole.SHADOW_OLD)
+    injector = FaultInjector(engine=engine, streams=streams)
+    injector.arm(shadow, true_rate)
+    engine.run(until=duration)
+    events = injector.count_for("P1new")
+    posterior = GammaRatePosterior.from_observation(
+        events, duration, prior_shape=prior_shape, prior_rate=prior_rate
+    )
+    return ValidationLog(
+        duration=duration, manifestations=events, posterior=posterior
+    )
+
+
+@dataclass(frozen=True)
+class ValidationStoppingRule:
+    """Continue validation until the rate estimate is tight enough.
+
+    Attributes
+    ----------
+    relative_width:
+        Stop when the 95% credible interval's width falls below
+        ``relative_width * posterior mean``.
+    max_duration:
+        Hard cap on total validation time (mission schedule).
+    """
+
+    relative_width: float = 1.0
+    max_duration: float = 10_000.0
+
+    def should_stop(self, log: ValidationLog) -> bool:
+        """Whether validation can conclude."""
+        if log.duration >= self.max_duration:
+            return True
+        low, high = log.posterior.credible_interval()
+        mean = log.posterior.mean
+        if mean <= 0:
+            return False
+        return (high - low) <= self.relative_width * mean
+
+    def required_duration(
+        self,
+        true_rate: float,
+        increment: float = 500.0,
+        seed: int | None = None,
+    ) -> ValidationLog:
+        """Extend validation in increments until the rule fires."""
+        if increment <= 0:
+            raise ValueError(f"increment must be positive, got {increment}")
+        total = 0.0
+        events = 0
+        posterior = GammaRatePosterior.from_observation(0, 1e-9 + increment)
+        rng_seed = seed
+        while True:
+            chunk = simulate_validation_stage(
+                true_rate, increment, seed=rng_seed
+            )
+            rng_seed = None if rng_seed is None else rng_seed + 1
+            total += increment
+            events += chunk.manifestations
+            posterior = GammaRatePosterior.from_observation(events, total)
+            log = ValidationLog(
+                duration=total, manifestations=events, posterior=posterior
+            )
+            if self.should_stop(log):
+                return log
+
+
+@dataclass(frozen=True)
+class UpgradePlan:
+    """The stage-2 plan derived from the validation posterior.
+
+    Attributes
+    ----------
+    posterior:
+        The fault-rate posterior the plan is based on.
+    optimum:
+        Optimal duration at the posterior-mean rate.
+    y_samples:
+        Posterior-propagated samples of ``Y`` at the chosen ``phi``
+        (uncertainty induced by the rate estimate).
+    """
+
+    posterior: GammaRatePosterior
+    optimum: OptimalDuration
+    y_samples: np.ndarray
+
+    @property
+    def phi(self) -> float:
+        """The recommended guarded-operation duration."""
+        return self.optimum.phi
+
+    def y_credible_interval(self, mass: float = 0.95) -> tuple[float, float]:
+        """Credible interval on ``Y(phi)`` under the rate posterior."""
+        if self.y_samples.size == 0:
+            return (self.optimum.y, self.optimum.y)
+        tail = 100.0 * (1.0 - mass) / 2.0
+        low, high = np.percentile(self.y_samples, [tail, 100.0 - tail])
+        return (float(low), float(high))
+
+
+def plan_guarded_operation(
+    base: GSUParameters,
+    posterior: GammaRatePosterior,
+    phi_step: float | None = None,
+    posterior_samples: int = 30,
+    seed: int = 0,
+) -> UpgradePlan:
+    """Choose ``phi`` from the validation posterior and quantify risk.
+
+    The optimum is computed at the posterior-mean rate; ``Y`` at that
+    ``phi`` is then re-evaluated under ``posterior_samples`` draws of the
+    rate, giving the engineering answer the paper's two-stage methodology
+    implies: *the duration to configure, and how sure we are it pays
+    off*.
+    """
+    mean_rate = posterior.mean
+    params = base.with_overrides(mu_new=mean_rate)
+    step = phi_step if phi_step is not None else params.theta / 10.0
+    optimum = find_optimal_phi(params, step=step)
+    rng = np.random.default_rng(seed)
+    samples = []
+    for rate in posterior.sample(rng, posterior_samples):
+        rate = float(min(max(rate, 1e-12), base.lam / 2.0))
+        sampled_params = base.with_overrides(mu_new=rate)
+        solver = ConstituentSolver(sampled_params)
+        samples.append(
+            evaluate_index(sampled_params, optimum.phi, solver=solver).value
+        )
+    return UpgradePlan(
+        posterior=posterior,
+        optimum=optimum,
+        y_samples=np.asarray(samples),
+    )

@@ -1,0 +1,122 @@
+"""Optimal guarded-operation duration search.
+
+The paper reads the optimum off a coarse sweep (step 1000 over
+``[0, theta]``); :func:`find_optimal_phi` reproduces that and optionally
+refines the optimum with golden-section search between the coarse
+neighbours of the best grid point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import GSUParameters
+from repro.gsu.performability import PerformabilityEvaluation, evaluate_index
+
+#: Golden ratio constant for the section search.
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class OptimalDuration:
+    """Result of an optimal-``phi`` search.
+
+    Attributes
+    ----------
+    phi:
+        The best guarded-operation duration found.
+    y:
+        The performability index at the optimum.
+    beneficial:
+        Whether guarded operation pays off at all (``max Y > 1``).
+    sweep:
+        The coarse-grid evaluations, in ``phi`` order.
+    """
+
+    phi: float
+    y: float
+    beneficial: bool
+    sweep: tuple[PerformabilityEvaluation, ...]
+
+    def grid_optimum(self) -> PerformabilityEvaluation:
+        """The best point of the coarse sweep."""
+        return max(self.sweep, key=lambda e: e.value)
+
+
+def find_optimal_phi(
+    params: GSUParameters,
+    step: float = 1000.0,
+    refine: bool = False,
+    refine_tolerance: float = 10.0,
+    solver: ConstituentSolver | None = None,
+) -> OptimalDuration:
+    """Locate the ``phi`` maximising ``Y`` over ``[0, theta]``.
+
+    Parameters
+    ----------
+    params:
+        The study parameters.
+    step:
+        Coarse grid step (the paper uses 1000-hour steps).
+    refine:
+        When true, run a golden-section search between the coarse
+        neighbours of the grid optimum.
+    refine_tolerance:
+        Bracket width (hours) at which refinement stops.
+    solver:
+        Optional shared solver for model reuse.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    if solver is None:
+        solver = ConstituentSolver(params)
+    grid: list[float] = []
+    value = 0.0
+    while value < params.theta:
+        grid.append(value)
+        value += step
+    grid.append(params.theta)
+    evaluations = [evaluate_index(params, phi, solver=solver) for phi in grid]
+    best_idx = max(range(len(evaluations)), key=lambda i: evaluations[i].value)
+    best = evaluations[best_idx]
+    best_phi, best_y = best.phi, best.value
+
+    if refine and 0 < best_idx < len(evaluations) - 1:
+        lo = evaluations[best_idx - 1].phi
+        hi = evaluations[best_idx + 1].phi
+        refined_phi, refined_y = _golden_section(
+            lambda phi: evaluate_index(params, phi, solver=solver).value,
+            lo,
+            hi,
+            refine_tolerance,
+        )
+        if refined_y > best_y:
+            best_phi, best_y = refined_phi, refined_y
+
+    return OptimalDuration(
+        phi=best_phi,
+        y=best_y,
+        beneficial=best_y > 1.0,
+        sweep=tuple(evaluations),
+    )
+
+
+def _golden_section(objective, lo: float, hi: float, tolerance: float):
+    """Golden-section maximisation of a unimodal function on [lo, hi]."""
+    a, b = lo, hi
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc, fd = objective(c), objective(d)
+    while (b - a) > tolerance:
+        if fc >= fd:
+            b, d, fd = d, c, fc
+            c = b - _INV_PHI * (b - a)
+            fc = objective(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_PHI * (b - a)
+            fd = objective(d)
+    mid = (a + b) / 2.0
+    return mid, objective(mid)

@@ -1,0 +1,116 @@
+"""GSU model parameters (the paper's Table 3).
+
+All time-valued parameters are in **hours**, matching the paper:
+``lambda = 1200`` means a 3-second mean time between message-sending
+events, ``alpha = beta = 6000`` mean 600-millisecond acceptance tests and
+checkpoint establishments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GSUParameters:
+    """Parameters of the guarded-software-upgrading study.
+
+    Attributes
+    ----------
+    theta:
+        Time to the next scheduled onboard upgrade (hours).
+    lam:
+        Message-sending rate of each process (per hour).
+    mu_new:
+        Fault-manifestation rate of the newly upgraded software version.
+    mu_old:
+        Fault-manifestation rate of an old (high-confidence) version.
+    coverage:
+        Acceptance-test coverage ``c`` — probability an AT detects an
+        erroneous external message.
+    p_ext:
+        Probability that a message a process sends is external.
+    alpha:
+        Acceptance-test completion rate (per hour).
+    beta:
+        Checkpoint-establishment completion rate (per hour).
+    """
+
+    theta: float = 10_000.0
+    lam: float = 1_200.0
+    mu_new: float = 1e-4
+    mu_old: float = 1e-8
+    coverage: float = 0.95
+    p_ext: float = 0.1
+    alpha: float = 6_000.0
+    beta: float = 6_000.0
+
+    def __post_init__(self):
+        if self.theta <= 0:
+            raise ValueError(f"theta must be positive, got {self.theta}")
+        for name in ("lam", "mu_new", "mu_old", "alpha", "beta"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError(
+                f"coverage must be in [0, 1], got {self.coverage}"
+            )
+        if not 0.0 < self.p_ext <= 1.0:
+            raise ValueError(
+                f"p_ext must be in (0, 1], got {self.p_ext}"
+            )
+        if self.mu_new >= self.lam:
+            raise ValueError(
+                "mu_new must be far below the message rate for the model's "
+                f"steady-state overhead assumption to hold (got mu_new="
+                f"{self.mu_new}, lam={self.lam})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def external_rate(self) -> float:
+        """Rate of external-message events per process: ``lam * p_ext``."""
+        return self.lam * self.p_ext
+
+    @property
+    def internal_rate(self) -> float:
+        """Rate of internal-message events per process."""
+        return self.lam * (1.0 - self.p_ext)
+
+    @property
+    def mean_at_duration(self) -> float:
+        """Mean acceptance-test duration in hours (``1 / alpha``)."""
+        return 1.0 / self.alpha
+
+    @property
+    def mean_checkpoint_duration(self) -> float:
+        """Mean checkpoint-establishment duration in hours (``1 / beta``)."""
+        return 1.0 / self.beta
+
+    def validate_phi(self, phi: float) -> float:
+        """Check a guarded-operation duration against ``[0, theta]``."""
+        if not 0.0 <= phi <= self.theta:
+            raise ValueError(
+                f"phi must lie in [0, theta={self.theta}], got {phi}"
+            )
+        return float(phi)
+
+    def with_overrides(self, **changes) -> "GSUParameters":
+        """A copy with some parameters replaced (dataclass ``replace``)."""
+        return replace(self, **changes)
+
+
+#: The exact parameter assignment of the paper's Table 3.
+PAPER_TABLE3 = GSUParameters(
+    theta=10_000.0,
+    lam=1_200.0,
+    mu_new=1e-4,
+    mu_old=1e-8,
+    coverage=0.95,
+    p_ext=0.1,
+    alpha=6_000.0,
+    beta=6_000.0,
+)

@@ -1,0 +1,340 @@
+"""The performability index ``Y(phi)`` via successive model translation.
+
+This module assembles the paper's full evaluation chain (Figure 3):
+
+1. The design-oriented definition of ``Y`` (Equation 1) over the mission
+   worths ``W_I``, ``W_0``, ``W_phi`` (Equations 2-4).
+2. High-level elaboration by total expectation (Equations 5-9).
+3. Sample-path decomposition at the cutoff ``phi`` (Equations 10-14).
+4. Analytic manipulation of ``Y_S2`` — expansion, neglect of the
+   second-order double-integral term, coordinate translation of the
+   integration area (Equations 15-21).
+5. Mapping of the surviving constituent measures onto reward structures
+   in ``RMGd``, ``RMGp`` and ``RMNd`` (Tables 1-2, Section 5.2.3).
+
+The discount factor for an unsuccessful-but-safe upgrade follows the
+evaluation section: ``gamma = 1 - tau_bar / theta`` where ``tau_bar`` is
+the mean-time-to-error-detection measure ``int_0^phi tau h(tau) dtau``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.constituent import (
+    ConstituentMeasure,
+    EvaluationContext,
+    SolutionType,
+)
+from repro.core.index import PerformabilityIndex, WorthModel
+from repro.core.translation import TranslationPipeline, TranslationStage
+from repro.gsu.measures import (
+    RS_A1_GOP,
+    RS_INT_H,
+    RS_INT_HF,
+    RS_INT_TAU_H,
+    RS_ND_ALIVE,
+    RS_OVERHEAD_1,
+    RS_OVERHEAD_2,
+    ConstituentSolver,
+)
+from repro.gsu.parameters import GSUParameters
+
+
+@dataclass(frozen=True)
+class PerformabilityEvaluation:
+    """The full outcome of evaluating ``Y`` at one ``phi``.
+
+    Attributes
+    ----------
+    phi:
+        The guarded-operation duration evaluated.
+    index:
+        The performability index object (``.value`` is ``Y``).
+    worth:
+        The worth triple ``(E[W_I], E[W_0], E[W_phi])``.
+    y_s1 / y_s2:
+        The two summands of ``E[W_phi]`` (Equation 6).
+    gamma:
+        The unsuccessful-upgrade discount factor used.
+    constituents:
+        All nine solved constituent measures by name.
+    """
+
+    phi: float
+    index: PerformabilityIndex
+    worth: WorthModel
+    y_s1: float
+    y_s2: float
+    gamma: float
+    constituents: dict[str, float]
+
+    @property
+    def value(self) -> float:
+        """The performability index ``Y``."""
+        return self.index.value
+
+
+# ----------------------------------------------------------------------
+# Translation pipeline construction
+# ----------------------------------------------------------------------
+_STAGES = (
+    TranslationStage(
+        name="worth_definition",
+        description=(
+            "Define mission worth W_I, W_0, W_phi over the sample-path "
+            "classes S1 (upgrade succeeds), S2 (error detected, safe "
+            "downgrade) and failure paths."
+        ),
+        inputs=("Y",),
+        outputs=("E_WI", "E_W0", "E_Wphi"),
+        equation="Eqs. (1)-(4)",
+    ),
+    TranslationStage(
+        name="total_expectation",
+        description=(
+            "Elaborate E[W_phi] by total expectation into the S1 term "
+            "(steady-state overhead fractions times survival "
+            "probabilities) and the S2 term (double integral over the "
+            "detection density h and post-recovery failure density f)."
+        ),
+        inputs=("E_Wphi",),
+        outputs=("Y_S1", "Y_S2"),
+        equation="Eqs. (5)-(9)",
+    ),
+    TranslationStage(
+        name="steady_state_overhead",
+        description=(
+            "Treat the forward-progress fractions as steady-state "
+            "instant-of-time measures (message events are orders of "
+            "magnitude more frequent than fault events)."
+        ),
+        inputs=("Y_S1", "Y_S2"),
+        outputs=("rho1", "rho2"),
+        equation="Eq. (8)",
+    ),
+    TranslationStage(
+        name="sample_path_decomposition",
+        description=(
+            "Break X into X' (over [0, phi]) and X'' (over [phi, theta], "
+            "shifted to [0, theta - phi]); S1 factorises into the product "
+            "of no-error probabilities of the two processes."
+        ),
+        inputs=("E_W0", "Y_S1"),
+        outputs=("p_nd_theta", "p_gd_phi_a1", "p_nd_theta_minus_phi"),
+        equation="Eqs. (10)-(14)",
+    ),
+    TranslationStage(
+        name="detection_measures",
+        description=(
+            "Leave h unelaborated; its integrals become reward variables "
+            "on X' — the detection probability as an instant-of-time "
+            "reward, the mean detection time as an accumulated reward "
+            "with rates +1 on A2' and -1 on A4'."
+        ),
+        inputs=("Y_S2",),
+        outputs=("int_h", "int_tau_h"),
+        equation="Eqs. (15)-(18)",
+    ),
+    TranslationStage(
+        name="coordinate_translation",
+        description=(
+            "Neglect the second-order term of Eq. (19), then convert the "
+            "coordinates of the remaining double integral so no "
+            "constituent crosses the phi boundary: a detected-then-failed "
+            "instant measure on X' plus the product of the detection "
+            "probability and the post-recovery failure probability on X''."
+        ),
+        inputs=("Y_S2",),
+        outputs=("int_hf", "int_f"),
+        equation="Eqs. (19)-(21)",
+    ),
+)
+
+
+def _build_measures() -> tuple[ConstituentMeasure, ...]:
+    """The nine constituent measures referencing the base models."""
+    return (
+        ConstituentMeasure(
+            name="p_nd_theta",
+            description="P(X''_theta in A1'') — unprotected upgraded system survives theta",
+            model_key="RMNd_new",
+            structure=RS_ND_ALIVE,
+            solution=SolutionType.INSTANT_OF_TIME,
+            time=lambda p: p["theta"],
+        ),
+        ConstituentMeasure(
+            name="p_gd_phi_a1",
+            description="P(X'_phi in A1') — no error through the G-OP interval",
+            model_key="RMGd",
+            structure=RS_A1_GOP,
+            solution=SolutionType.INSTANT_OF_TIME,
+            time=lambda p: p["phi"],
+        ),
+        ConstituentMeasure(
+            name="p_nd_theta_minus_phi",
+            description="P(X''_(theta-phi) in A1'') — upgraded system survives theta - phi",
+            model_key="RMNd_new",
+            structure=RS_ND_ALIVE,
+            solution=SolutionType.INSTANT_OF_TIME,
+            time=lambda p: p["theta"] - p["phi"],
+        ),
+        ConstituentMeasure(
+            name="rho1",
+            description="steady-state forward-progress fraction of P1new",
+            model_key="RMGp",
+            structure=RS_OVERHEAD_1,
+            solution=SolutionType.STEADY_STATE,
+            transform=lambda overhead: 1.0 - overhead,
+        ),
+        ConstituentMeasure(
+            name="rho2",
+            description="steady-state forward-progress fraction of P2",
+            model_key="RMGp",
+            structure=RS_OVERHEAD_2,
+            solution=SolutionType.STEADY_STATE,
+            transform=lambda overhead: 1.0 - overhead,
+        ),
+        ConstituentMeasure(
+            name="int_h",
+            description="int_0^phi h(tau) dtau — error detected (and recovered system alive) by phi",
+            model_key="RMGd",
+            structure=RS_INT_H,
+            solution=SolutionType.INSTANT_OF_TIME,
+            time=lambda p: p["phi"],
+        ),
+        ConstituentMeasure(
+            name="int_tau_h",
+            description="int_0^phi tau h(tau) dtau — mean time to error detection",
+            model_key="RMGd",
+            structure=RS_INT_TAU_H,
+            solution=SolutionType.INTERVAL_OF_TIME,
+            time=lambda p: p["phi"],
+        ),
+        ConstituentMeasure(
+            name="int_hf",
+            description="int_0^phi int_tau^phi h f — detected during G-OP, failed again by phi",
+            model_key="RMGd",
+            structure=RS_INT_HF,
+            solution=SolutionType.INSTANT_OF_TIME,
+            time=lambda p: p["phi"],
+        ),
+        ConstituentMeasure(
+            name="int_f",
+            description="int_phi^theta f(x) dx — recovered system fails before the next upgrade",
+            model_key="RMNd_old",
+            structure=RS_ND_ALIVE,
+            solution=SolutionType.INSTANT_OF_TIME,
+            time=lambda p: p["theta"] - p["phi"],
+            transform=lambda survival: 1.0 - survival,
+        ),
+    )
+
+
+def _aggregate(values: Mapping[str, float], params: Mapping[str, float]) -> float:
+    """Reassemble ``Y`` from the constituent measures (Eqs. 1, 5, 8, 15-21)."""
+    breakdown = aggregate_breakdown(values, params)
+    return breakdown["Y"]
+
+
+def aggregate_breakdown(
+    values: Mapping[str, float], params: Mapping[str, float]
+) -> dict[str, float]:
+    """Full aggregation with all intermediate quantities exposed."""
+    theta = params["theta"]
+    phi = params["phi"]
+    e_wi = 2.0 * theta
+    e_w0 = 2.0 * theta * values["p_nd_theta"]
+    if phi == 0.0:
+        # S2 degenerates; S1 reduces to the boundary case (Eq. 5).
+        e_wphi = e_w0
+        y_s1, y_s2, gamma = e_w0, 0.0, 1.0
+    else:
+        rho_sum = values["rho1"] + values["rho2"]
+        p_s1 = values["p_gd_phi_a1"] * values["p_nd_theta_minus_phi"]
+        y_s1 = (rho_sum * phi + 2.0 * (theta - phi)) * p_s1
+        gamma = 1.0 - values["int_tau_h"] / theta
+        minuend = 2.0 * theta * values["int_h"] - (2.0 - rho_sum) * values["int_tau_h"]
+        subtrahend = 2.0 * theta * (
+            values["int_hf"] + values["int_h"] * values["int_f"]
+        )
+        y_s2 = gamma * (minuend - subtrahend)
+        e_wphi = y_s1 + y_s2
+    denominator = e_wi - e_wphi
+    y = float("inf") if denominator <= 0 else (e_wi - e_w0) / denominator
+    return {
+        "Y": y,
+        "E_WI": e_wi,
+        "E_W0": e_w0,
+        "E_Wphi": e_wphi,
+        "Y_S1": y_s1,
+        "Y_S2": y_s2,
+        "gamma": gamma,
+    }
+
+
+def build_translation_pipeline() -> TranslationPipeline:
+    """The paper's translation pipeline (Figure 3), ready to evaluate."""
+    return TranslationPipeline(
+        name="performability-index-Y",
+        stages=_STAGES,
+        measures=_build_measures(),
+        aggregate=_aggregate,
+    )
+
+
+# ----------------------------------------------------------------------
+# Convenience evaluation entry points
+# ----------------------------------------------------------------------
+def _make_context(
+    solver: ConstituentSolver, phi: float
+) -> EvaluationContext:
+    return EvaluationContext(
+        models=solver.models(),
+        parameters={"phi": phi, "theta": solver.params.theta},
+    )
+
+
+def evaluate_index(
+    params: GSUParameters,
+    phi: float,
+    solver: ConstituentSolver | None = None,
+) -> PerformabilityEvaluation:
+    """Evaluate ``Y(phi)`` for one duration.
+
+    Pass a shared :class:`ConstituentSolver` to reuse compiled models
+    across calls (e.g. within a sweep).
+    """
+    if solver is None:
+        solver = ConstituentSolver(params)
+    params.validate_phi(phi)
+    pipeline = build_translation_pipeline()
+    context = _make_context(solver, phi)
+    result = pipeline.evaluate(context)
+    breakdown = aggregate_breakdown(result.constituents, context.parameters)
+    worth = WorthModel(
+        ideal=breakdown["E_WI"],
+        unguarded=breakdown["E_W0"],
+        guarded=breakdown["E_Wphi"],
+    )
+    return PerformabilityEvaluation(
+        phi=phi,
+        index=PerformabilityIndex(worth),
+        worth=worth,
+        y_s1=breakdown["Y_S1"],
+        y_s2=breakdown["Y_S2"],
+        gamma=breakdown["gamma"],
+        constituents=result.constituents,
+    )
+
+
+def sweep_phi(
+    params: GSUParameters,
+    phis: Sequence[float],
+    solver: ConstituentSolver | None = None,
+) -> list[PerformabilityEvaluation]:
+    """Evaluate ``Y`` over a sequence of durations, sharing base models."""
+    if solver is None:
+        solver = ConstituentSolver(params)
+    return [evaluate_index(params, phi, solver=solver) for phi in phis]

@@ -1,0 +1,45 @@
+"""Executable MDCD (message-driven confidence-driven) protocol.
+
+The paper's analysis is model-based; its parameters come from a JPL
+testbed running the actual GSU middleware.  This package substitutes an
+*executable protocol implementation* on the discrete-event kernel
+(:mod:`repro.des`): three application processes exchange internal and
+external messages under the MDCD error-containment rules — dirty bits,
+the checkpointing rule, acceptance tests with coverage ``c``, rollback /
+roll-forward recovery — with faults injected at the paper's
+manifestation rates.
+
+It serves two purposes:
+
+* **Validation** — protocol-level simulation estimates of the
+  constituent measures (detection probability, failure probability,
+  overhead fractions) are compared against the SAN/CTMC solutions in
+  :mod:`repro.gsu.validation`.
+* **Substrate** — a downstream user can run guarded-operation scenarios
+  directly (see ``examples/protocol_trace.py``).
+"""
+
+from repro.mdcd.messages import Message, MessageKind
+from repro.mdcd.process import ApplicationProcess, ProcessRole
+from repro.mdcd.checkpoint import Checkpoint, CheckpointStore
+from repro.mdcd.acceptance_test import AcceptanceTest, ATOutcome
+from repro.mdcd.failure import FaultInjector
+from repro.mdcd.protocol import MDCDProtocol, SystemMode, UpgradeOutcome
+from repro.mdcd.scenario import GuardedOperationScenario, ScenarioResult
+
+__all__ = [
+    "ATOutcome",
+    "AcceptanceTest",
+    "ApplicationProcess",
+    "Checkpoint",
+    "CheckpointStore",
+    "FaultInjector",
+    "GuardedOperationScenario",
+    "MDCDProtocol",
+    "Message",
+    "MessageKind",
+    "ProcessRole",
+    "ScenarioResult",
+    "SystemMode",
+    "UpgradeOutcome",
+]

@@ -1,0 +1,83 @@
+"""Acceptance-test validation.
+
+The MDCD validation policy applies an acceptance test (AT) only to
+**external** messages from **potentially contaminated active** processes
+(keeping overhead low).  An AT detects an actually erroneous message with
+coverage probability ``c``; correct messages always pass (no false
+alarms, matching the paper's model where a passing AT *clears* the
+dirty-bit confidence state).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.des.rng import RandomStreams
+from repro.mdcd.messages import Message, MessageKind
+
+
+class ATOutcome(enum.Enum):
+    """Result of one acceptance-test execution."""
+
+    PASS = "pass"
+    DETECTED = "detected"
+    ESCAPED = "escaped"  # erroneous message not caught (coverage miss)
+
+
+@dataclass
+class AcceptanceTest:
+    """An acceptance test with coverage ``c`` and completion rate ``alpha``.
+
+    Parameters
+    ----------
+    coverage:
+        Probability an erroneous message is detected.
+    completion_rate:
+        Exponential rate of the AT execution time (per hour).
+    streams:
+        Random streams used for coverage draws and durations.
+    """
+
+    coverage: float
+    completion_rate: float
+    streams: RandomStreams
+
+    def __post_init__(self):
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError(f"coverage must be in [0, 1], got {self.coverage}")
+        if self.completion_rate <= 0:
+            raise ValueError(
+                f"completion rate must be positive, got {self.completion_rate}"
+            )
+        self.executions = 0
+        self.detections = 0
+        self.escapes = 0
+
+    @staticmethod
+    def required(message: Message, in_guarded_operation: bool) -> bool:
+        """The MDCD validation policy.
+
+        Only external messages from potentially contaminated senders are
+        validated, and only while the system is under guarded operation.
+        """
+        return (
+            in_guarded_operation
+            and message.kind is MessageKind.EXTERNAL
+            and message.sender_potentially_contaminated
+        )
+
+    def duration(self) -> float:
+        """Sample one AT execution time."""
+        return self.streams.exponential("at_duration", self.completion_rate)
+
+    def execute(self, message: Message) -> ATOutcome:
+        """Run the AT against ``message`` and record statistics."""
+        self.executions += 1
+        if not message.erroneous:
+            return ATOutcome.PASS
+        if self.streams.bernoulli("at_coverage", self.coverage):
+            self.detections += 1
+            return ATOutcome.DETECTED
+        self.escapes += 1
+        return ATOutcome.ESCAPED

@@ -1,0 +1,82 @@
+"""MDCD checkpointing.
+
+The MDCD checkpointing rule (Section 2 of the paper): the necessary and
+sufficient condition for a process to establish a checkpoint is that it
+receives a message that makes its otherwise non-contaminated state become
+potentially contaminated.  A checkpoint snapshots the last state the
+process *knows* to be valid, enabling rollback on recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One established checkpoint.
+
+    Attributes
+    ----------
+    process:
+        Owning process name.
+    established_at:
+        Simulation time the establishment completed.
+    state_valid:
+        Ground truth: whether the checkpointed state was actually
+        uncontaminated.  The MDCD rule checkpoints *before* the state
+        turns potentially contaminated, so under correct operation this
+        is true; it is recorded so tests can assert the invariant.
+    """
+
+    process: str
+    established_at: float
+    state_valid: bool
+
+
+@dataclass
+class CheckpointStore:
+    """Per-process checkpoint history with the MDCD trigger rule."""
+
+    checkpoints: dict[str, list[Checkpoint]] = field(default_factory=dict)
+    established_count: int = 0
+
+    @staticmethod
+    def checkpoint_required(
+        receiver_potentially_contaminated: bool,
+        message_from_potentially_contaminated_sender: bool,
+    ) -> bool:
+        """The MDCD checkpointing rule.
+
+        A checkpoint is required exactly when a *clean-believed* process
+        receives a message that will make it potentially contaminated —
+        i.e. a message from a potentially contaminated sender.
+        """
+        return (
+            not receiver_potentially_contaminated
+            and message_from_potentially_contaminated_sender
+        )
+
+    def establish(
+        self, process: str, time: float, state_valid: bool
+    ) -> Checkpoint:
+        """Record a completed checkpoint establishment."""
+        checkpoint = Checkpoint(
+            process=process, established_at=time, state_valid=state_valid
+        )
+        self.checkpoints.setdefault(process, []).append(checkpoint)
+        self.established_count += 1
+        return checkpoint
+
+    def latest(self, process: str) -> Checkpoint | None:
+        """The most recent checkpoint of ``process``, if any."""
+        history = self.checkpoints.get(process, [])
+        return history[-1] if history else None
+
+    def count_for(self, process: str) -> int:
+        """Number of checkpoints ``process`` has established."""
+        return len(self.checkpoints.get(process, []))
+
+    def discard_all(self) -> None:
+        """Drop all checkpoints (exiting guarded operation)."""
+        self.checkpoints.clear()

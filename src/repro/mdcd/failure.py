@@ -1,0 +1,61 @@
+"""Fault injection.
+
+Software design faults manifest in a process at an exponential rate
+(``mu_new`` for the upgraded version, ``mu_old`` for mature versions).
+Manifestation contaminates the process state; the contamination then
+propagates through messages per the MDCD assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.des.engine import Engine
+from repro.des.rng import RandomStreams
+from repro.mdcd.process import ApplicationProcess
+
+
+@dataclass
+class FaultInjector:
+    """Schedules fault manifestations for a set of processes.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine to schedule on.
+    streams:
+        Random streams (one independent stream per process).
+    """
+
+    engine: Engine
+    streams: RandomStreams
+    manifestations: list[tuple[float, str]] = field(default_factory=list)
+    _stopped: bool = False
+
+    def arm(self, process: ApplicationProcess, rate: float) -> None:
+        """Schedule the next fault manifestation for ``process``.
+
+        Exponential inter-manifestation times with the given ``rate``;
+        each manifestation re-arms the next one (a contaminated process
+        simply stays contaminated).
+        """
+        if rate <= 0:
+            raise ValueError(f"fault rate must be positive, got {rate}")
+        delay = self.streams.exponential(f"fault_{process.name}", rate)
+
+        def manifest():
+            if self._stopped:
+                return
+            self.manifestations.append((self.engine.now, process.name))
+            process.contaminate()
+            self.arm(process, rate)
+
+        self.engine.schedule(delay, manifest, tag=f"fault:{process.name}")
+
+    def stop(self) -> None:
+        """Disable all future manifestations (scenario teardown)."""
+        self._stopped = True
+
+    def count_for(self, process_name: str) -> int:
+        """Number of manifestations recorded for ``process_name``."""
+        return sum(1 for _t, name in self.manifestations if name == process_name)

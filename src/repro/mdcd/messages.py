@@ -1,0 +1,102 @@
+"""Message types of the MDCD protocol.
+
+The paper distinguishes **internal** messages (between application
+processes) from **external** messages (to devices, actuators, or other
+external systems).  Each message carries the sender's contamination
+status at send time — the protocol's key assumption is that an erroneous
+process state is likely to corrupt outgoing messages, and that receiving
+an erroneous message contaminates the receiver.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class MessageKind(enum.Enum):
+    """Internal (inter-process) vs external (to the outside world)."""
+
+    INTERNAL = "internal"
+    EXTERNAL = "external"
+
+
+_SEQUENCE = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message instance.
+
+    Attributes
+    ----------
+    msg_id:
+        Globally unique sequence number.
+    sender:
+        Name of the sending process.
+    kind:
+        Internal or external.
+    erroneous:
+        Whether the message content is actually erroneous (sender state
+        contaminated at send time) — ground truth invisible to the
+        protocol, used by acceptance tests and the failure oracle.
+    sent_at:
+        Simulation time of the send event.
+    sender_potentially_contaminated:
+        The sender's *believed* status at send time (its dirty bit) —
+        what the protocol's validation policy keys on.
+    """
+
+    msg_id: int
+    sender: str
+    kind: MessageKind
+    erroneous: bool
+    sent_at: float
+    sender_potentially_contaminated: bool
+
+    @classmethod
+    def create(
+        cls,
+        sender: str,
+        kind: MessageKind,
+        erroneous: bool,
+        sent_at: float,
+        sender_potentially_contaminated: bool,
+    ) -> "Message":
+        """Build a message with the next global sequence number."""
+        return cls(
+            msg_id=next(_SEQUENCE),
+            sender=sender,
+            kind=kind,
+            erroneous=erroneous,
+            sent_at=sent_at,
+            sender_potentially_contaminated=sender_potentially_contaminated,
+        )
+
+
+@dataclass
+class MessageLog:
+    """Suppressed-message log kept for the shadow process.
+
+    During guarded operation ``P1old``'s outgoing messages are suppressed
+    but logged; after a takeover the log supports re-send / further
+    suppression decisions (Section 2 of the paper).
+    """
+
+    entries: list[Message] = field(default_factory=list)
+
+    def append(self, message: Message) -> None:
+        """Log a suppressed message."""
+        self.entries.append(message)
+
+    def since(self, time: float) -> list[Message]:
+        """Messages logged at or after ``time`` (for re-send decisions)."""
+        return [m for m in self.entries if m.sent_at >= time]
+
+    def clear(self) -> None:
+        """Drop all logged messages (after a successful upgrade)."""
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)

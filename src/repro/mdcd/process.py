@@ -1,0 +1,133 @@
+"""Application processes of the GSU system.
+
+Three processes run during guarded operation:
+
+* ``P1new`` — the upgraded component's process, active, always considered
+  potentially contaminated.
+* ``P1old`` — the old version, executing in the shadow with its outgoing
+  messages suppressed but logged.
+* ``P2`` — the second application component, active.
+
+Each process tracks its *actual* contamination (ground truth set by fault
+injection and erroneous-message receipt) and its *believed* potential
+contamination (the dirty bit the protocol operates on), plus busy time
+spent on safeguard activities for the overhead measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.mdcd.messages import MessageLog
+
+
+class ProcessRole(enum.Enum):
+    """Role of a process within the guarded-operation configuration."""
+
+    ACTIVE_NEW = "active-new"  # P1new during G-OP
+    SHADOW_OLD = "shadow-old"  # P1old escorting in the shadow
+    ACTIVE_PEER = "active-peer"  # P2
+    ACTIVE_OLD = "active-old"  # P1old after a takeover
+    RETIRED = "retired"  # P1new after a takeover / P1old after success
+
+
+@dataclass
+class ApplicationProcess:
+    """One application process.
+
+    Attributes
+    ----------
+    name:
+        Process name (``"P1new"``, ``"P1old"``, ``"P2"``).
+    role:
+        Current :class:`ProcessRole`.
+    always_suspect:
+        Whether the protocol permanently considers this process
+        potentially contaminated (true for ``P1new`` during G-OP).
+    contaminated:
+        Ground-truth state contamination.
+    potentially_contaminated:
+        The believed status (the dirty bit).  For ``always_suspect``
+        processes this is pinned to ``True`` while under G-OP.
+    busy_until:
+        Simulation time until which the process is occupied by a
+        safeguard activity (AT or checkpoint establishment).
+    """
+
+    name: str
+    role: ProcessRole
+    always_suspect: bool = False
+    contaminated: bool = False
+    potentially_contaminated: bool = False
+    busy_until: float = 0.0
+    safeguard_time: float = 0.0
+    messages_sent: int = 0
+    messages_suppressed: int = 0
+    message_log: MessageLog = field(default_factory=MessageLog)
+
+    def __post_init__(self):
+        if self.always_suspect:
+            self.potentially_contaminated = True
+
+    # ------------------------------------------------------------------
+    # Contamination bookkeeping
+    # ------------------------------------------------------------------
+    def contaminate(self) -> None:
+        """Ground-truth contamination (fault manifestation or erroneous
+        message receipt)."""
+        self.contaminated = True
+
+    def mark_potentially_contaminated(self) -> bool:
+        """Set the dirty bit; returns True when it *newly* turned dirty
+        (the MDCD checkpoint trigger condition)."""
+        if self.potentially_contaminated:
+            return False
+        self.potentially_contaminated = True
+        return True
+
+    def clear_confidence(self) -> None:
+        """Reset the dirty bit after a successful validation, unless this
+        process is permanently suspect."""
+        if not self.always_suspect:
+            self.potentially_contaminated = False
+
+    def restore_from_checkpoint(self) -> None:
+        """Rollback recovery: the restored state is valid by the MDCD
+        checkpointing rule."""
+        self.contaminated = False
+        if not self.always_suspect:
+            self.potentially_contaminated = False
+
+    # ------------------------------------------------------------------
+    # Activity accounting
+    # ------------------------------------------------------------------
+    def is_active(self) -> bool:
+        """Whether this process currently services the mission."""
+        return self.role in (
+            ProcessRole.ACTIVE_NEW,
+            ProcessRole.ACTIVE_PEER,
+            ProcessRole.ACTIVE_OLD,
+        )
+
+    def is_busy(self, now: float) -> bool:
+        """Whether a safeguard activity is in progress at ``now``."""
+        return now < self.busy_until
+
+    def occupy(self, now: float, duration: float) -> None:
+        """Account a safeguard activity of ``duration`` starting at ``now``.
+
+        Overlapping requests extend the busy window from its current end
+        (safeguard work is serialised per process).
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        start = max(now, self.busy_until)
+        self.busy_until = start + duration
+        self.safeguard_time += duration
+
+    def overhead_fraction(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent on safeguard activities."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.safeguard_time / elapsed)

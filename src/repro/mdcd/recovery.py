@@ -1,0 +1,174 @@
+"""MDCD error recovery: rollback / roll-forward decisions and re-sends.
+
+From Section 2 of the paper: upon detection of an erroneous external
+message, ``P1old`` takes over the active role; *"by locally checking its
+knowledge about whether its process state is contaminated, a process
+will decide to roll back or roll forward, respectively. After a rollback
+or roll-forward action, P1old will 're-send' the messages in its message
+log or further suppress messages it intends to send, based on the
+knowledge about the validity of P1new's messages."*
+
+This module encodes those local decisions:
+
+* a process **rolls back** to its checkpoint exactly when it considers
+  its own state potentially contaminated (the checkpoint predates the
+  contaminating receipt, so the restored state is valid);
+* a process **rolls forward** when it believes its state clean — which
+  preserves any *actual* contamination the confidence mechanism missed
+  (the paper's scenario-2 hazard, visible in RMGd as post-AT failures);
+* the shadow's logged messages from after the recovery point are
+  re-sent to bring ``P2`` and the external world up to date; earlier
+  entries correspond to computation already validated through accepted
+  ``P1new`` outputs and stay suppressed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mdcd.checkpoint import CheckpointStore
+from repro.mdcd.messages import Message
+from repro.mdcd.process import ApplicationProcess
+
+
+class RecoveryAction(enum.Enum):
+    """The local decision a process takes during error recovery."""
+
+    ROLLBACK = "rollback"
+    ROLL_FORWARD = "roll-forward"
+
+
+@dataclass(frozen=True)
+class ProcessRecovery:
+    """One process's part of a recovery.
+
+    Attributes
+    ----------
+    process:
+        Process name.
+    action:
+        Rollback (restore the checkpoint) or roll-forward (keep going).
+    checkpoint_time:
+        Establishment time of the restored checkpoint (rollbacks only).
+    """
+
+    process: str
+    action: RecoveryAction
+    checkpoint_time: float | None = None
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """The complete recovery decision at a detection event.
+
+    Attributes
+    ----------
+    detection_time:
+        When the erroneous external message was caught.
+    recoveries:
+        Per-process actions (``P1old`` and ``P2``).
+    resend:
+        Logged shadow messages to re-send (post-recovery-point log
+        entries).
+    suppressed:
+        Logged shadow messages that remain suppressed (their effects
+        were already validated through accepted ``P1new`` outputs).
+    """
+
+    detection_time: float
+    recoveries: tuple[ProcessRecovery, ...]
+    resend: tuple[Message, ...]
+    suppressed: tuple[Message, ...]
+
+    def action_for(self, process_name: str) -> RecoveryAction:
+        """The action decided for ``process_name``."""
+        for recovery in self.recoveries:
+            if recovery.process == process_name:
+                return recovery.action
+        raise KeyError(f"no recovery decision for {process_name!r}")
+
+
+def decide_action(process: ApplicationProcess) -> RecoveryAction:
+    """The MDCD local recovery rule.
+
+    A process rolls back exactly when it *considers* its state
+    potentially contaminated; its knowledge, not the (invisible) ground
+    truth, drives the decision.
+    """
+    if process.potentially_contaminated:
+        return RecoveryAction.ROLLBACK
+    return RecoveryAction.ROLL_FORWARD
+
+
+def plan_recovery(
+    p1old: ApplicationProcess,
+    p2: ApplicationProcess,
+    checkpoints: CheckpointStore,
+    detection_time: float,
+) -> RecoveryPlan:
+    """Build the recovery plan at a detection event.
+
+    The shadow's re-send window starts at the *recovery point*: the
+    restored checkpoint time when the shadow rolls back, or the start of
+    guarded operation (time 0, everything validated since is already
+    reflected) when it rolls forward.
+    """
+    recoveries = []
+    recovery_point = 0.0
+    for process in (p1old, p2):
+        action = decide_action(process)
+        checkpoint_time = None
+        if action is RecoveryAction.ROLLBACK:
+            checkpoint = checkpoints.latest(process.name)
+            checkpoint_time = (
+                checkpoint.established_at if checkpoint is not None else 0.0
+            )
+            if process is p1old:
+                recovery_point = checkpoint_time
+        recoveries.append(
+            ProcessRecovery(
+                process=process.name,
+                action=action,
+                checkpoint_time=checkpoint_time,
+            )
+        )
+    if decide_action(p1old) is RecoveryAction.ROLL_FORWARD:
+        # Roll-forward: state is current, only not-yet-conveyed outputs
+        # (logged since the last validated exchange) need re-sending.
+        # Without a finer validity marker the window is the whole log
+        # tail after the most recent P2 checkpoint (the last global
+        # consistency point).
+        p2_checkpoint = checkpoints.latest(p2.name)
+        recovery_point = (
+            p2_checkpoint.established_at if p2_checkpoint is not None else 0.0
+        )
+    resend = tuple(p1old.message_log.since(recovery_point))
+    suppressed = tuple(
+        m for m in p1old.message_log.entries if m.sent_at < recovery_point
+    )
+    return RecoveryPlan(
+        detection_time=detection_time,
+        recoveries=tuple(recoveries),
+        resend=resend,
+        suppressed=suppressed,
+    )
+
+
+def apply_recovery(
+    plan: RecoveryPlan,
+    p1old: ApplicationProcess,
+    p2: ApplicationProcess,
+) -> None:
+    """Execute the per-process actions of ``plan``.
+
+    Rollback restores the checkpointed (valid) state; roll-forward keeps
+    the current state — including any contamination the confidence
+    mechanism failed to flag — and merely clears the believed status.
+    """
+    for process in (p1old, p2):
+        action = plan.action_for(process.name)
+        if action is RecoveryAction.ROLLBACK:
+            process.restore_from_checkpoint()
+        else:
+            process.clear_confidence()

@@ -1,0 +1,126 @@
+"""Structural analysis of SAN models and their reachability graphs.
+
+These checks catch modeling bugs early and document model properties:
+
+* place bounds over the reachable state space,
+* dead (never-enabled) activities,
+* absorbing markings,
+* conservation (weighted token-sum invariants) verification,
+* reachability-graph connectivity via :mod:`networkx`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.reachability import ReachabilityGraph
+
+
+@dataclass(frozen=True)
+class StructuralReport:
+    """Summary of structural analysis of a compiled SAN.
+
+    Attributes
+    ----------
+    place_bounds:
+        ``{place: (min_tokens, max_tokens)}`` over reachable tangible
+        markings.
+    dead_activities:
+        Activities never enabled in any tangible marking.  (Activities
+        that only fire in vanishing markings are reported separately by
+        callers if needed.)
+    absorbing_markings:
+        Tangible markings with no outgoing transition.
+    num_tangible:
+        Tangible state count.
+    num_vanishing:
+        Eliminated vanishing marking count.
+    """
+
+    place_bounds: dict[str, tuple[int, int]]
+    dead_activities: tuple[str, ...]
+    absorbing_markings: tuple[Marking, ...]
+    num_tangible: int
+    num_vanishing: int
+
+
+def analyze_structure(model: SANModel, graph: ReachabilityGraph) -> StructuralReport:
+    """Produce a :class:`StructuralReport` for ``model`` over ``graph``."""
+    bounds: dict[str, tuple[int, int]] = {}
+    for place in model.place_names():
+        counts = [m[place] for m in graph.markings]
+        bounds[place] = (min(counts), max(counts))
+
+    dead: list[str] = []
+    for activity in model.activities():
+        if not any(activity.enabled(m) for m in graph.markings):
+            dead.append(activity.name)
+
+    sources_with_exits = {src for (src, _dst) in graph.rates}
+    absorbing = tuple(
+        graph.markings[i]
+        for i in range(graph.num_states)
+        if i not in sources_with_exits
+    )
+    return StructuralReport(
+        place_bounds=bounds,
+        dead_activities=tuple(dead),
+        absorbing_markings=absorbing,
+        num_tangible=graph.num_states,
+        num_vanishing=graph.num_vanishing,
+    )
+
+
+def verify_invariant(
+    graph: ReachabilityGraph,
+    weights: dict[str, int],
+    expected: int | None = None,
+) -> bool:
+    """Check a weighted token-sum invariant over all reachable markings.
+
+    ``sum_p weights[p] * marking[p]`` must be constant; if ``expected``
+    is given the constant must equal it.
+    """
+    if not graph.markings:
+        return True
+    totals = {
+        sum(w * m[p] for p, w in weights.items()) for m in graph.markings
+    }
+    if len(totals) != 1:
+        return False
+    return expected is None or totals == {expected}
+
+
+def reachability_digraph(graph: ReachabilityGraph) -> nx.DiGraph:
+    """The tangible reachability graph as a :class:`networkx.DiGraph`.
+
+    Nodes are state indices (with the marking stored as a ``marking``
+    attribute); edges carry the effective ``rate``.
+    """
+    g = nx.DiGraph(name=graph.model_name)
+    for i, marking in enumerate(graph.markings):
+        g.add_node(i, marking=marking)
+    for (src, dst), rate in graph.rates.items():
+        g.add_edge(src, dst, rate=rate)
+    return g
+
+
+def strongly_connected_components(graph: ReachabilityGraph) -> list[set[int]]:
+    """SCCs of the reachability graph (largest first)."""
+    g = reachability_digraph(graph)
+    comps = [set(c) for c in nx.strongly_connected_components(g)]
+    return sorted(comps, key=len, reverse=True)
+
+
+def is_irreducible(graph: ReachabilityGraph) -> bool:
+    """True when every tangible state can reach every other one.
+
+    Irreducibility is required by the steady-state solvers (the paper's
+    ``RMGp`` model is irreducible by construction).
+    """
+    comps = strongly_connected_components(graph)
+    return len(comps) == 1

@@ -1,0 +1,207 @@
+"""A fluent builder for SAN models.
+
+Constructing a :class:`~repro.san.model.SANModel` from raw places,
+activities, cases and gates is verbose (see the GSU models).
+:class:`SANBuilder` offers a compact declarative surface for the common
+shapes::
+
+    model = (
+        SANBuilder("mm1k")
+        .place("queue", capacity=3)
+        .timed("arrive", rate=2.0, when=lambda m: m["queue"] < 3)
+            .case(produces=[("queue", 1)])
+        .timed("serve", rate=3.0, consumes=[("queue", 1)])
+        .build()
+    )
+
+Builder calls validate eagerly where possible; :meth:`SANBuilder.build`
+performs the full structural validation via ``SANModel``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.errors import ModelStructureError
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+def _normalise_arcs(arcs) -> tuple[tuple[str, int], ...]:
+    """Accept ``["p", ("q", 2)]`` style arc lists."""
+    out = []
+    for arc in arcs:
+        if isinstance(arc, str):
+            out.append((arc, 1))
+        else:
+            name, count = arc
+            out.append((name, int(count)))
+    return tuple(out)
+
+
+class _ActivityDraft:
+    """Accumulates the cases of one activity under construction."""
+
+    def __init__(
+        self,
+        builder: "SANBuilder",
+        name: str,
+        kind: str,
+        rate,
+        consumes,
+        when,
+        weight,
+    ):
+        self._builder = builder
+        self.name = name
+        self.kind = kind
+        self.rate = rate
+        self.weight = weight
+        self.consumes = _normalise_arcs(consumes)
+        self.when = when
+        self.cases: list[Case] = []
+
+    def case(
+        self,
+        probability=1.0,
+        produces: Sequence = (),
+        effect: Callable[[Marking], Marking] | None = None,
+        label: str = "",
+    ) -> "_ActivityDraft":
+        """Add a completion case; returns the draft so further cases
+        (or any builder method, via delegation) can be chained."""
+        gates = ()
+        if effect is not None:
+            gates = (OutputGate(f"og_{self.name}_{len(self.cases)}", effect),)
+        self.cases.append(
+            Case(
+                probability=probability,
+                output_arcs=_normalise_arcs(produces),
+                output_gates=gates,
+                label=label,
+            )
+        )
+        return self
+
+    # Delegation so chains continue naturally after a case-less
+    # activity declaration (a default pass-through case is synthesised
+    # at build time).
+    def place(self, *args, **kwargs) -> "SANBuilder":
+        return self._builder.place(*args, **kwargs)
+
+    def places(self, *args, **kwargs) -> "SANBuilder":
+        return self._builder.places(*args, **kwargs)
+
+    def timed(self, *args, **kwargs) -> "_ActivityDraft":
+        return self._builder.timed(*args, **kwargs)
+
+    def instantaneous(self, *args, **kwargs) -> "_ActivityDraft":
+        return self._builder.instantaneous(*args, **kwargs)
+
+    def build(self) -> SANModel:
+        return self._builder.build()
+
+    def _materialise(self):
+        input_gates = ()
+        if self.when is not None:
+            input_gates = (
+                InputGate(f"ig_{self.name}", predicate=self.when),
+            )
+        cases = self.cases or None
+        if self.kind == "timed":
+            return TimedActivity(
+                self.name,
+                rate=self.rate,
+                cases=cases,
+                input_arcs=self.consumes,
+                input_gates=input_gates,
+            )
+        return InstantaneousActivity(
+            self.name,
+            cases=cases,
+            input_arcs=self.consumes,
+            input_gates=input_gates,
+            weight=self.weight,
+        )
+
+
+class SANBuilder:
+    """Fluent construction of :class:`~repro.san.model.SANModel`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._places: list[Place] = []
+        self._drafts: list[_ActivityDraft] = []
+
+    # ------------------------------------------------------------------
+    def place(
+        self, name: str, initial: int = 0, capacity: int | None = None
+    ) -> "SANBuilder":
+        """Declare a place."""
+        self._places.append(Place(name, initial=initial, capacity=capacity))
+        return self
+
+    def places(self, *names: str) -> "SANBuilder":
+        """Declare several empty unbounded places at once."""
+        for name in names:
+            self.place(name)
+        return self
+
+    def timed(
+        self,
+        name: str,
+        rate,
+        consumes: Sequence = (),
+        when: Callable[[Marking], bool] | None = None,
+    ) -> _ActivityDraft:
+        """Declare a timed activity; chain ``.case(...)`` to add cases.
+
+        Returns the activity draft; ``.case`` returns the draft again so
+        several cases chain, and the draft delegates every builder
+        method, so chains continue seamlessly.  Activities without an
+        explicit case get a default pass-through case at build time.
+        """
+        draft = _ActivityDraft(
+            self, name, "timed", rate, consumes, when, weight=None
+        )
+        self._drafts.append(draft)
+        return draft
+
+    def instantaneous(
+        self,
+        name: str,
+        consumes: Sequence = (),
+        when: Callable[[Marking], bool] | None = None,
+        weight=1.0,
+    ) -> _ActivityDraft:
+        """Declare an instantaneous activity (see :meth:`timed`)."""
+        draft = _ActivityDraft(
+            self, name, "instantaneous", None, consumes, when, weight
+        )
+        self._drafts.append(draft)
+        return draft
+
+    # ------------------------------------------------------------------
+    def build(self) -> SANModel:
+        """Materialise and validate the model."""
+        if not self._places:
+            raise ModelStructureError(
+                f"builder {self.name!r} declares no places"
+            )
+        timed = []
+        instantaneous = []
+        for draft in self._drafts:
+            activity = draft._materialise()
+            if isinstance(activity, TimedActivity):
+                timed.append(activity)
+            else:
+                instantaneous.append(activity)
+        return SANModel(
+            self.name,
+            places=self._places,
+            timed_activities=timed,
+            instantaneous_activities=instantaneous,
+        )

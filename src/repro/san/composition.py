@@ -1,0 +1,221 @@
+"""Composed SAN models: Join and Replicate.
+
+UltraSAN (and later Möbius) compose SAN submodels with two operators:
+
+* **Join** — glue submodels together over a set of shared places.
+* **Replicate** — create ``n`` indistinguishable copies of a submodel
+  sharing a set of common places.
+
+This module implements both as *flattening* transformations that produce
+an ordinary :class:`~repro.san.model.SANModel`: non-shared names are
+prefixed with the submodel instance name, shared places are merged (their
+initial markings must agree).  Gate callables are rewrapped so that each
+replica's predicates and functions see the marking through a renaming
+lens — user-written gates keep using local place names.
+
+The paper's composite base model is conceptually a join of its three
+reward models over the system-status places; the GSU package solves them
+separately (as the paper does) but the operator is provided — and tested —
+as part of the framework.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.errors import ModelStructureError
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+class _RenamingLens:
+    """Bidirectional renaming between a submodel's local names and the
+    flattened model's global names."""
+
+    def __init__(self, local_to_global: Mapping[str, str]):
+        self.local_to_global = dict(local_to_global)
+        self.global_to_local = {g: l for l, g in self.local_to_global.items()}
+        if len(self.global_to_local) != len(self.local_to_global):
+            raise ModelStructureError("renaming map is not injective")
+
+    def localize(self, marking: Marking) -> Marking:
+        """Project a global marking onto this submodel's local names."""
+        return Marking(
+            {
+                local: marking[global_name]
+                for local, global_name in self.local_to_global.items()
+            }
+        )
+
+    def globalize_changes(self, global_marking: Marking, local_result: Marking) -> Marking:
+        """Write a locally transformed marking back into the global one."""
+        changes = {
+            self.local_to_global[local]: count
+            for local, count in local_result.items()
+        }
+        return global_marking.update(changes)
+
+
+def _wrap_predicate(predicate, lens: _RenamingLens):
+    def wrapped(marking: Marking) -> bool:
+        return predicate(lens.localize(marking))
+
+    return wrapped
+
+
+def _wrap_function(function, lens: _RenamingLens):
+    def wrapped(marking: Marking) -> Marking:
+        return lens.globalize_changes(marking, function(lens.localize(marking)))
+
+    return wrapped
+
+
+def _wrap_marking_dependent(value, lens: _RenamingLens):
+    if not callable(value):
+        return value
+
+    def wrapped(marking: Marking):
+        return value(lens.localize(marking))
+
+    return wrapped
+
+
+def _rename_activity(activity, prefix: str, lens: _RenamingLens):
+    def rename(name: str) -> str:
+        return lens.local_to_global[name]
+
+    input_arcs = tuple((rename(p), n) for p, n in activity.input_arcs)
+    input_gates = tuple(
+        InputGate(
+            name=f"{prefix}{g.name}",
+            predicate=_wrap_predicate(g.predicate, lens),
+            function=_wrap_function(g.function, lens),
+        )
+        for g in activity.input_gates
+    )
+    cases = tuple(
+        Case(
+            probability=_wrap_marking_dependent(case.probability, lens),
+            output_arcs=tuple((rename(p), n) for p, n in case.output_arcs),
+            output_gates=tuple(
+                OutputGate(
+                    name=f"{prefix}{g.name}",
+                    function=_wrap_function(g.function, lens),
+                )
+                for g in case.output_gates
+            ),
+            label=case.label,
+        )
+        for case in activity.cases
+    )
+    if isinstance(activity, TimedActivity):
+        return TimedActivity(
+            name=f"{prefix}{activity.name}",
+            rate=_wrap_marking_dependent(activity.rate, lens),
+            cases=cases,
+            input_arcs=input_arcs,
+            input_gates=input_gates,
+        )
+    return InstantaneousActivity(
+        name=f"{prefix}{activity.name}",
+        cases=cases,
+        input_arcs=input_arcs,
+        input_gates=input_gates,
+        weight=_wrap_marking_dependent(activity.weight, lens),
+    )
+
+
+def join(
+    name: str,
+    submodels: Mapping[str, SANModel],
+    shared_places: Sequence[str] = (),
+) -> SANModel:
+    """Join submodels over ``shared_places`` into one flat model.
+
+    Parameters
+    ----------
+    name:
+        Name of the composed model.
+    submodels:
+        ``{instance_name: model}``; non-shared place and activity names
+        are prefixed with ``instance_name + "_"``.
+    shared_places:
+        Place names merged across all submodels that declare them.
+        Initial markings (and capacities) of a shared place must agree
+        everywhere it appears, and each shared place must appear in at
+        least two submodels (otherwise it is a misspelling).
+    """
+    shared = set(shared_places)
+    declared: dict[str, list[Place]] = {s: [] for s in shared}
+    places: list[Place] = []
+    timed: list[TimedActivity] = []
+    instantaneous: list[InstantaneousActivity] = []
+
+    for instance, model in submodels.items():
+        if not instance.isidentifier():
+            raise ModelStructureError(f"invalid instance name {instance!r}")
+        local_to_global = {}
+        for p in model.places:
+            if p.name in shared:
+                declared[p.name].append(p)
+                local_to_global[p.name] = p.name
+            else:
+                local_to_global[p.name] = f"{instance}_{p.name}"
+                places.append(
+                    Place(
+                        name=local_to_global[p.name],
+                        initial=p.initial,
+                        capacity=p.capacity,
+                    )
+                )
+        lens = _RenamingLens(local_to_global)
+        prefix = f"{instance}_"
+        for activity in model.timed_activities:
+            timed.append(_rename_activity(activity, prefix, lens))
+        for activity in model.instantaneous_activities:
+            instantaneous.append(_rename_activity(activity, prefix, lens))
+
+    for shared_name, decls in declared.items():
+        if len(decls) < 2:
+            raise ModelStructureError(
+                f"shared place {shared_name!r} appears in "
+                f"{len(decls)} submodel(s); sharing needs at least two"
+            )
+        initials = {p.initial for p in decls}
+        capacities = {p.capacity for p in decls}
+        if len(initials) != 1 or len(capacities) != 1:
+            raise ModelStructureError(
+                f"shared place {shared_name!r} has conflicting declarations"
+            )
+        places.append(decls[0])
+
+    return SANModel(
+        name=name,
+        places=places,
+        timed_activities=timed,
+        instantaneous_activities=instantaneous,
+    )
+
+
+def replicate(
+    name: str,
+    model: SANModel,
+    count: int,
+    common_places: Sequence[str] = (),
+) -> SANModel:
+    """Replicate ``model`` ``count`` times sharing ``common_places``.
+
+    Equivalent to joining ``count`` renamed copies over the common
+    places.  The flat model can afterwards be reduced exactly by replica
+    symmetry — the state-space reduction UltraSAN's Rep operator
+    performs — via :func:`repro.san.symmetry.reduce_replicas`.
+    """
+    if count < 1:
+        raise ModelStructureError(f"replica count must be >= 1, got {count}")
+    if count == 1 and not common_places:
+        return model
+    submodels = {f"rep{i}": model for i in range(count)}
+    return join(name, submodels, shared_places=common_places)

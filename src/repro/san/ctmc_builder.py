@@ -1,0 +1,91 @@
+"""Compile a SAN into a CTMC.
+
+:func:`build_ctmc` chains reachability exploration, vanishing-marking
+elimination, and generator-matrix assembly, producing a
+:class:`~repro.ctmc.chain.CTMC` whose state labels are the tangible
+markings.  The :class:`CompiledSAN` wrapper keeps the marking<->state
+correspondence so reward predicates written over markings (UltraSAN's
+``MARK(...)`` style) can be vectorised into per-state reward vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ctmc.chain import CTMC
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.reachability import DEFAULT_MAX_MARKINGS, ReachabilityGraph, explore
+
+
+@dataclass
+class CompiledSAN:
+    """A SAN compiled to a CTMC, with its reachability graph retained.
+
+    Attributes
+    ----------
+    model:
+        The source :class:`~repro.san.model.SANModel`.
+    graph:
+        The tangible reachability graph.
+    chain:
+        The resulting CTMC; state ``i`` corresponds to
+        ``graph.markings[i]`` and the labels are the markings themselves.
+    """
+
+    model: SANModel
+    graph: ReachabilityGraph
+    chain: CTMC
+
+    @property
+    def num_states(self) -> int:
+        """Number of tangible states."""
+        return self.graph.num_states
+
+    def reward_vector(self, predicate_rate_pairs) -> np.ndarray:
+        """Vectorise a list of ``(predicate, rate)`` pairs over states.
+
+        Mirrors UltraSAN's predicate-rate reward specification: a state's
+        reward rate is the *sum* of the rates of all pairs whose
+        predicate holds in that state's marking.
+        """
+        rewards = np.zeros(self.num_states)
+        for predicate, rate in predicate_rate_pairs:
+            for i, marking in enumerate(self.graph.markings):
+                if predicate(marking):
+                    rewards[i] += rate
+        return rewards
+
+    def probability_vector_for(self, predicate) -> np.ndarray:
+        """A 0/1 indicator vector over states from a marking predicate."""
+        return self.reward_vector([(predicate, 1.0)])
+
+    def states_where(self, predicate) -> list[int]:
+        """Indices of states whose marking satisfies ``predicate``."""
+        return self.graph.states_where(predicate)
+
+    def marking_of(self, state_index: int) -> Marking:
+        """The marking of state ``state_index``."""
+        return self.graph.markings[state_index]
+
+
+def build_ctmc(
+    model: SANModel,
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+) -> CompiledSAN:
+    """Explore ``model`` and assemble its CTMC.
+
+    The CTMC's initial distribution accounts for an initially vanishing
+    marking (probability mass lands on the tangible markings the
+    instantaneous activities resolve to).
+    """
+    graph = explore(model, max_markings=max_markings)
+    chain = CTMC.from_rates(
+        num_states=graph.num_states,
+        rates=graph.rates,
+        initial=graph.initial_distribution,
+        labels=graph.markings,
+    )
+    return CompiledSAN(model=model, graph=graph, chain=chain)

@@ -1,0 +1,24 @@
+"""Exception types raised by the SAN framework."""
+
+
+class SANError(Exception):
+    """Base class for all errors raised by :mod:`repro.san`."""
+
+
+class ModelStructureError(SANError):
+    """The SAN definition is structurally invalid (duplicate names,
+    references to unknown places, empty case lists, ...)."""
+
+
+class MarkingError(SANError):
+    """An operation on a marking is invalid (unknown place, negative
+    token count)."""
+
+
+class StateSpaceError(SANError):
+    """State-space generation failed (explosion past the configured
+    limit, unresolvable vanishing markings, dead initial marking)."""
+
+
+class RewardSpecificationError(SANError):
+    """A reward structure is malformed or applied to the wrong solver."""

@@ -1,0 +1,122 @@
+"""Export SAN models and reachability graphs to DOT and plain dicts.
+
+Exports serve documentation (rendering the model figures corresponding
+to the paper's Figures 6-8) and debugging (inspecting the generated
+state space).
+"""
+
+from __future__ import annotations
+
+from repro.san.model import SANModel
+from repro.san.reachability import ReachabilityGraph
+
+
+def model_to_dot(model: SANModel) -> str:
+    """A Graphviz DOT rendering of the SAN's structure.
+
+    Places are circles, timed activities are thick vertical bars,
+    instantaneous activities thin bars; arcs show input/output
+    relations.  Gate wiring is summarised on edge labels (gate
+    predicates/functions are opaque Python callables).
+    """
+    lines = [f'digraph "{model.name}" {{', "  rankdir=LR;"]
+    for place in model.places:
+        label = place.name if place.initial == 0 else f"{place.name}\\n({place.initial})"
+        lines.append(f'  "{place.name}" [shape=circle, label="{label}"];')
+    for activity in model.timed_activities:
+        lines.append(
+            f'  "{activity.name}" [shape=box, style=filled, fillcolor=gray80,'
+            f' label="{activity.name}"];'
+        )
+    for activity in model.instantaneous_activities:
+        lines.append(
+            f'  "{activity.name}" [shape=box, height=0.1, label="{activity.name}"];'
+        )
+    for activity in model.activities():
+        for place, tokens in activity.input_arcs:
+            attr = f' [label="{tokens}"]' if tokens > 1 else ""
+            lines.append(f'  "{place}" -> "{activity.name}"{attr};')
+        for gate in activity.input_gates:
+            lines.append(
+                f'  "{activity.name}" -> "{activity.name}" '
+                f'[style=invis, comment="input gate {gate.name}"];'
+            )
+        for idx, case in enumerate(activity.cases):
+            suffix = f" case{idx}" if len(activity.cases) > 1 else ""
+            for place, tokens in case.output_arcs:
+                label = f"{tokens}{suffix}".strip()
+                attr = f' [label="{label}"]' if label else ""
+                lines.append(f'  "{activity.name}" -> "{place}"{attr};')
+            for gate in case.output_gates:
+                lines.append(
+                    f'  "{activity.name}" -> "OG_{gate.name}" [style=dashed];'
+                )
+                lines.append(
+                    f'  "OG_{gate.name}" [shape=triangle, label="{gate.name}"];'
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_dot(graph: ReachabilityGraph, max_states: int = 200) -> str:
+    """A DOT rendering of the tangible reachability graph.
+
+    Refuses graphs larger than ``max_states`` (DOT output would be
+    unreadable and enormous).
+    """
+    if graph.num_states > max_states:
+        raise ValueError(
+            f"graph has {graph.num_states} states; raise max_states to export"
+        )
+    lines = [f'digraph "{graph.model_name}_states" {{']
+    for i, marking in enumerate(graph.markings):
+        lines.append(f'  s{i} [label="{i}: {marking.short_label()}"];')
+    for (src, dst), rate in sorted(graph.rates.items()):
+        lines.append(f'  s{src} -> s{dst} [label="{rate:.6g}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def model_to_dict(model: SANModel) -> dict:
+    """A JSON-serialisable structural summary of the model."""
+    return {
+        "name": model.name,
+        "places": [
+            {"name": p.name, "initial": p.initial, "capacity": p.capacity}
+            for p in model.places
+        ],
+        "timed_activities": [
+            {
+                "name": a.name,
+                "cases": len(a.cases),
+                "input_arcs": list(a.input_arcs),
+                "input_gates": [g.name for g in a.input_gates],
+                "marking_dependent_rate": callable(a.rate),
+            }
+            for a in model.timed_activities
+        ],
+        "instantaneous_activities": [
+            {
+                "name": a.name,
+                "cases": len(a.cases),
+                "input_arcs": list(a.input_arcs),
+                "input_gates": [g.name for g in a.input_gates],
+            }
+            for a in model.instantaneous_activities
+        ],
+    }
+
+
+def graph_to_dict(graph: ReachabilityGraph) -> dict:
+    """A JSON-serialisable dump of the tangible reachability graph."""
+    return {
+        "model": graph.model_name,
+        "num_tangible": graph.num_states,
+        "num_vanishing": graph.num_vanishing,
+        "initial_distribution": graph.initial_distribution.tolist(),
+        "markings": [m.as_dict() for m in graph.markings],
+        "rates": [
+            {"src": src, "dst": dst, "rate": rate}
+            for (src, dst), rate in sorted(graph.rates.items())
+        ],
+    }

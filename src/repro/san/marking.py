@@ -1,0 +1,112 @@
+"""Immutable SAN markings.
+
+A :class:`Marking` assigns a non-negative token count to every place of a
+model.  Markings are immutable and hashable so they can serve directly as
+state-space keys and as CTMC state labels.  The API mirrors UltraSAN's
+``MARK(place)`` accessor: ``marking["place"]`` reads a count, and
+modification happens through :meth:`Marking.set` / :meth:`Marking.update`
+which return new markings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.san.errors import MarkingError
+
+
+class Marking(Mapping[str, int]):
+    """An immutable assignment of token counts to place names."""
+
+    __slots__ = ("_names", "_counts", "_hash")
+
+    def __init__(self, counts: Mapping[str, int] | None = None, **kwargs: int):
+        merged: dict[str, int] = {}
+        if counts:
+            merged.update(counts)
+        merged.update(kwargs)
+        for name, value in merged.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise MarkingError(
+                    f"token count for {name!r} must be an int, got {value!r}"
+                )
+            if value < 0:
+                raise MarkingError(
+                    f"token count for {name!r} must be non-negative, got {value}"
+                )
+        names = tuple(sorted(merged))
+        self._names = names
+        self._counts = tuple(merged[n] for n in names)
+        self._hash = hash((self._names, self._counts))
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        try:
+            idx = self._names.index(name)
+        except ValueError:
+            raise MarkingError(f"unknown place {name!r}") from None
+        return self._counts[idx]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Marking):
+            return NotImplemented
+        return self._names == other._names and self._counts == other._counts
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{n}={c}" for n, c in zip(self._names, self._counts) if c
+        )
+        return f"Marking({inner})"
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+    def set(self, name: str, value: int) -> "Marking":
+        """A new marking with place ``name`` holding ``value`` tokens."""
+        if name not in self._names:
+            raise MarkingError(f"unknown place {name!r}")
+        return self.update({name: value})
+
+    def update(self, changes: Mapping[str, int]) -> "Marking":
+        """A new marking with several places changed at once."""
+        counts = dict(zip(self._names, self._counts))
+        for name, value in changes.items():
+            if name not in counts:
+                raise MarkingError(f"unknown place {name!r}")
+            counts[name] = value
+        return Marking(counts)
+
+    def add(self, name: str, delta: int) -> "Marking":
+        """A new marking with ``delta`` tokens added to place ``name``."""
+        return self.set(name, self[name] + delta)
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain mutable dict copy of this marking."""
+        return dict(zip(self._names, self._counts))
+
+    def nonzero_places(self) -> tuple[str, ...]:
+        """Names of places holding at least one token."""
+        return tuple(
+            n for n, c in zip(self._names, self._counts) if c > 0
+        )
+
+    def short_label(self) -> str:
+        """Compact ``place=count`` string listing only marked places."""
+        marked = [
+            f"{n}={c}" for n, c in zip(self._names, self._counts) if c > 0
+        ]
+        return ",".join(marked) if marked else "(empty)"

@@ -1,0 +1,149 @@
+"""The :class:`SANModel` container and structural validation.
+
+A :class:`SANModel` owns places and activities and exposes the initial
+marking.  It performs eager structural validation — unknown place
+references, duplicate names and probe-failing gates are rejected at
+construction time so state-space generation never chases a malformed
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.san.activities import InstantaneousActivity, TimedActivity
+from repro.san.errors import ModelStructureError
+from repro.san.marking import Marking
+from repro.san.places import Place
+
+
+class SANModel:
+    """A stochastic activity network.
+
+    Parameters
+    ----------
+    name:
+        Model name (used in reports and exports).
+    places:
+        The model's places; names must be unique.
+    timed_activities / instantaneous_activities:
+        The model's activities; names must be unique across both kinds.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        places: Sequence[Place],
+        timed_activities: Sequence[TimedActivity] = (),
+        instantaneous_activities: Sequence[InstantaneousActivity] = (),
+    ):
+        if not name:
+            raise ModelStructureError("model name must be non-empty")
+        self.name = name
+        self.places: tuple[Place, ...] = tuple(places)
+        if not self.places:
+            raise ModelStructureError(f"model {name!r} has no places")
+        self.timed_activities: tuple[TimedActivity, ...] = tuple(timed_activities)
+        self.instantaneous_activities: tuple[InstantaneousActivity, ...] = tuple(
+            instantaneous_activities
+        )
+        self._place_by_name = {p.name: p for p in self.places}
+        self._validate_structure()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate_structure(self) -> None:
+        if len(self._place_by_name) != len(self.places):
+            seen: set[str] = set()
+            for p in self.places:
+                if p.name in seen:
+                    raise ModelStructureError(
+                        f"duplicate place name {p.name!r} in model {self.name!r}"
+                    )
+                seen.add(p.name)
+        activity_names: set[str] = set()
+        for activity in self.activities():
+            if activity.name in activity_names:
+                raise ModelStructureError(
+                    f"duplicate activity name {activity.name!r} in model {self.name!r}"
+                )
+            activity_names.add(activity.name)
+            self._validate_arc_targets(activity)
+
+    def _validate_arc_targets(self, activity) -> None:
+        for place, _tokens in activity.input_arcs:
+            if place not in self._place_by_name:
+                raise ModelStructureError(
+                    f"activity {activity.name!r} has input arc from unknown "
+                    f"place {place!r}"
+                )
+        for case in activity.cases:
+            for place, _tokens in case.output_arcs:
+                if place not in self._place_by_name:
+                    raise ModelStructureError(
+                        f"activity {activity.name!r} has output arc to unknown "
+                        f"place {place!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def activities(self) -> Iterable:
+        """All activities (timed first, then instantaneous)."""
+        yield from self.timed_activities
+        yield from self.instantaneous_activities
+
+    def place(self, name: str) -> Place:
+        """Look up a place by name."""
+        try:
+            return self._place_by_name[name]
+        except KeyError:
+            raise ModelStructureError(
+                f"model {self.name!r} has no place {name!r}"
+            ) from None
+
+    def place_names(self) -> tuple[str, ...]:
+        """All place names in declaration order."""
+        return tuple(p.name for p in self.places)
+
+    def activity(self, name: str):
+        """Look up an activity (timed or instantaneous) by name."""
+        for act in self.activities():
+            if act.name == name:
+                return act
+        raise ModelStructureError(
+            f"model {self.name!r} has no activity {name!r}"
+        )
+
+    def initial_marking(self) -> Marking:
+        """The marking given by each place's initial token count."""
+        return Marking({p.name: p.initial for p in self.places})
+
+    def check_capacities(self, marking: Marking) -> None:
+        """Raise if ``marking`` violates any declared place capacity."""
+        for p in self.places:
+            if p.capacity is not None and marking[p.name] > p.capacity:
+                raise ModelStructureError(
+                    f"place {p.name!r} exceeds capacity {p.capacity} "
+                    f"in marking {marking.short_label()}"
+                )
+
+    def enabled_timed(self, marking: Marking) -> list[TimedActivity]:
+        """Timed activities enabled in ``marking``."""
+        return [a for a in self.timed_activities if a.enabled(marking)]
+
+    def enabled_instantaneous(self, marking: Marking) -> list[InstantaneousActivity]:
+        """Instantaneous activities enabled in ``marking``."""
+        return [a for a in self.instantaneous_activities if a.enabled(marking)]
+
+    def is_vanishing(self, marking: Marking) -> bool:
+        """True when an instantaneous activity is enabled (zero dwell time)."""
+        return bool(self.enabled_instantaneous(marking))
+
+    def __repr__(self) -> str:
+        return (
+            f"SANModel({self.name!r}, places={len(self.places)}, "
+            f"timed={len(self.timed_activities)}, "
+            f"instantaneous={len(self.instantaneous_activities)})"
+        )

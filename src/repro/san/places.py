@@ -1,0 +1,61 @@
+"""SAN places.
+
+A place holds a non-negative number of tokens; the vector of all place
+counts is the model's marking.  Places in this reproduction are mostly
+binary flags mirroring the paper's models (``failure``, ``detected``,
+contamination and dirty-bit indicators), but the framework supports
+arbitrary token counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.san.errors import ModelStructureError
+
+_IDENTIFIER_HINT = (
+    "place names must be valid identifiers so reward predicates can read "
+    "them unambiguously"
+)
+
+
+@dataclass(frozen=True)
+class Place:
+    """A SAN place.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier of the place within its model.
+    initial:
+        Initial token count (default 0).
+    capacity:
+        Optional upper bound on the token count.  Exceeding the capacity
+        during state-space exploration raises
+        :class:`~repro.san.errors.StateSpaceError`, which catches modeling
+        bugs (unbounded models) early.
+    """
+
+    name: str
+    initial: int = 0
+    capacity: int | None = None
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise ModelStructureError(
+                f"invalid place name {self.name!r}; {_IDENTIFIER_HINT}"
+            )
+        if self.initial < 0:
+            raise ModelStructureError(
+                f"place {self.name!r} has negative initial marking {self.initial}"
+            )
+        if self.capacity is not None:
+            if self.capacity < 1:
+                raise ModelStructureError(
+                    f"place {self.name!r} has non-positive capacity {self.capacity}"
+                )
+            if self.initial > self.capacity:
+                raise ModelStructureError(
+                    f"place {self.name!r} initial marking {self.initial} exceeds "
+                    f"capacity {self.capacity}"
+                )

@@ -1,0 +1,296 @@
+"""Reachability-graph generation with vanishing-marking elimination.
+
+State-space exploration proceeds in two phases:
+
+1. **Exploration** — breadth-first search over markings.  A marking where
+   any instantaneous activity is enabled is *vanishing* (zero dwell
+   time); otherwise it is *tangible*.  Exploration records
+   rate-labelled edges out of tangible markings and probability-labelled
+   edges out of vanishing markings.
+2. **Elimination** — vanishing markings are removed by solving
+   ``(I - P_vv) X = P_vt`` so that each vanishing marking is replaced by
+   its distribution over eventual tangible successors.  The linear solve
+   handles loops among vanishing markings (probabilistic races between
+   instantaneous activities) exactly.
+
+The result is a :class:`ReachabilityGraph` over tangible markings with
+effective rates, ready to be compiled to a CTMC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.san.errors import StateSpaceError
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+
+#: Default cap on explored markings (tangible + vanishing).
+DEFAULT_MAX_MARKINGS = 500_000
+
+#: Probabilities below this are treated as zero during elimination.
+_PROB_EPS = 1e-15
+
+
+@dataclass
+class ReachabilityGraph:
+    """The tangible reachability graph of a SAN.
+
+    Attributes
+    ----------
+    model_name:
+        Name of the source model.
+    markings:
+        Tangible markings, index-aligned with the CTMC state space.
+    initial_distribution:
+        Probability over tangible markings at time zero (non-trivial when
+        the initial marking itself is vanishing).
+    rates:
+        ``{(src_index, dst_index): rate}`` effective transition rates.
+    num_vanishing:
+        Number of vanishing markings eliminated.
+    """
+
+    model_name: str
+    markings: list[Marking]
+    initial_distribution: np.ndarray
+    rates: dict[tuple[int, int], float]
+    num_vanishing: int
+    _index: dict[Marking, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not self._index:
+            self._index = {m: i for i, m in enumerate(self.markings)}
+
+    @property
+    def num_states(self) -> int:
+        """Number of tangible markings."""
+        return len(self.markings)
+
+    def index_of(self, marking: Marking) -> int:
+        """Index of a tangible marking."""
+        try:
+            return self._index[marking]
+        except KeyError:
+            raise StateSpaceError(
+                f"marking {marking.short_label()} is not a tangible state"
+            ) from None
+
+    def states_where(self, predicate) -> list[int]:
+        """Indices of tangible markings satisfying ``predicate(marking)``."""
+        return [i for i, m in enumerate(self.markings) if predicate(m)]
+
+    def total_exit_rate(self, index: int) -> float:
+        """Sum of outgoing rates of tangible state ``index``."""
+        return sum(
+            rate for (src, _dst), rate in self.rates.items() if src == index
+        )
+
+
+def explore(
+    model: SANModel,
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+) -> ReachabilityGraph:
+    """Generate the tangible reachability graph of ``model``.
+
+    Raises
+    ------
+    StateSpaceError
+        If exploration exceeds ``max_markings``, a capacity constraint is
+        violated, or the vanishing-marking system is singular (an
+        instantaneous-activity loop that never reaches a tangible
+        marking).
+    """
+    initial = model.initial_marking()
+    tangible: dict[Marking, int] = {}
+    vanishing: dict[Marking, int] = {}
+    tangible_list: list[Marking] = []
+    vanishing_list: list[Marking] = []
+    # Edges: tangible -> {tangible|vanishing} with rates,
+    #        vanishing -> {tangible|vanishing} with probabilities.
+    t_edges: list[tuple[int, bool, int, float]] = []  # (src_t, dst_is_vanishing, dst, rate)
+    v_edges: list[tuple[int, bool, int, float]] = []  # (src_v, dst_is_vanishing, dst, prob)
+
+    def classify(marking: Marking) -> tuple[bool, int, bool]:
+        """Intern ``marking``; return (is_vanishing, index, is_new)."""
+        try:
+            model.check_capacities(marking)
+        except Exception as exc:
+            raise StateSpaceError(
+                f"exploration of {model.name!r} reached an invalid marking: {exc}"
+            ) from exc
+        if model.is_vanishing(marking):
+            if marking in vanishing:
+                return True, vanishing[marking], False
+            idx = len(vanishing_list)
+            vanishing[marking] = idx
+            vanishing_list.append(marking)
+            return True, idx, True
+        if marking in tangible:
+            return False, tangible[marking], False
+        idx = len(tangible_list)
+        tangible[marking] = idx
+        tangible_list.append(marking)
+        return False, idx, True
+
+    queue: deque[tuple[bool, int]] = deque()
+    init_is_vanishing, init_idx, _ = classify(initial)
+    queue.append((init_is_vanishing, init_idx))
+
+    while queue:
+        if len(tangible_list) + len(vanishing_list) > max_markings:
+            raise StateSpaceError(
+                f"state space of {model.name!r} exceeds {max_markings} markings"
+            )
+        is_vanishing, idx = queue.popleft()
+        marking = vanishing_list[idx] if is_vanishing else tangible_list[idx]
+        if is_vanishing:
+            _expand_vanishing(model, marking, idx, classify, queue, v_edges)
+        else:
+            _expand_tangible(model, marking, idx, classify, queue, t_edges)
+
+    return _eliminate_vanishing(
+        model,
+        initial,
+        tangible_list,
+        vanishing_list,
+        tangible,
+        vanishing,
+        t_edges,
+        v_edges,
+    )
+
+
+def _expand_tangible(model, marking, idx, classify, queue, t_edges) -> None:
+    """Record rate-labelled successors of a tangible marking."""
+    for activity in model.enabled_timed(marking):
+        rate = activity.rate_at(marking)
+        for prob, nxt in activity.successors(marking):
+            dst_vanishing, dst_idx, is_new = classify(nxt)
+            if is_new:
+                queue.append((dst_vanishing, dst_idx))
+            t_edges.append((idx, dst_vanishing, dst_idx, rate * prob))
+
+
+def _expand_vanishing(model, marking, idx, classify, queue, v_edges) -> None:
+    """Record probability-labelled successors of a vanishing marking.
+
+    Races between enabled instantaneous activities resolve in proportion
+    to their weights.
+    """
+    enabled = model.enabled_instantaneous(marking)
+    weights = [a.weight_at(marking) for a in enabled]
+    total_weight = sum(weights)
+    for activity, weight in zip(enabled, weights):
+        pick = weight / total_weight
+        for prob, nxt in activity.successors(marking):
+            dst_vanishing, dst_idx, is_new = classify(nxt)
+            if is_new:
+                queue.append((dst_vanishing, dst_idx))
+            v_edges.append((idx, dst_vanishing, dst_idx, pick * prob))
+
+
+def _eliminate_vanishing(
+    model,
+    initial,
+    tangible_list,
+    vanishing_list,
+    tangible,
+    vanishing,
+    t_edges,
+    v_edges,
+) -> ReachabilityGraph:
+    """Fold vanishing markings into effective tangible-to-tangible rates."""
+    n_t = len(tangible_list)
+    n_v = len(vanishing_list)
+    if n_t == 0:
+        raise StateSpaceError(
+            f"model {model.name!r} has no tangible markings — every marking "
+            "enables an instantaneous activity"
+        )
+
+    if n_v == 0:
+        rates: dict[tuple[int, int], float] = {}
+        for src, _dst_vanishing, dst, rate in t_edges:
+            if src != dst:
+                key = (src, dst)
+                rates[key] = rates.get(key, 0.0) + rate
+        init_dist = np.zeros(n_t)
+        init_dist[tangible[initial]] = 1.0
+        return ReachabilityGraph(
+            model_name=model.name,
+            markings=tangible_list,
+            initial_distribution=init_dist,
+            rates=rates,
+            num_vanishing=0,
+        )
+
+    # Build P_vv (vanishing -> vanishing) and P_vt (vanishing -> tangible).
+    vv_rows, vv_cols, vv_vals = [], [], []
+    vt_rows, vt_cols, vt_vals = [], [], []
+    for src, dst_vanishing, dst, prob in v_edges:
+        if prob <= _PROB_EPS:
+            continue
+        if dst_vanishing:
+            vv_rows.append(src)
+            vv_cols.append(dst)
+            vv_vals.append(prob)
+        else:
+            vt_rows.append(src)
+            vt_cols.append(dst)
+            vt_vals.append(prob)
+    p_vv = sp.csr_matrix((vv_vals, (vv_rows, vv_cols)), shape=(n_v, n_v))
+    p_vt = sp.csr_matrix((vt_vals, (vt_rows, vt_cols)), shape=(n_v, n_t))
+    system = sp.identity(n_v, format="csc") - p_vv.tocsc()
+    try:
+        # X[v, t] = P(eventually reach tangible t | start at vanishing v)
+        x = spla.spsolve(system, p_vt.tocsc())
+    except Exception as exc:  # singular system: vanishing loop without exit
+        raise StateSpaceError(
+            f"model {model.name!r} has an instantaneous-activity loop that "
+            "never reaches a tangible marking"
+        ) from exc
+    x = sp.csr_matrix(x.reshape(n_v, n_t) if not sp.issparse(x) else x)
+    # Validate that every vanishing marking resolves with probability ~1.
+    resolve_mass = np.asarray(x.sum(axis=1)).ravel()
+    if np.any(resolve_mass < 1.0 - 1e-6):
+        worst = int(np.argmin(resolve_mass))
+        raise StateSpaceError(
+            f"vanishing marking {vanishing_list[worst].short_label()} resolves "
+            f"to tangible states with probability {resolve_mass[worst]:g} < 1"
+        )
+
+    rates = {}
+    for src, dst_vanishing, dst, rate in t_edges:
+        if not dst_vanishing:
+            if src != dst:
+                key = (src, dst)
+                rates[key] = rates.get(key, 0.0) + rate
+            continue
+        row = x.getrow(dst)
+        for t_idx, prob in zip(row.indices, row.data):
+            if src != t_idx and prob > _PROB_EPS:
+                key = (src, int(t_idx))
+                rates[key] = rates.get(key, 0.0) + rate * prob
+
+    init_dist = np.zeros(n_t)
+    if initial in tangible:
+        init_dist[tangible[initial]] = 1.0
+    else:
+        row = x.getrow(vanishing[initial])
+        for t_idx, prob in zip(row.indices, row.data):
+            init_dist[int(t_idx)] = prob
+        init_dist /= init_dist.sum()
+
+    return ReachabilityGraph(
+        model_name=model.name,
+        markings=tangible_list,
+        initial_distribution=init_dist,
+        rates=rates,
+        num_vanishing=n_v,
+    )

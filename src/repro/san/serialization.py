@@ -1,0 +1,210 @@
+"""Declarative SAN model specifications (JSON-compatible dicts).
+
+Combined with the textual predicate/update language
+(:mod:`repro.san.spec`), a complete SAN can be written as data — the
+moral equivalent of UltraSAN's textual model format::
+
+    {
+      "name": "failure_model",
+      "places": [
+        {"name": "working", "initial": 1},
+        {"name": "failed"}
+      ],
+      "activities": [
+        {
+          "name": "fail",
+          "type": "timed",
+          "rate": 0.1,
+          "when": "MARK(working) == 1",
+          "cases": [
+            {"effect": "working = 0; failed = 1"}
+          ]
+        }
+      ]
+    }
+
+:func:`model_from_dict` builds a validated
+:class:`~repro.san.model.SANModel`; :func:`model_from_json` parses a
+JSON string first.  Rates may be numbers or expressions over the
+marking (e.g. ``"0.5 * MARK(up)"`` — marking-dependent rates as text).
+
+This format cannot express arbitrary Python gate functions; it covers
+the declarative subset, which is sufficient for most dependability
+models (and for every construct the examples use).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.errors import ModelStructureError
+from repro.san.gates import InputGate, OutputGate
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.san.spec import parse_expression, parse_predicate, parse_update
+
+_PLACE_KEYS = {"name", "initial", "capacity"}
+_ACTIVITY_KEYS = {"name", "type", "rate", "weight", "when", "consumes", "cases"}
+_CASE_KEYS = {"probability", "produces", "effect", "label"}
+
+
+def _check_keys(entry: Mapping, allowed: set, context: str) -> None:
+    unknown = set(entry) - allowed
+    if unknown:
+        raise ModelStructureError(
+            f"{context}: unknown keys {sorted(unknown)} (allowed: "
+            f"{sorted(allowed)})"
+        )
+
+
+def _parse_number_or_expression(value, context: str):
+    """A constant or a marking-dependent expression for rates/weights."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(value, str):
+        evaluate = parse_expression(value)
+
+        def marking_dependent(marking):
+            return float(evaluate(marking))
+
+        marking_dependent.spec = value
+        return marking_dependent
+    raise ModelStructureError(
+        f"{context}: expected a number or expression string, got {value!r}"
+    )
+
+
+def _parse_arcs(raw, context: str) -> tuple[tuple[str, int], ...]:
+    if raw is None:
+        return ()
+    arcs = []
+    for entry in raw:
+        if isinstance(entry, str):
+            arcs.append((entry, 1))
+        elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+            arcs.append((str(entry[0]), int(entry[1])))
+        elif isinstance(entry, Mapping):
+            arcs.append((str(entry["place"]), int(entry.get("tokens", 1))))
+        else:
+            raise ModelStructureError(
+                f"{context}: arc entries must be a place name, "
+                f"[place, tokens] pair, or {{place, tokens}} mapping; "
+                f"got {entry!r}"
+            )
+    return tuple(arcs)
+
+
+def _parse_case(raw: Mapping, activity: str, index: int) -> Case:
+    _check_keys(raw, _CASE_KEYS, f"activity {activity!r} case {index}")
+    probability = raw.get("probability", 1.0)
+    if isinstance(probability, str):
+        probability = _parse_number_or_expression(
+            probability, f"activity {activity!r} case {index} probability"
+        )
+    gates = ()
+    if "effect" in raw:
+        update = parse_update(raw["effect"])
+        gates = (OutputGate(f"og_{activity}_{index}", update),)
+    return Case(
+        probability=probability,
+        output_arcs=_parse_arcs(
+            raw.get("produces"), f"activity {activity!r} case {index}"
+        ),
+        output_gates=gates,
+        label=str(raw.get("label", "")),
+    )
+
+
+def model_from_dict(spec: Mapping) -> SANModel:
+    """Build a :class:`SANModel` from a declarative specification."""
+    if "name" not in spec:
+        raise ModelStructureError("model specification needs a 'name'")
+    places = []
+    for raw in spec.get("places", ()):
+        if isinstance(raw, str):
+            places.append(Place(raw))
+            continue
+        _check_keys(raw, _PLACE_KEYS, f"place {raw.get('name', '?')!r}")
+        places.append(
+            Place(
+                raw["name"],
+                initial=int(raw.get("initial", 0)),
+                capacity=(
+                    int(raw["capacity"]) if raw.get("capacity") is not None
+                    else None
+                ),
+            )
+        )
+
+    timed = []
+    instantaneous = []
+    for raw in spec.get("activities", ()):
+        name = raw.get("name")
+        if not name:
+            raise ModelStructureError("every activity needs a 'name'")
+        _check_keys(raw, _ACTIVITY_KEYS, f"activity {name!r}")
+        kind = raw.get("type", "timed")
+        input_gates = ()
+        if "when" in raw:
+            input_gates = (
+                InputGate(f"ig_{name}", predicate=parse_predicate(raw["when"])),
+            )
+        consumes = _parse_arcs(raw.get("consumes"), f"activity {name!r}")
+        cases = [
+            _parse_case(c, name, i)
+            for i, c in enumerate(raw.get("cases", ()))
+        ] or None
+        if kind == "timed":
+            if "rate" not in raw:
+                raise ModelStructureError(
+                    f"timed activity {name!r} needs a 'rate'"
+                )
+            timed.append(
+                TimedActivity(
+                    name,
+                    rate=_parse_number_or_expression(
+                        raw["rate"], f"activity {name!r} rate"
+                    ),
+                    cases=cases,
+                    input_arcs=consumes,
+                    input_gates=input_gates,
+                )
+            )
+        elif kind == "instantaneous":
+            weight = raw.get("weight", 1.0)
+            instantaneous.append(
+                InstantaneousActivity(
+                    name,
+                    cases=cases,
+                    input_arcs=consumes,
+                    input_gates=input_gates,
+                    weight=_parse_number_or_expression(
+                        weight, f"activity {name!r} weight"
+                    ),
+                )
+            )
+        else:
+            raise ModelStructureError(
+                f"activity {name!r}: type must be 'timed' or "
+                f"'instantaneous', got {kind!r}"
+            )
+
+    return SANModel(
+        spec["name"],
+        places=places,
+        timed_activities=timed,
+        instantaneous_activities=instantaneous,
+    )
+
+
+def model_from_json(text: str) -> SANModel:
+    """Build a model from a JSON specification string."""
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelStructureError(f"invalid JSON: {exc}") from exc
+    if not isinstance(spec, Mapping):
+        raise ModelStructureError("model specification must be an object")
+    return model_from_dict(spec)

@@ -1,0 +1,215 @@
+"""Textual predicate and update expressions over markings.
+
+UltraSAN specified reward predicates as C expressions over
+``MARK(place)``; this module provides the same ergonomics safely in
+Python.  Expressions are parsed with :mod:`ast`, validated against a
+strict node whitelist (no calls, no attribute access, no names other
+than place references), and compiled to closures over
+:class:`~repro.san.marking.Marking`:
+
+>>> pred = parse_predicate("detected == 1 && failure == 0")
+>>> pred(Marking(detected=1, failure=0))
+True
+
+Supported predicate syntax: integer literals, place names (bare or
+``MARK(place)``), comparisons (``== != < <= > >=``), arithmetic
+(``+ - *``), logical ``&&``/``||``/``!`` (or Python's
+``and``/``or``/``not``), and parentheses.
+
+Update expressions assign places from the *pre-update* marking:
+
+>>> fn = parse_update("failure = 1; dirty_bit = 0")
+
+Together with :func:`reward_structure_from_spec`, this allows reward
+structures — e.g. the paper's Table 1 — to be written as data:
+
+>>> rs = reward_structure_from_spec(
+...     "int_h", [("detected == 1 && failure == 0", 1.0)]
+... )
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Sequence
+
+from repro.san.errors import RewardSpecificationError, SANError
+from repro.san.marking import Marking
+from repro.san.rewards import PredicateRatePair, RewardStructure
+
+
+class SpecSyntaxError(SANError):
+    """The expression text is not valid spec syntax."""
+
+
+_MARK_CALL = re.compile(r"\bMARK\(\s*([A-Za-z_][A-Za-z_0-9]*)\s*\)")
+#: A bare ``!`` that is not part of ``!=``.
+_BANG = re.compile(r"!(?!=)")
+
+_ALLOWED_CMP_OPS = (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+_ALLOWED_BIN_OPS = (ast.Add, ast.Sub, ast.Mult)
+
+
+def _normalise(text: str) -> str:
+    """Translate C-style operators and MARK() calls to Python."""
+    text = _MARK_CALL.sub(r"\1", text)
+    text = text.replace("&&", " and ").replace("||", " or ")
+    text = _BANG.sub(" not ", text)
+    return text
+
+
+def _validate_expression(node: ast.AST, context: str) -> None:
+    """Whitelist-validate every node of a parsed expression."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Expression, ast.Load)):
+            continue
+        if isinstance(child, ast.Name):
+            continue
+        if isinstance(child, ast.Constant):
+            if not isinstance(child.value, (int, bool)):
+                raise SpecSyntaxError(
+                    f"{context}: only integer constants are allowed, "
+                    f"got {child.value!r}"
+                )
+            continue
+        if isinstance(child, ast.Compare):
+            for op in child.ops:
+                if not isinstance(op, _ALLOWED_CMP_OPS):
+                    raise SpecSyntaxError(
+                        f"{context}: comparison operator "
+                        f"{type(op).__name__} not allowed"
+                    )
+            continue
+        if isinstance(child, _ALLOWED_CMP_OPS):
+            continue
+        if isinstance(child, ast.BoolOp):
+            continue
+        if isinstance(child, (ast.And, ast.Or)):
+            continue
+        if isinstance(child, ast.UnaryOp):
+            if not isinstance(child.op, (ast.Not, ast.USub)):
+                raise SpecSyntaxError(
+                    f"{context}: unary operator "
+                    f"{type(child.op).__name__} not allowed"
+                )
+            continue
+        if isinstance(child, (ast.Not, ast.USub)):
+            continue
+        if isinstance(child, ast.BinOp):
+            if not isinstance(child.op, _ALLOWED_BIN_OPS):
+                raise SpecSyntaxError(
+                    f"{context}: binary operator "
+                    f"{type(child.op).__name__} not allowed"
+                )
+            continue
+        if isinstance(child, _ALLOWED_BIN_OPS):
+            continue
+        raise SpecSyntaxError(
+            f"{context}: syntax element {type(child).__name__} not allowed"
+        )
+
+
+class _MarkingNamespace(dict):
+    """Resolves bare names to token counts of the marking."""
+
+    def __init__(self, marking: Marking):
+        super().__init__()
+        self._marking = marking
+
+    def __missing__(self, key: str) -> int:
+        try:
+            return self._marking[key]
+        except Exception:
+            raise SpecSyntaxError(f"unknown place {key!r} in expression") from None
+
+
+def parse_expression(text: str) -> Callable[[Marking], int]:
+    """Compile an arithmetic/logical expression over place counts."""
+    if not text or not text.strip():
+        raise SpecSyntaxError("empty expression")
+    source = _normalise(text).strip()
+    try:
+        tree = ast.parse(source, mode="eval")
+    except SyntaxError as exc:
+        raise SpecSyntaxError(f"cannot parse {text!r}: {exc.msg}") from exc
+    _validate_expression(tree, context=repr(text))
+    code = compile(tree, filename="<san-spec>", mode="eval")
+
+    def evaluate(marking: Marking):
+        return eval(code, {"__builtins__": {}}, _MarkingNamespace(marking))
+
+    return evaluate
+
+
+def parse_predicate(text: str) -> Callable[[Marking], bool]:
+    """Compile a boolean predicate over markings from text."""
+    evaluate = parse_expression(text)
+
+    def predicate(marking: Marking) -> bool:
+        return bool(evaluate(marking))
+
+    predicate.spec = text  # keep the source for exports/debugging
+    return predicate
+
+
+def parse_update(text: str) -> Callable[[Marking], Marking]:
+    """Compile a marking update from ``place = expr; place = expr`` text.
+
+    All right-hand sides are evaluated against the *pre-update* marking,
+    then applied at once (simultaneous assignment semantics).
+    """
+    if not text or not text.strip():
+        raise SpecSyntaxError("empty update")
+    assignments: list[tuple[str, Callable[[Marking], int]]] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if "=" not in clause:
+            raise SpecSyntaxError(f"update clause {clause!r} has no '='")
+        target, _, expression = clause.partition("=")
+        if expression.startswith("="):
+            raise SpecSyntaxError(
+                f"update clause {clause!r} uses '==' where '=' was expected"
+            )
+        target = _MARK_CALL.sub(r"\1", target).strip()
+        if not target.isidentifier():
+            raise SpecSyntaxError(f"invalid assignment target {target!r}")
+        assignments.append((target, parse_expression(expression)))
+    if not assignments:
+        raise SpecSyntaxError("update contains no assignments")
+
+    def update(marking: Marking) -> Marking:
+        changes = {}
+        for target, evaluate in assignments:
+            value = evaluate(marking)
+            if not isinstance(value, (int, bool)) or isinstance(value, bool):
+                value = int(value)
+            changes[target] = int(value)
+        return marking.update(changes)
+
+    update.spec = text
+    return update
+
+
+def reward_structure_from_spec(
+    name: str,
+    pairs: Sequence[tuple[str, float]],
+) -> RewardStructure:
+    """Build a rate reward structure from ``(predicate text, rate)`` pairs.
+
+    The textual form of each predicate is preserved in the pair's
+    ``label`` so exports remain round-trippable.
+    """
+    if not pairs:
+        raise RewardSpecificationError(
+            f"reward structure {name!r} needs at least one pair"
+        )
+    rate_rewards = tuple(
+        PredicateRatePair(
+            predicate=parse_predicate(text), rate=float(rate), label=text
+        )
+        for text, rate in pairs
+    )
+    return RewardStructure(name=name, rate_rewards=rate_rewards)

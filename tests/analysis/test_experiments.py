@@ -1,0 +1,82 @@
+"""Tests for the canned paper experiments.
+
+The figure experiments are moderately expensive (each sweeps 2+ curves
+over an 11-point grid), so they are exercised once per session via
+module-scoped fixtures.
+"""
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_experiment("FIG9")
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_experiment("FIG11")
+
+
+class TestRegistry:
+    def test_all_artifacts_present(self):
+        assert set(EXPERIMENTS) == {
+            "FIG9", "FIG10", "FIG11", "FIG12", "TAB1", "TAB2", "TAB3"
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("FIG99")
+
+    def test_descriptions_nonempty(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.description
+            assert experiment.paper_artifact
+
+
+class TestFig9(object):
+    def test_all_claims_hold(self, fig9):
+        failing = [c for c in fig9.claims if not c.passed]
+        assert not failing, failing
+
+    def test_two_curves(self, fig9):
+        assert len(fig9.sweeps) == 2
+
+    def test_report_contains_table_and_chart(self, fig9):
+        assert "Optima:" in fig9.report
+        assert "legend:" in fig9.report
+        assert "[PASS]" in fig9.report
+
+    def test_optimum_values(self, fig9):
+        assert fig9.sweeps[0].optimum().phi == 7000.0
+        assert fig9.sweeps[1].optimum().phi == 5000.0
+
+
+class TestFig11(object):
+    def test_all_claims_hold(self, fig11):
+        failing = [c for c in fig11.claims if not c.passed]
+        assert not failing, failing
+
+    def test_five_curves_including_text_studies(self, fig11):
+        labels = [s.label for s in fig11.sweeps]
+        assert "c = 0.20" in labels
+        assert "c = 0.10" in labels
+
+
+class TestTables:
+    def test_tab1_claims(self):
+        outcome = run_experiment("TAB1")
+        assert outcome.all_claims_hold
+        assert "RMGd" in outcome.report
+
+    def test_tab2_claims(self):
+        outcome = run_experiment("TAB2")
+        assert outcome.all_claims_hold
+        assert "rho1" in outcome.report
+
+    def test_tab3_claims(self):
+        outcome = run_experiment("TAB3")
+        assert outcome.all_claims_hold
+        assert "lambda" in outcome.report

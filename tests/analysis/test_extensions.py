@@ -1,0 +1,87 @@
+"""Tests for the extension studies (optimal-phi maps, coverage threshold)."""
+
+import pytest
+
+from repro.analysis.extensions import (
+    OptimalPhiMap,
+    coverage_threshold,
+    optimal_phi_map,
+)
+from repro.gsu.parameters import PAPER_TABLE3
+
+
+@pytest.fixture(scope="module")
+def small_map() -> OptimalPhiMap:
+    return optimal_phi_map(
+        PAPER_TABLE3,
+        "mu_new",
+        [5e-5, 1e-4],
+        "theta",
+        [5000.0, 10_000.0],
+        grid_points=10,
+    )
+
+
+class TestOptimalPhiMap:
+    def test_shape(self, small_map):
+        assert len(small_map.optimal_phi) == 2
+        assert len(small_map.optimal_phi[0]) == 2
+
+    def test_monotone_in_mu(self, small_map):
+        # Higher fault rate -> longer guarding pays (at fixed theta).
+        for j in range(2):
+            assert small_map.optimal_phi[1][j] >= small_map.optimal_phi[0][j]
+
+    def test_monotone_in_theta(self, small_map):
+        # Longer window -> longer guarding (at fixed mu).
+        for i in range(2):
+            assert small_map.optimal_phi[i][1] >= small_map.optimal_phi[i][0]
+
+    def test_paper_corner_reproduced(self, small_map):
+        # mu = 1e-4, theta = 10000 must land at the paper's 7000.
+        assert small_map.optimal_phi[1][1] == pytest.approx(7000.0)
+
+    def test_table_and_heatmap_render(self, small_map):
+        table = small_map.to_table()
+        assert "mu_new" in table and "(1." in table
+        heat = small_map.to_heatmap("phi")
+        assert "heat map" in heat
+        heat_y = small_map.to_heatmap("y")
+        assert "max Y" in heat_y
+
+    def test_same_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_phi_map(
+                PAPER_TABLE3, "theta", [1.0], "theta", [2.0]
+            )
+
+
+class TestCoverageThreshold:
+    @pytest.fixture(scope="class")
+    def threshold(self) -> float:
+        base = PAPER_TABLE3.with_overrides(alpha=2500.0, beta=2500.0)
+        return coverage_threshold(base, tolerance=0.01)
+
+    def test_threshold_between_paper_brackets(self, threshold):
+        # Paper text: c = 0.1 never beneficial, c = 0.2 marginally so.
+        assert 0.05 < threshold < 0.2
+
+    def test_guarding_beneficial_above_threshold(self, threshold):
+        from repro.gsu.optimizer import find_optimal_phi
+
+        base = PAPER_TABLE3.with_overrides(alpha=2500.0, beta=2500.0)
+        above = find_optimal_phi(
+            base.with_overrides(coverage=min(1.0, threshold + 0.05)),
+            step=1000.0,
+        )
+        assert above.beneficial
+
+    def test_guarding_not_beneficial_below_threshold(self, threshold):
+        from repro.gsu.optimizer import find_optimal_phi
+
+        base = PAPER_TABLE3.with_overrides(alpha=2500.0, beta=2500.0)
+        below = find_optimal_phi(
+            base.with_overrides(coverage=max(1e-6, threshold - 0.05)),
+            step=1000.0,
+        )
+        assert below.phi == 0.0 or below.y <= 1.0

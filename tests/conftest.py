@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.gsu.parameters import PAPER_TABLE3, GSUParameters
+from repro.san.activities import Case, TimedActivity
+from repro.san.gates import InputGate
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+@pytest.fixture
+def paper_params() -> GSUParameters:
+    """The paper's Table 3 parameter assignment."""
+    return PAPER_TABLE3
+
+
+@pytest.fixture
+def scaled_params() -> GSUParameters:
+    """Fast parameters for simulation-backed tests."""
+    return GSUParameters(
+        theta=20.0,
+        lam=60.0,
+        mu_new=0.2,
+        mu_old=1e-4,
+        coverage=0.9,
+        p_ext=0.1,
+        alpha=600.0,
+        beta=600.0,
+    )
+
+
+@pytest.fixture
+def two_state_chain() -> CTMC:
+    """up -> down at rate 0.5 (closed-form survival exp(-0.5 t))."""
+    return CTMC.two_state_failure(0.5)
+
+
+@pytest.fixture
+def birth_death_chain() -> CTMC:
+    """An M/M/1/3 queue CTMC (arrival 2, service 3) for analytic checks."""
+    return CTMC.from_rates(
+        4,
+        {
+            (0, 1): 2.0,
+            (1, 2): 2.0,
+            (2, 3): 2.0,
+            (1, 0): 3.0,
+            (2, 1): 3.0,
+            (3, 2): 3.0,
+        },
+    )
+
+
+def mm1k_stationary(arrival: float, service: float, capacity: int) -> np.ndarray:
+    """Closed-form stationary distribution of an M/M/1/K queue."""
+    rho = arrival / service
+    weights = np.array([rho**k for k in range(capacity + 1)])
+    return weights / weights.sum()
+
+
+@pytest.fixture
+def mm13_stationary() -> np.ndarray:
+    """Stationary distribution matching ``birth_death_chain``."""
+    return mm1k_stationary(2.0, 3.0, 3)
+
+
+@pytest.fixture
+def simple_san() -> SANModel:
+    """A two-place SAN cycling one token (rates 1 and 2)."""
+    places = [Place("a", initial=1, capacity=1), Place("b", capacity=1)]
+    forward = TimedActivity(
+        "forward", rate=1.0, input_arcs=[("a", 1)],
+        cases=[Case(output_arcs=(("b", 1),))],
+    )
+    backward = TimedActivity(
+        "backward", rate=2.0, input_arcs=[("b", 1)],
+        cases=[Case(output_arcs=(("a", 1),))],
+    )
+    return SANModel("cycle", places, [forward, backward])
+
+
+@pytest.fixture
+def absorbing_san() -> SANModel:
+    """A SAN with an absorbing failure marking (work -> fail at 0.1)."""
+    places = [Place("working", initial=1, capacity=1), Place("failed", capacity=1)]
+    fail = TimedActivity(
+        "fail",
+        rate=0.1,
+        input_arcs=[("working", 1)],
+        cases=[Case(output_arcs=(("failed", 1),))],
+        input_gates=[InputGate("ig_alive", predicate=lambda m: m["failed"] == 0)],
+    )
+    return SANModel("failure", places, [fail])

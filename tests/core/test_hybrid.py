@@ -1,0 +1,180 @@
+"""Tests for hybrid constituent evaluation and uncertainty propagation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.constituent import (
+    ConstituentMeasure,
+    EvaluationContext,
+    SolutionType,
+)
+from repro.core.hybrid import (
+    AnalyticSource,
+    HybridPipeline,
+    MeasurementSource,
+    SimulationSource,
+    UncertainValue,
+)
+from repro.core.translation import TranslationPipeline, TranslationStage
+from repro.san.ctmc_builder import build_ctmc
+from repro.san.rewards import RewardStructure
+
+
+@pytest.fixture
+def pipeline(absorbing_san):
+    structure = RewardStructure.from_pairs(
+        "alive", [(lambda m: m["failed"] == 0, 1.0)]
+    )
+    measure = ConstituentMeasure(
+        name="survival",
+        description="P(alive at t)",
+        model_key="M",
+        structure=structure,
+        solution=SolutionType.INSTANT_OF_TIME,
+        time=lambda p: p["t"],
+    )
+    stage = TranslationStage(
+        name="s", description="", inputs=("Y",), outputs=("survival",)
+    )
+    return TranslationPipeline(
+        name="p",
+        stages=(stage,),
+        measures=(measure,),
+        aggregate=lambda v, p: 10.0 * v["survival"],
+    )
+
+
+@pytest.fixture
+def context(absorbing_san):
+    return EvaluationContext({"M": build_ctmc(absorbing_san)}, {"t": 5.0})
+
+
+class TestUncertainValue:
+    def test_exact_value_samples_constant(self):
+        uv = UncertainValue(mean=0.5)
+        samples = uv.sample(np.random.default_rng(0), 10)
+        assert np.all(samples == 0.5)
+
+    def test_samples_clipped_to_bounds(self):
+        uv = UncertainValue(mean=0.99, std_error=0.5, lower=0.0, upper=1.0)
+        samples = uv.sample(np.random.default_rng(0), 1000)
+        assert samples.min() >= 0.0
+        assert samples.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UncertainValue(mean=0.5, std_error=-0.1)
+        with pytest.raises(ValueError):
+            UncertainValue(mean=2.0, lower=0.0, upper=1.0)
+
+
+class TestSources:
+    def test_analytic_source_zero_error(self, pipeline, context):
+        measure = pipeline.constituent("survival")
+        uv = AnalyticSource(measure).evaluate(context)
+        assert uv.std_error == 0.0
+        assert uv.mean == pytest.approx(math.exp(-0.5), rel=1e-7)
+
+    def test_measurement_source(self, context):
+        uv = MeasurementSource(value=0.6, std_error=0.05).evaluate(context)
+        assert uv.mean == 0.6
+        assert uv.std_error == 0.05
+
+    def test_simulation_source_statistics(self, context):
+        samples = [0.0, 1.0, 1.0, 1.0]
+        uv = SimulationSource(lambda ctx: samples, lower=0.0, upper=1.0).evaluate(
+            context
+        )
+        assert uv.mean == pytest.approx(0.75)
+        assert uv.std_error > 0.0
+
+    def test_simulation_source_empty_rejected(self, context):
+        with pytest.raises(ValueError):
+            SimulationSource(lambda ctx: []).evaluate(context)
+
+
+class TestHybridPipeline:
+    def test_all_analytic_matches_base_pipeline(self, pipeline, context):
+        hybrid = HybridPipeline(pipeline)
+        result = hybrid.evaluate(context)
+        assert result.value == pytest.approx(
+            10.0 * math.exp(-0.5), rel=1e-7
+        )
+        assert result.samples.size == 0  # no uncertainty: no propagation
+
+    def test_unknown_override_rejected(self, pipeline):
+        with pytest.raises(ValueError, match="unknown"):
+            HybridPipeline(pipeline, {"ghost": MeasurementSource(1.0)})
+
+    def test_measurement_override_used(self, pipeline, context):
+        hybrid = HybridPipeline(
+            pipeline, {"survival": MeasurementSource(0.4)}
+        )
+        result = hybrid.evaluate(context)
+        assert result.value == pytest.approx(4.0)
+
+    def test_propagation_interval_covers_point(self, pipeline, context):
+        hybrid = HybridPipeline(
+            pipeline,
+            {"survival": MeasurementSource(0.5, std_error=0.05,
+                                           lower=0.0, upper=1.0)},
+        )
+        result = hybrid.evaluate(
+            context, propagate_samples=4000, rng=np.random.default_rng(1)
+        )
+        low, high = result.confidence_interval()
+        assert low < result.value < high
+        # Linear aggregate: propagated std ~ 10 * 0.05.
+        assert result.std_error == pytest.approx(0.5, rel=0.1)
+
+    def test_propagation_skipped_when_requested(self, pipeline, context):
+        hybrid = HybridPipeline(
+            pipeline, {"survival": MeasurementSource(0.5, std_error=0.05)}
+        )
+        result = hybrid.evaluate(context, propagate_samples=0)
+        assert result.samples.size == 0
+        assert result.confidence_interval() == (result.value, result.value)
+
+    def test_reproducible_with_rng(self, pipeline, context):
+        hybrid = HybridPipeline(
+            pipeline, {"survival": MeasurementSource(0.5, std_error=0.05)}
+        )
+        r1 = hybrid.evaluate(
+            context, propagate_samples=100, rng=np.random.default_rng(7)
+        )
+        r2 = hybrid.evaluate(
+            context, propagate_samples=100, rng=np.random.default_rng(7)
+        )
+        np.testing.assert_array_equal(r1.samples, r2.samples)
+
+
+class TestGSUHybrid:
+    def test_hybrid_y_consistent_with_analytic(self):
+        from repro.gsu.hybrid import hybrid_evaluate
+        from repro.gsu.measures import ConstituentSolver
+        from repro.gsu.performability import evaluate_index
+        from repro.gsu.validation import SCALED_VALIDATION_PARAMS
+
+        params = SCALED_VALIDATION_PARAMS
+        solver = ConstituentSolver(params)
+        hybrid = hybrid_evaluate(
+            params, 10.0, replications=250, seed=5, solver=solver
+        )
+        analytic = evaluate_index(params, 10.0, solver=solver).value
+        low, high = hybrid.confidence_interval(0.99)
+        assert low <= analytic <= high
+
+    def test_hybrid_simulated_constituents_have_uncertainty(self):
+        from repro.gsu.hybrid import SIMULATED_CONSTITUENTS, hybrid_evaluate
+        from repro.gsu.validation import SCALED_VALIDATION_PARAMS
+
+        hybrid = hybrid_evaluate(
+            SCALED_VALIDATION_PARAMS, 10.0, replications=100, seed=3,
+            propagate_samples=200,
+        )
+        for name in ("int_h", "p_gd_phi_a1", "int_tau_h"):
+            assert hybrid.result.constituents[name].std_error > 0.0
+        # Analytic constituents stay exact.
+        assert hybrid.result.constituents["rho1"].std_error == 0.0

@@ -1,0 +1,121 @@
+"""Tests for absorbing-chain analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.absorbing import (
+    absorption_probabilities,
+    analyze_absorbing,
+    fundamental_matrix,
+    mean_time_to_absorption,
+)
+from repro.ctmc.chain import CTMC
+from repro.ctmc.errors import CTMCError
+
+
+@pytest.fixture
+def competing_risks() -> CTMC:
+    """State 0 races to absorbing 1 (rate 1) or absorbing 2 (rate 3)."""
+    return CTMC.from_rates(3, {(0, 1): 1.0, (0, 2): 3.0})
+
+
+class TestAnalysis:
+    def test_competing_risks_probabilities(self, competing_risks):
+        probs = absorption_probabilities(competing_risks)
+        assert probs[1] == pytest.approx(0.25)
+        assert probs[2] == pytest.approx(0.75)
+
+    def test_competing_risks_mean_time(self, competing_risks):
+        assert mean_time_to_absorption(competing_risks) == pytest.approx(0.25)
+
+    def test_two_state_failure(self, two_state_chain):
+        assert mean_time_to_absorption(two_state_chain) == pytest.approx(2.0)
+        assert absorption_probabilities(two_state_chain)[1] == pytest.approx(1.0)
+
+    def test_tandem_stages(self):
+        # 0 -> 1 -> 2 (absorbing), rates 2 then 4: E[T] = 1/2 + 1/4.
+        chain = CTMC.from_rates(3, {(0, 1): 2.0, (1, 2): 4.0})
+        assert mean_time_to_absorption(chain) == pytest.approx(0.75)
+
+    def test_no_absorbing_state_rejected(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            analyze_absorbing(birth_death_chain)
+
+    def test_unreachable_absorption_rejected(self):
+        # States 0 and 1 cycle and never reach absorbing 2.
+        chain = CTMC(
+            [[-1.0, 1.0, 0.0], [1.0, -1.0, 0.0], [0.0, 0.0, 0.0]]
+        )
+        with pytest.raises(CTMCError):
+            analyze_absorbing(chain)
+
+    def test_initial_mass_on_absorbing_state(self, competing_risks):
+        shifted = competing_risks.with_initial([0.0, 1.0, 0.0])
+        probs = absorption_probabilities(shifted)
+        assert probs[1] == pytest.approx(1.0)
+        assert probs[2] == pytest.approx(0.0)
+        assert mean_time_to_absorption(shifted) == 0.0
+
+    def test_mixed_initial_distribution(self, competing_risks):
+        mixed = competing_risks.with_initial([0.5, 0.5, 0.0])
+        probs = absorption_probabilities(mixed)
+        assert probs[1] == pytest.approx(0.5 + 0.5 * 0.25)
+        assert mean_time_to_absorption(mixed) == pytest.approx(0.5 * 0.25)
+
+    def test_all_states_absorbing(self):
+        chain = CTMC(np.zeros((2, 2)), initial=[0.3, 0.7])
+        analysis = analyze_absorbing(chain)
+        assert analysis.transient_states == []
+        probs = absorption_probabilities(chain)
+        assert probs[0] == pytest.approx(0.3)
+        assert probs[1] == pytest.approx(0.7)
+
+
+class TestAccessors:
+    def test_absorption_probability_lookup(self, competing_risks):
+        analysis = analyze_absorbing(competing_risks)
+        assert analysis.absorption_probability(0, 2) == pytest.approx(0.75)
+        assert analysis.absorption_probability(1, 1) == 1.0
+        assert analysis.absorption_probability(1, 2) == 0.0
+
+    def test_expected_time_lookup(self, competing_risks):
+        analysis = analyze_absorbing(competing_risks)
+        assert analysis.expected_time(0) == pytest.approx(0.25)
+        assert analysis.expected_time(2) == 0.0
+
+    def test_rows_of_absorption_matrix_sum_to_one(self):
+        chain = CTMC.from_rates(
+            4, {(0, 1): 1.0, (1, 0): 1.0, (0, 2): 0.5, (1, 3): 2.0}
+        )
+        analysis = analyze_absorbing(chain)
+        np.testing.assert_allclose(
+            analysis.absorption_matrix.sum(axis=1), 1.0, atol=1e-10
+        )
+
+
+class TestFundamentalMatrix:
+    def test_expected_visits_two_stage(self):
+        chain = CTMC.from_rates(3, {(0, 1): 2.0, (1, 2): 4.0})
+        n = fundamental_matrix(chain)
+        # Time in state 0 from 0: 1/2; time in 1 from 0: 1/4.
+        np.testing.assert_allclose(n[0], [0.5, 0.25])
+        np.testing.assert_allclose(n[1], [0.0, 0.25])
+
+    def test_row_sums_equal_expected_times(self, competing_risks):
+        n = fundamental_matrix(competing_risks)
+        analysis = analyze_absorbing(competing_risks)
+        np.testing.assert_allclose(n.sum(axis=1), analysis.expected_times)
+
+    def test_empty_when_no_transient_states(self):
+        chain = CTMC(np.zeros((2, 2)))
+        assert fundamental_matrix(chain).shape == (0, 0)
+
+
+class TestConsistencyWithTransient:
+    def test_absorption_probability_matches_long_transient(self, competing_risks):
+        from repro.ctmc.transient import transient_distribution
+
+        pi = transient_distribution(competing_risks, 50.0)
+        probs = absorption_probabilities(competing_risks)
+        assert pi[1] == pytest.approx(probs[1], abs=1e-9)
+        assert pi[2] == pytest.approx(probs[2], abs=1e-9)

@@ -1,0 +1,101 @@
+"""Tests for DTMC utilities (embedded and uniformized chains)."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.dtmc import DTMC, embedded_dtmc, uniformized_dtmc
+from repro.ctmc.errors import CTMCError, DimensionError
+
+
+class TestDTMCConstruction:
+    def test_valid_matrix(self):
+        d = DTMC([[0.5, 0.5], [0.1, 0.9]])
+        assert d.num_states == 2
+
+    def test_rejects_non_stochastic_rows(self):
+        with pytest.raises(CTMCError):
+            DTMC([[0.5, 0.6], [0.1, 0.9]])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(CTMCError):
+            DTMC([[1.1, -0.1], [0.5, 0.5]])
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(DimensionError):
+            DTMC([[0.5, 0.5]])
+
+    def test_default_initial(self):
+        d = DTMC([[0.5, 0.5], [0.0, 1.0]])
+        np.testing.assert_allclose(d.initial_distribution, [1.0, 0.0])
+
+
+class TestStep:
+    def test_single_step(self):
+        d = DTMC([[0.0, 1.0], [1.0, 0.0]])
+        np.testing.assert_allclose(d.step([1.0, 0.0]), [0.0, 1.0])
+
+    def test_multi_step_periodic(self):
+        d = DTMC([[0.0, 1.0], [1.0, 0.0]])
+        np.testing.assert_allclose(d.step([1.0, 0.0], steps=2), [1.0, 0.0])
+
+    def test_zero_steps_identity(self):
+        d = DTMC([[0.3, 0.7], [0.6, 0.4]])
+        np.testing.assert_allclose(d.step([0.2, 0.8], steps=0), [0.2, 0.8])
+
+    def test_negative_steps_rejected(self):
+        d = DTMC([[0.3, 0.7], [0.6, 0.4]])
+        with pytest.raises(CTMCError):
+            d.step([1.0, 0.0], steps=-1)
+
+    def test_distribution_at(self):
+        d = DTMC([[0.0, 1.0], [1.0, 0.0]], initial=[1.0, 0.0])
+        np.testing.assert_allclose(d.distribution_at(3), [0.0, 1.0])
+
+
+class TestStationary:
+    def test_two_state(self):
+        d = DTMC([[0.5, 0.5], [0.25, 0.75]])
+        pi = d.stationary_distribution()
+        np.testing.assert_allclose(pi @ d.transition_matrix.toarray(), pi)
+        np.testing.assert_allclose(pi, [1 / 3, 2 / 3], atol=1e-10)
+
+    def test_single_state(self):
+        d = DTMC([[1.0]])
+        np.testing.assert_allclose(d.stationary_distribution(), [1.0])
+
+
+class TestEmbedded:
+    def test_jump_probabilities(self, birth_death_chain):
+        d = embedded_dtmc(birth_death_chain)
+        p = d.transition_matrix.toarray()
+        assert p[0, 1] == pytest.approx(1.0)
+        assert p[1, 0] == pytest.approx(3.0 / 5.0)
+        assert p[1, 2] == pytest.approx(2.0 / 5.0)
+
+    def test_absorbing_states_self_loop(self, two_state_chain):
+        d = embedded_dtmc(two_state_chain)
+        assert d.transition_matrix[1, 1] == pytest.approx(1.0)
+
+    def test_rows_stochastic(self, birth_death_chain):
+        d = embedded_dtmc(birth_death_chain)
+        rows = np.asarray(d.transition_matrix.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 1.0)
+
+
+class TestUniformized:
+    def test_stationary_matches_ctmc(self, birth_death_chain, mm13_stationary):
+        d, rate = uniformized_dtmc(birth_death_chain)
+        assert rate > 0
+        np.testing.assert_allclose(
+            d.stationary_distribution(), mm13_stationary, atol=1e-9
+        )
+
+    def test_embedded_vs_uniformized_stationary_differ(self, birth_death_chain):
+        # The jump chain's stationary distribution weights states by visit
+        # frequency, not by time — they must differ when exit rates vary.
+        embedded = embedded_dtmc(birth_death_chain).stationary_distribution()
+        uniformized, _ = uniformized_dtmc(birth_death_chain)
+        assert not np.allclose(
+            embedded, uniformized.stationary_distribution(), atol=1e-3
+        )

@@ -1,0 +1,157 @@
+"""Tests for first-passage time analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.errors import CTMCError
+from repro.ctmc.first_passage import (
+    first_passage_cdf,
+    first_passage_density,
+    first_passage_quantile,
+    make_absorbing,
+    mean_first_passage_time,
+)
+
+
+class TestMakeAbsorbing:
+    def test_target_transitions_removed(self, birth_death_chain):
+        modified = make_absorbing(birth_death_chain, [2])
+        assert modified.exit_rates()[2] == 0.0
+        # Other states unchanged.
+        assert modified.rate(0, 1) == birth_death_chain.rate(0, 1)
+
+    def test_labels_preserved(self):
+        chain = CTMC.two_state_failure(1.0)
+        modified = make_absorbing(chain, ["down"])
+        assert modified.state_index("down") == 1
+
+    def test_empty_target_rejected(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            make_absorbing(birth_death_chain, [])
+
+    def test_out_of_range_rejected(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            make_absorbing(birth_death_chain, [7])
+
+
+class TestCdf:
+    def test_exponential_hit_time(self):
+        chain = CTMC.two_state_failure(0.5)
+        for t in (0.5, 2.0, 5.0):
+            assert first_passage_cdf(chain, [1], t) == pytest.approx(
+                1 - math.exp(-0.5 * t), rel=1e-7
+            )
+
+    def test_initially_inside_target(self, birth_death_chain):
+        assert first_passage_cdf(birth_death_chain, [0], 0.0) == 1.0
+
+    def test_monotone_in_time(self, birth_death_chain):
+        values = [
+            first_passage_cdf(birth_death_chain, [3], t)
+            for t in (0.5, 1.0, 2.0, 5.0)
+        ]
+        assert values == sorted(values)
+
+    def test_hitting_a_set_uses_first_entry(self, birth_death_chain):
+        # Hitting {1, 2, 3} from 0 is just the first jump: Exp(2).
+        t = 1.0
+        assert first_passage_cdf(
+            birth_death_chain, [1, 2, 3], t
+        ) == pytest.approx(1 - math.exp(-2.0 * t), rel=1e-7)
+
+    def test_erlang_two_stage(self):
+        # 0 ->(3) 1 ->(3) 2: hitting 2 is Erlang(2, 3).
+        chain = CTMC.from_rates(3, {(0, 1): 3.0, (1, 2): 3.0})
+        t = 0.7
+        expected = 1 - math.exp(-3 * t) * (1 + 3 * t)
+        assert first_passage_cdf(chain, [2], t) == pytest.approx(
+            expected, rel=1e-7
+        )
+
+
+class TestDensity:
+    def test_exponential_density(self):
+        chain = CTMC.two_state_failure(1.0)
+        times = np.linspace(0.0, 4.0, 400)
+        density = first_passage_density(chain, [1], times)
+        np.testing.assert_allclose(
+            density[10:-10], np.exp(-times[10:-10]), rtol=0.01
+        )
+
+    def test_grid_validation(self):
+        chain = CTMC.two_state_failure(1.0)
+        with pytest.raises(CTMCError):
+            first_passage_density(chain, [1], np.array([0.0, 1.0]))
+        with pytest.raises(CTMCError):
+            first_passage_density(chain, [1], np.array([0.0, 1.0, 0.5]))
+
+
+class TestMean:
+    def test_exponential_mean(self):
+        chain = CTMC.two_state_failure(0.25)
+        assert mean_first_passage_time(chain, [1]) == pytest.approx(4.0)
+
+    def test_erlang_mean(self):
+        chain = CTMC.from_rates(3, {(0, 1): 3.0, (1, 2): 3.0})
+        assert mean_first_passage_time(chain, [2]) == pytest.approx(2 / 3)
+
+    def test_birth_death_mean_matches_theory(self, birth_death_chain):
+        # Mean hitting time of state 3 from 0 in M/M/1/3; validated
+        # against the fundamental-matrix computation.
+        modified = make_absorbing(birth_death_chain, [3])
+        from repro.ctmc.absorbing import mean_time_to_absorption
+
+        assert mean_first_passage_time(
+            birth_death_chain, [3]
+        ) == pytest.approx(mean_time_to_absorption(modified))
+
+    def test_infinite_when_competing_absorber_wins(self):
+        # 0 -> 1 (rate 1) or 0 -> 2 (rate 1); hitting 1 fails half the
+        # time, so E[T_1] is infinite.
+        chain = CTMC.from_rates(3, {(0, 1): 1.0, (0, 2): 1.0})
+        assert math.isinf(mean_first_passage_time(chain, [1]))
+
+
+class TestQuantile:
+    def test_exponential_median(self):
+        chain = CTMC.two_state_failure(1.0)
+        median = first_passage_quantile(chain, [1], 0.5)
+        assert median == pytest.approx(math.log(2.0), rel=1e-4)
+
+    def test_quantile_zero_when_starting_inside(self, birth_death_chain):
+        assert first_passage_quantile(birth_death_chain, [0], 0.5) == 0.0
+
+    def test_unreachable_probability_raises(self):
+        chain = CTMC.from_rates(3, {(0, 1): 1.0, (0, 2): 1.0})
+        # Hitting state 1 happens with probability 0.5 < 0.9.
+        with pytest.raises(CTMCError):
+            first_passage_quantile(chain, [1], 0.9, upper_bound=1000.0)
+
+    def test_invalid_probability(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            first_passage_quantile(birth_death_chain, [3], 1.5)
+
+
+class TestGSUApplication:
+    def test_detection_time_distribution_in_rmgd(self):
+        from repro.gsu.measures import ConstituentSolver
+        from repro.gsu.parameters import PAPER_TABLE3
+
+        solver = ConstituentSolver(PAPER_TABLE3)
+        compiled = solver.rm_gd
+        detected_states = compiled.states_where(lambda m: m["detected"] == 1)
+        # First-passage to detection by phi equals P(detected at phi)
+        # because detection states are never left towards undetected
+        # ones (detected is sticky in RMGd).
+        phi = 5000.0
+        hit = first_passage_cdf(compiled.chain, detected_states, phi)
+        from repro.san.rewards import RewardStructure, instant_of_time
+
+        sticky = RewardStructure.from_pairs(
+            "det", [(lambda m: m["detected"] == 1, 1.0)]
+        )
+        direct = instant_of_time(compiled, sticky, phi, method="auto")
+        assert hit == pytest.approx(direct, abs=1e-9)

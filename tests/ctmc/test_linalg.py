@@ -1,0 +1,114 @@
+"""Tests for the shared linear-algebra validators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ctmc.errors import (
+    DimensionError,
+    InvalidDistributionError,
+    InvalidGeneratorError,
+)
+from repro.ctmc.linalg import (
+    as_csr,
+    exit_rates,
+    uniformization_rate,
+    validate_distribution,
+    validate_generator,
+    validate_rewards,
+)
+
+
+class TestAsCsr:
+    def test_from_nested_lists(self):
+        m = as_csr([[1.0, 0.0], [0.0, 1.0]])
+        assert sp.issparse(m)
+        assert m.dtype == np.float64
+
+    def test_from_sparse_passthrough(self):
+        src = sp.coo_matrix(np.eye(3))
+        m = as_csr(src)
+        assert m.format == "csr"
+
+    def test_rejects_1d(self):
+        with pytest.raises(DimensionError):
+            as_csr([1.0, 2.0])
+
+
+class TestValidateGenerator:
+    def test_accepts_valid(self):
+        q = as_csr([[-2.0, 2.0], [1.0, -1.0]])
+        assert validate_generator(q) is q
+
+    def test_rejects_row_sum(self):
+        with pytest.raises(InvalidGeneratorError, match="sum to zero"):
+            validate_generator(as_csr([[-2.0, 1.0], [1.0, -1.0]]))
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(InvalidGeneratorError, match="negative"):
+            validate_generator(as_csr([[1.0, -1.0], [1.0, -1.0]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidGeneratorError):
+            validate_generator(as_csr(np.zeros((0, 0))))
+
+    def test_tolerance_scales_with_magnitude(self):
+        # Rounding noise on a large-rate generator should pass.
+        rate = 1e8
+        noise = 1e-4  # relative noise ~1e-12
+        q = as_csr([[-rate, rate + noise], [rate, -rate]])
+        validate_generator(q)
+
+
+class TestValidateDistribution:
+    def test_accepts_and_normalises_noise(self):
+        vec = validate_distribution([0.5 + 1e-12, 0.5 - 1e-12], 2)
+        assert vec.sum() == pytest.approx(1.0)
+
+    def test_clips_tiny_negative(self):
+        vec = validate_distribution([1.0 + 1e-10, -1e-10], 2)
+        assert vec[1] == 0.0
+
+    def test_rejects_large_negative(self):
+        with pytest.raises(InvalidDistributionError):
+            validate_distribution([1.5, -0.5], 2)
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(InvalidDistributionError):
+            validate_distribution([0.6, 0.6], 2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(DimensionError):
+            validate_distribution([1.0], 2)
+
+
+class TestValidateRewards:
+    def test_accepts_any_finite_values(self):
+        vec = validate_rewards([-5.0, 0.0, 3.2], 3)
+        np.testing.assert_allclose(vec, [-5.0, 0.0, 3.2])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidDistributionError):
+            validate_rewards([np.nan, 1.0], 2)
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidDistributionError):
+            validate_rewards([np.inf, 1.0], 2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(DimensionError):
+            validate_rewards([1.0, 2.0, 3.0], 2)
+
+
+class TestRates:
+    def test_exit_rates(self):
+        q = as_csr([[-2.0, 2.0], [1.0, -1.0]])
+        np.testing.assert_allclose(exit_rates(q), [2.0, 1.0])
+
+    def test_uniformization_rate_exceeds_max_exit(self):
+        q = as_csr([[-2.0, 2.0], [1.0, -1.0]])
+        assert uniformization_rate(q) >= 2.0
+
+    def test_uniformization_rate_for_all_absorbing(self):
+        q = as_csr(np.zeros((2, 2)))
+        assert uniformization_rate(q) == 1.0

@@ -1,0 +1,117 @@
+"""Tests for accumulated-reward moment solutions."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.accumulated import accumulated_reward
+from repro.ctmc.errors import CTMCError
+from repro.ctmc.moments import (
+    accumulated_reward_moments,
+    accumulated_reward_std,
+)
+
+
+class TestAgainstClosedForms:
+    def test_mean_matches_expectation_solver(self, birth_death_chain):
+        rewards = np.array([0.0, 1.0, 2.0, 3.0])
+        t = 4.0
+        moments = accumulated_reward_moments(birth_death_chain, rewards, t)
+        assert moments.mean == pytest.approx(
+            accumulated_reward(birth_death_chain, rewards, t), rel=1e-9
+        )
+
+    def test_constant_reward_has_zero_variance(self, birth_death_chain):
+        moments = accumulated_reward_moments(
+            birth_death_chain, np.ones(4), 5.0
+        )
+        assert moments.mean == pytest.approx(5.0)
+        assert moments.variance == pytest.approx(0.0, abs=1e-8)
+
+    def test_uptime_variance_exponential_failure(self):
+        # Y(t) = min(T, t) with T ~ Exp(mu): closed-form moments.
+        mu, t = 0.8, 2.5
+        chain = CTMC.two_state_failure(mu)
+        moments = accumulated_reward_moments(chain, [1.0, 0.0], t)
+        # E[min(T,t)] = (1 - e^{-mu t}) / mu
+        mean = (1 - np.exp(-mu * t)) / mu
+        # E[min(T,t)^2] = 2/mu^2 (1 - e^{-mu t}) - 2 t e^{-mu t} / mu
+        second = 2 / mu**2 * (1 - np.exp(-mu * t)) - 2 * t * np.exp(-mu * t) / mu
+        assert moments.mean == pytest.approx(mean, rel=1e-8)
+        assert moments.second_moment == pytest.approx(second, rel=1e-8)
+
+    def test_zero_horizon(self, birth_death_chain):
+        moments = accumulated_reward_moments(
+            birth_death_chain, np.ones(4), 0.0
+        )
+        assert moments.mean == 0.0
+        assert moments.second_moment == 0.0
+
+    def test_negative_time_rejected(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            accumulated_reward_moments(birth_death_chain, np.ones(4), -1.0)
+
+
+class TestAgainstSimulation:
+    def test_variance_matches_san_simulation(self, simple_san):
+        from repro.san.ctmc_builder import build_ctmc
+        from repro.san.rewards import RewardStructure
+        from repro.san.simulate import SANSimulator
+
+        compiled = build_ctmc(simple_san)
+        structure = RewardStructure.from_pairs(
+            "in_a", [(lambda m: m["a"] == 1, 1.0)]
+        )
+        rewards = structure.rate_vector(compiled)
+        t = 6.0
+        moments = accumulated_reward_moments(compiled.chain, rewards, t)
+
+        sim = SANSimulator(simple_san, seed=13)
+        samples = []
+        for _ in range(3000):
+            total = 0.0
+            for _entry, marking, dwell in sim.run_trajectory(t):
+                if marking["a"] == 1:
+                    total += dwell
+            samples.append(total)
+        samples = np.asarray(samples)
+        assert samples.mean() == pytest.approx(moments.mean, rel=0.03)
+        assert samples.std() == pytest.approx(moments.std_dev, rel=0.08)
+
+
+class TestDerivedQuantities:
+    def test_std_convenience(self, birth_death_chain):
+        rewards = [0.0, 1.0, 2.0, 3.0]
+        std = accumulated_reward_std(birth_death_chain, rewards, 3.0)
+        moments = accumulated_reward_moments(birth_death_chain, rewards, 3.0)
+        assert std == moments.std_dev
+
+    def test_coefficient_of_variation(self):
+        chain = CTMC.two_state_failure(1.0)
+        moments = accumulated_reward_moments(chain, [1.0, 0.0], 2.0)
+        assert moments.coefficient_of_variation == pytest.approx(
+            moments.std_dev / moments.mean
+        )
+
+    def test_cv_nan_for_zero_mean(self, birth_death_chain):
+        moments = accumulated_reward_moments(
+            birth_death_chain, np.zeros(4), 1.0
+        )
+        assert np.isnan(moments.coefficient_of_variation)
+
+
+class TestGSUApplication:
+    def test_worth_variability_during_gop(self):
+        # Variability of the forward-progress time of P1new over a short
+        # guarded interval, from RMGp.
+        from repro.gsu.measures import ConstituentSolver
+        from repro.gsu.parameters import PAPER_TABLE3
+
+        compiled = ConstituentSolver(PAPER_TABLE3).rm_gp
+        ready = compiled.probability_vector_for(lambda m: m["P1nReady"] == 1)
+        t = 1.0  # one hour of guarded operation
+        moments = accumulated_reward_moments(compiled.chain, ready, t)
+        # Mean forward-progress share ~ rho1.
+        assert moments.mean / t == pytest.approx(0.98, abs=0.005)
+        # There IS variability (ATs interrupt progress), but small.
+        assert 0.0 < moments.std_dev < 0.05 * t

@@ -1,0 +1,63 @@
+"""Tests for finite-difference sensitivity estimation."""
+
+import math
+
+import pytest
+
+from repro.ctmc.sensitivity import (
+    finite_difference_sensitivity,
+    sweep_sensitivity,
+)
+
+
+class TestFiniteDifference:
+    def test_linear_function_exact(self):
+        result = finite_difference_sensitivity(lambda x: 3.0 * x + 1.0, at=2.0)
+        assert result.derivative == pytest.approx(3.0, rel=1e-6)
+        assert result.measure_value == pytest.approx(7.0)
+
+    def test_quadratic_function(self):
+        result = finite_difference_sensitivity(lambda x: x * x, at=3.0)
+        assert result.derivative == pytest.approx(6.0, rel=1e-5)
+
+    def test_exponential_elasticity(self):
+        # f(x) = exp(x): elasticity at x is x (d ln f / d ln x * ... ).
+        result = finite_difference_sensitivity(math.exp, at=1.5)
+        assert result.elasticity == pytest.approx(1.5, rel=1e-4)
+
+    def test_small_parameter_step_stays_positive(self):
+        # Regression: the step must scale with |at| so tiny rates like
+        # mu_new = 1e-4 never probe negative values.
+        seen = []
+
+        def measure(x):
+            seen.append(x)
+            return x * 2.0
+
+        finite_difference_sensitivity(measure, at=1e-4, relative_step=0.05)
+        assert all(x > 0 for x in seen)
+
+    def test_zero_parameter_uses_absolute_step(self):
+        result = finite_difference_sensitivity(lambda x: 5.0 * x, at=0.0)
+        assert result.derivative == pytest.approx(5.0, rel=1e-6)
+        assert math.isnan(result.elasticity)
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            finite_difference_sensitivity(lambda x: x, at=1.0, relative_step=0.0)
+
+    def test_elasticity_nan_when_measure_zero(self):
+        result = finite_difference_sensitivity(lambda x: x - 2.0, at=2.0)
+        assert math.isnan(result.elasticity)
+
+
+class TestSweep:
+    def test_sweep_returns_one_result_per_point(self):
+        results = sweep_sensitivity(lambda x: x**2, [1.0, 2.0, 3.0])
+        assert len(results) == 3
+        assert [r.parameter_value for r in results] == [1.0, 2.0, 3.0]
+
+    def test_sweep_derivatives(self):
+        results = sweep_sensitivity(lambda x: x**2, [1.0, 4.0])
+        assert results[0].derivative == pytest.approx(2.0, rel=1e-5)
+        assert results[1].derivative == pytest.approx(8.0, rel=1e-5)

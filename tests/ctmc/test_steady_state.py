@@ -1,0 +1,104 @@
+"""Tests for the steady-state solvers."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.errors import ConvergenceError, CTMCError
+from repro.ctmc.steady_state import (
+    STEADY_METHODS,
+    steady_state_distribution,
+    steady_state_reward,
+)
+
+ALL_METHODS = ["direct", "power", "gauss-seidel", "sor"]
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_mm13_stationary(self, birth_death_chain, mm13_stationary, method):
+        pi = steady_state_distribution(birth_death_chain, method=method)
+        np.testing.assert_allclose(pi, mm13_stationary, atol=1e-8)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_two_state_cycle(self, method):
+        chain = CTMC.from_rates(2, {(0, 1): 1.0, (1, 0): 3.0})
+        pi = steady_state_distribution(chain, method=method)
+        np.testing.assert_allclose(pi, [0.75, 0.25], atol=1e-8)
+
+    def test_single_state_chain(self):
+        chain = CTMC(np.zeros((1, 1)))
+        np.testing.assert_allclose(steady_state_distribution(chain), [1.0])
+
+    def test_unknown_method(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            steady_state_distribution(birth_death_chain, method="bogus")
+
+    def test_pi_q_is_zero(self, birth_death_chain):
+        pi = steady_state_distribution(birth_death_chain)
+        residual = pi @ birth_death_chain.generator.toarray()
+        np.testing.assert_allclose(residual, 0.0, atol=1e-10)
+
+    def test_power_convergence_error_reported(self, birth_death_chain):
+        with pytest.raises(ConvergenceError) as exc_info:
+            steady_state_distribution(
+                birth_death_chain,
+                method="power",
+                tolerance=1e-16,
+                max_iterations=3,
+            )
+        assert exc_info.value.iterations == 3
+        assert exc_info.value.residual > 0
+
+    def test_sor_rejects_bad_relaxation(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            steady_state_distribution(
+                birth_death_chain, method="sor", relaxation=2.5
+            )
+
+    def test_sor_rejects_absorbing_state(self, two_state_chain):
+        with pytest.raises(CTMCError):
+            steady_state_distribution(two_state_chain, method="sor")
+
+    def test_methods_tuple(self):
+        assert set(STEADY_METHODS) == {"direct", "power", "gauss-seidel", "sor"}
+
+
+class TestSteadyReward:
+    def test_expected_queue_length(self, birth_death_chain, mm13_stationary):
+        rewards = np.array([0.0, 1.0, 2.0, 3.0])
+        value = steady_state_reward(birth_death_chain, rewards)
+        assert value == pytest.approx(float(mm13_stationary @ rewards))
+
+    def test_indicator_reward_is_probability(
+        self, birth_death_chain, mm13_stationary
+    ):
+        value = steady_state_reward(birth_death_chain, [0.0, 0.0, 0.0, 1.0])
+        assert value == pytest.approx(mm13_stationary[3])
+
+
+class TestLargerChain:
+    def test_random_walk_ring(self):
+        # 12-state ring with uniform rates: stationary is uniform.
+        n = 12
+        rates = {}
+        for i in range(n):
+            rates[(i, (i + 1) % n)] = 1.0
+            rates[(i, (i - 1) % n)] = 1.0
+        chain = CTMC.from_rates(n, rates)
+        for method in ALL_METHODS:
+            pi = steady_state_distribution(chain, method=method)
+            np.testing.assert_allclose(pi, np.full(n, 1 / n), atol=1e-7)
+
+    def test_detailed_balance_birth_death(self):
+        # Birth-death with state-dependent rates satisfies detailed balance.
+        rates = {}
+        birth = [3.0, 2.0, 1.0]
+        death = [2.0, 4.0, 1.5]
+        for i in range(3):
+            rates[(i, i + 1)] = birth[i]
+            rates[(i + 1, i)] = death[i]
+        chain = CTMC.from_rates(4, rates)
+        pi = steady_state_distribution(chain)
+        for i in range(3):
+            assert pi[i] * birth[i] == pytest.approx(pi[i + 1] * death[i], rel=1e-9)

@@ -1,0 +1,159 @@
+"""Tests for uniformization and Fox-Glynn weights."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.errors import CTMCError
+from repro.ctmc.uniformization import (
+    accumulated_by_uniformization,
+    fox_glynn_weights,
+    transient_by_uniformization,
+    uniformize,
+)
+
+
+class TestFoxGlynn:
+    def test_zero_mean_is_degenerate(self):
+        window = fox_glynn_weights(0.0)
+        assert window.left == 0 and window.right == 0
+        np.testing.assert_allclose(window.weights, [1.0])
+
+    def test_mass_criterion(self):
+        for mean in (0.1, 1.0, 10.0, 500.0, 25_000.0):
+            window = fox_glynn_weights(mean, tolerance=1e-10)
+            assert window.total_mass >= 1.0 - 1e-10
+
+    def test_weights_match_scipy_pmf(self):
+        mean = 12.5
+        window = fox_glynn_weights(mean)
+        ks = np.arange(window.left, window.right + 1)
+        np.testing.assert_allclose(
+            window.weights, stats.poisson(mean).pmf(ks), rtol=1e-12
+        )
+
+    def test_window_centred_near_mean(self):
+        window = fox_glynn_weights(1000.0)
+        assert window.left < 1000 < window.right
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(CTMCError):
+            fox_glynn_weights(-1.0)
+
+    def test_tolerance_shrinks_window(self):
+        loose = fox_glynn_weights(100.0, tolerance=1e-4)
+        tight = fox_glynn_weights(100.0, tolerance=1e-14)
+        assert (tight.right - tight.left) > (loose.right - loose.left)
+
+
+class TestUniformize:
+    def test_row_stochastic(self, birth_death_chain):
+        p, rate = uniformize(birth_death_chain.generator)
+        rows = np.asarray(p.sum(axis=1)).ravel()
+        np.testing.assert_allclose(rows, 1.0, atol=1e-12)
+        assert rate >= 5.0  # max exit rate
+
+    def test_respects_supplied_rate(self, birth_death_chain):
+        p, rate = uniformize(birth_death_chain.generator, rate=10.0)
+        assert rate == 10.0
+        # Self-loop probability = 1 - exit/10.
+        assert p[0, 0] == pytest.approx(1.0 - 2.0 / 10.0)
+
+    def test_rejects_rate_below_max_exit(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            uniformize(birth_death_chain.generator, rate=1.0)
+
+    def test_all_absorbing_generator(self):
+        chain = CTMC(np.zeros((2, 2)))
+        p, rate = uniformize(chain.generator)
+        assert rate > 0
+        np.testing.assert_allclose(p.toarray(), np.eye(2))
+
+
+class TestTransient:
+    def test_matches_closed_form_survival(self):
+        chain = CTMC.two_state_failure(0.5)
+        for t in (0.1, 1.0, 5.0):
+            pi = transient_by_uniformization(
+                chain.generator, chain.initial_distribution, t
+            )
+            assert pi[0] == pytest.approx(np.exp(-0.5 * t), rel=1e-9)
+
+    def test_time_zero_returns_initial(self, birth_death_chain):
+        pi = transient_by_uniformization(
+            birth_death_chain.generator,
+            birth_death_chain.initial_distribution,
+            0.0,
+        )
+        np.testing.assert_allclose(pi, birth_death_chain.initial_distribution)
+
+    def test_negative_time_rejected(self, birth_death_chain):
+        with pytest.raises(CTMCError):
+            transient_by_uniformization(
+                birth_death_chain.generator,
+                birth_death_chain.initial_distribution,
+                -1.0,
+            )
+
+    def test_long_horizon_converges_to_stationary(
+        self, birth_death_chain, mm13_stationary
+    ):
+        pi = transient_by_uniformization(
+            birth_death_chain.generator,
+            birth_death_chain.initial_distribution,
+            200.0,
+        )
+        np.testing.assert_allclose(pi, mm13_stationary, atol=1e-8)
+
+    def test_distribution_stays_normalised(self, birth_death_chain):
+        pi = transient_by_uniformization(
+            birth_death_chain.generator,
+            birth_death_chain.initial_distribution,
+            3.7,
+        )
+        assert pi.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(pi >= 0)
+
+
+class TestAccumulated:
+    def test_matches_closed_form_uptime(self):
+        # E[time in up over [0, t]] = (1 - exp(-mu t)) / mu.
+        mu = 0.5
+        chain = CTMC.two_state_failure(mu)
+        rewards = np.array([1.0, 0.0])
+        for t in (0.5, 2.0, 10.0):
+            value = accumulated_by_uniformization(
+                chain.generator, chain.initial_distribution, rewards, t
+            )
+            assert value == pytest.approx((1 - np.exp(-mu * t)) / mu, rel=1e-8)
+
+    def test_constant_reward_accumulates_time(self, birth_death_chain):
+        rewards = np.ones(4)
+        value = accumulated_by_uniformization(
+            birth_death_chain.generator,
+            birth_death_chain.initial_distribution,
+            rewards,
+            7.3,
+        )
+        assert value == pytest.approx(7.3, rel=1e-9)
+
+    def test_zero_horizon(self, birth_death_chain):
+        value = accumulated_by_uniformization(
+            birth_death_chain.generator,
+            birth_death_chain.initial_distribution,
+            np.ones(4),
+            0.0,
+        )
+        assert value == 0.0
+
+    def test_negative_rewards_supported(self):
+        chain = CTMC.two_state_failure(1.0)
+        rewards = np.array([0.0, -2.0])
+        t = 1.0
+        value = accumulated_by_uniformization(
+            chain.generator, chain.initial_distribution, rewards, t
+        )
+        # E[time in down] = t - (1 - e^-t); reward -2 per unit.
+        expected = -2.0 * (t - (1 - np.exp(-t)))
+        assert value == pytest.approx(expected, rel=1e-8)

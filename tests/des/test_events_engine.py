@@ -1,0 +1,141 @@
+"""Tests for the event queue and simulation engine."""
+
+import pytest
+
+from repro.des.engine import Engine
+from repro.des.events import EventQueue, SimulationError
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("late"))
+        q.push(1.0, lambda: order.append("early"))
+        q.pop().action()
+        q.pop().action()
+        assert order == ["early", "late"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("low"), priority=5)
+        q.push(1.0, lambda: order.append("high"), priority=-5)
+        q.pop().action()
+        assert order == ["high"]
+
+    def test_fifo_among_equal_priority(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("first"))
+        q.push(1.0, lambda: order.append("second"))
+        q.pop().action()
+        q.pop().action()
+        assert order == ["first", "second"]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        event.cancel()
+        assert len(q) == 0
+        assert not q
+        with pytest.raises(SimulationError):
+            q.pop()
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        first.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_rejects_noncallable_action(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(1.0, "not callable")
+
+
+class TestEngine:
+    def test_clock_advances_to_event_times(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(3.0, lambda: seen.append(engine.now))
+        engine.schedule(1.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [1.0, 3.0]
+
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append("a"))
+        engine.schedule(10.0, lambda: seen.append("b"))
+        final = engine.run(until=5.0)
+        assert seen == ["a"]
+        assert final == 5.0
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = Engine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            engine.schedule(1.0, lambda: seen.append("chained"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == ["first", "chained"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_step_executes_one_event(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(2.0, lambda: seen.append(2))
+        engine.step()
+        assert seen == [1]
+        assert engine.step() is not None
+        assert engine.step() is None
+
+    def test_event_cap_detects_loops(self):
+        engine = Engine(max_events=100)
+
+        def loop():
+            engine.schedule(0.0, loop)
+
+        engine.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="loop"):
+            engine.run()
+
+    def test_trace_records_tags(self):
+        engine = Engine()
+        engine.enable_trace()
+        engine.schedule(1.0, lambda: None, tag="alpha")
+        engine.schedule(2.0, lambda: None, tag="beta")
+        engine.run()
+        assert engine.trace == [(1.0, "alpha"), (2.0, "beta")]
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def nested():
+            engine.run()
+
+        engine.schedule(1.0, nested)
+        with pytest.raises(SimulationError, match="reentrant"):
+            engine.run()
+
+    def test_events_dispatched_counter(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        engine.run()
+        assert engine.events_dispatched == 5

@@ -1,0 +1,151 @@
+"""Tests for random streams and online statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.des.rng import RandomStreams
+from repro.des.stats import (
+    ConfidenceInterval,
+    OnlineStatistics,
+    TimeWeightedAccumulator,
+    batch_means,
+    replication_interval,
+)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).stream("x").random(5)
+        b = RandomStreams(42).stream("x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(42)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_creation_order_irrelevant(self):
+        s1 = RandomStreams(7)
+        s1.stream("first")
+        x1 = s1.stream("target").random(3)
+        s2 = RandomStreams(7)
+        x2 = s2.stream("target").random(3)
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_exponential_mean(self):
+        streams = RandomStreams(3)
+        samples = [streams.exponential("e", rate=4.0) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(0.25, rel=0.05)
+
+    def test_exponential_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            RandomStreams(1).exponential("e", rate=0.0)
+
+    def test_bernoulli_bounds(self):
+        streams = RandomStreams(4)
+        assert not any(streams.bernoulli("b", 0.0) for _ in range(100))
+        assert all(streams.bernoulli("b", 1.0) for _ in range(100))
+        with pytest.raises(ValueError):
+            streams.bernoulli("b", 1.5)
+
+    def test_choice_weighted(self):
+        streams = RandomStreams(5)
+        draws = [streams.choice("c", 2, [0.9, 0.1]) for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(0.1, abs=0.02)
+
+
+class TestOnlineStatistics:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(3.0, 2.0, 500)
+        stats = OnlineStatistics()
+        stats.extend(data)
+        assert stats.mean == pytest.approx(float(np.mean(data)))
+        assert stats.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert stats.std_error == pytest.approx(
+            float(np.std(data, ddof=1) / math.sqrt(len(data)))
+        )
+
+    def test_empty_and_single(self):
+        stats = OnlineStatistics()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.count == 1
+
+    def test_numerical_stability_large_offset(self):
+        stats = OnlineStatistics()
+        offset = 1e9
+        for value in (offset + 1.0, offset + 2.0, offset + 3.0):
+            stats.add(value)
+        assert stats.variance == pytest.approx(1.0)
+
+
+class TestTimeWeighted:
+    def test_piecewise_constant_average(self):
+        acc = TimeWeightedAccumulator(initial_value=0.0)
+        acc.update(2.0, 1.0)  # 0 for [0,2)
+        acc.update(6.0, 0.5)  # 1 for [2,6)
+        avg = acc.finalize(10.0)  # 0.5 for [6,10)
+        assert avg == pytest.approx((0 * 2 + 1 * 4 + 0.5 * 4) / 10.0)
+
+    def test_rejects_time_regression(self):
+        acc = TimeWeightedAccumulator()
+        acc.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            acc.update(4.0, 2.0)
+
+    def test_zero_elapsed_returns_current_value(self):
+        acc = TimeWeightedAccumulator(initial_value=7.0, start_time=3.0)
+        assert acc.time_average() == 7.0
+
+    def test_integral_accessor(self):
+        acc = TimeWeightedAccumulator(initial_value=2.0)
+        acc.update(3.0, 0.0)
+        assert acc.integral == pytest.approx(6.0)
+
+
+class TestIntervals:
+    def test_replication_interval_contains_truth(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(10.0, 1.0, 200)
+        ci = replication_interval(samples, confidence=0.99)
+        assert ci.contains(10.0)
+        assert ci.samples == 200
+
+    def test_single_sample_infinite_width(self):
+        ci = replication_interval([5.0])
+        assert math.isinf(ci.half_width)
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(ValueError):
+            replication_interval([])
+
+    def test_interval_endpoints(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.95, samples=5)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+        assert ci.contains(9.0)
+        assert not ci.contains(12.5)
+        assert "95%" in str(ci)
+
+    def test_batch_means(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(4.0, 1.0, 2000)
+        ci = batch_means(data, num_batches=20, confidence=0.999)
+        # The interval is centred on the overall sample mean and should
+        # cover the true mean at 99.9% confidence for iid data.
+        assert ci.mean == pytest.approx(float(np.mean(data)), rel=1e-9)
+        assert ci.contains(4.0)
+        assert ci.samples == 20
+
+    def test_batch_means_validation(self):
+        with pytest.raises(ValueError):
+            batch_means([1.0, 2.0], num_batches=1)
+        with pytest.raises(ValueError):
+            batch_means([1.0, 2.0], num_batches=5)

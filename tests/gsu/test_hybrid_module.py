@@ -1,0 +1,104 @@
+"""Unit tests for the GSU hybrid wiring internals."""
+
+import pytest
+
+from repro.gsu.hybrid import (
+    SIMULATED_CONSTITUENTS,
+    _per_replication_samples,
+    build_hybrid_pipeline,
+)
+from repro.gsu.validation import SCALED_VALIDATION_PARAMS
+from repro.mdcd.protocol import UpgradeOutcome
+from repro.mdcd.scenario import ScenarioResult
+
+
+def _result(detection=None, failure=None) -> ScenarioResult:
+    outcome = UpgradeOutcome.SUCCESS
+    if failure is not None:
+        outcome = UpgradeOutcome.FAILURE
+    elif detection is not None:
+        outcome = UpgradeOutcome.SAFE_DOWNGRADE
+    return ScenarioResult(
+        outcome=outcome,
+        detection_time=detection,
+        failure_time=failure,
+        worth=0.0,
+        overhead_p1new=0.0,
+        overhead_p2=0.0,
+        messages=0,
+        checkpoints=0,
+        acceptance_tests=0,
+    )
+
+
+class TestPerReplicationSamples:
+    PHI = 10.0
+
+    def test_int_h_counts_detected_not_failed(self):
+        results = [
+            _result(detection=3.0),
+            _result(detection=3.0, failure=5.0),
+            _result(),
+            _result(failure=2.0),
+        ]
+        samples = _per_replication_samples(results, self.PHI, "int_h")
+        assert samples == [1.0, 0.0, 0.0, 0.0]
+
+    def test_p_a1_counts_clean_paths(self):
+        results = [
+            _result(),
+            _result(detection=3.0),
+            _result(failure=12.0),  # fails after phi: clean *at* phi
+        ]
+        samples = _per_replication_samples(results, self.PHI, "p_gd_phi_a1")
+        assert samples == [1.0, 0.0, 1.0]
+
+    def test_int_hf_requires_both_events_before_phi(self):
+        results = [
+            _result(detection=3.0, failure=8.0),
+            _result(detection=3.0, failure=12.0),
+        ]
+        samples = _per_replication_samples(results, self.PHI, "int_hf")
+        assert samples == [1.0, 0.0]
+
+    def test_int_tau_h_is_first_event_censored(self):
+        results = [
+            _result(),  # nothing: phi
+            _result(detection=4.0),
+            _result(failure=2.5),
+            _result(detection=6.0, failure=1.0),
+        ]
+        samples = _per_replication_samples(results, self.PHI, "int_tau_h")
+        assert samples == [10.0, 4.0, 2.5, 1.0]
+
+    def test_unknown_constituent_rejected(self):
+        with pytest.raises(ValueError):
+            _per_replication_samples([], self.PHI, "nope")
+
+
+class TestBuildHybridPipeline:
+    def test_overrides_exactly_the_x_prime_constituents(self):
+        pipeline = build_hybrid_pipeline(
+            SCALED_VALIDATION_PARAMS, 5.0, replications=20, seed=1
+        )
+        from repro.core.hybrid import AnalyticSource, SimulationSource
+
+        for name, source in pipeline.sources.items():
+            if name in SIMULATED_CONSTITUENTS:
+                assert isinstance(source, SimulationSource), name
+            else:
+                assert isinstance(source, AnalyticSource), name
+
+    def test_tau_bounds_follow_phi(self):
+        pipeline = build_hybrid_pipeline(
+            SCALED_VALIDATION_PARAMS, 5.0, replications=10, seed=2
+        )
+        source = pipeline.sources["int_tau_h"]
+        assert source.upper == 5.0
+        assert pipeline.sources["int_h"].upper == 1.0
+
+    def test_phi_validated(self):
+        with pytest.raises(ValueError):
+            build_hybrid_pipeline(
+                SCALED_VALIDATION_PARAMS, 1e9, replications=5
+            )

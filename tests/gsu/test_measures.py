@@ -1,0 +1,144 @@
+"""Tests for the nine constituent measures (Tables 1-2 + RMNd)."""
+
+import math
+
+import pytest
+
+from repro.gsu.analytic import (
+    detection_probability,
+    mean_time_to_first_event,
+    overhead_p1new,
+    probability_no_error_gop,
+    survival_unprotected,
+)
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import PAPER_TABLE3
+
+
+@pytest.fixture(scope="module")
+def solver() -> ConstituentSolver:
+    return ConstituentSolver(PAPER_TABLE3)
+
+
+class TestTable1Measures:
+    def test_int_h_close_to_closed_form(self, solver):
+        phi = 7000.0
+        assert solver.int_h(phi) == pytest.approx(
+            detection_probability(PAPER_TABLE3, phi), rel=0.02
+        )
+
+    def test_int_h_monotone_in_phi(self, solver):
+        values = [solver.int_h(phi) for phi in (1000.0, 4000.0, 8000.0)]
+        assert values == sorted(values)
+
+    def test_int_h_zero_at_zero(self, solver):
+        assert solver.int_h(0.0) == 0.0
+
+    def test_int_tau_h_close_to_closed_form(self, solver):
+        phi = 7000.0
+        assert solver.int_tau_h(phi) == pytest.approx(
+            mean_time_to_first_event(PAPER_TABLE3, phi), rel=0.02
+        )
+
+    def test_int_tau_h_bounded_by_phi(self, solver):
+        for phi in (1000.0, 5000.0, 10_000.0):
+            assert 0.0 <= solver.int_tau_h(phi) <= phi
+
+    def test_int_hf_negligible_with_reliable_old_version(self, solver):
+        # Post-recovery failures are mu_old-driven: essentially zero.
+        assert solver.int_hf(10_000.0) < 1e-3
+
+    def test_p_gop_no_error_close_to_closed_form(self, solver):
+        phi = 7000.0
+        assert solver.p_gop_no_error(phi) == pytest.approx(
+            probability_no_error_gop(PAPER_TABLE3, phi), rel=0.02
+        )
+
+    def test_rmgd_outcomes_partition(self, solver):
+        phi = 6000.0
+        no_error = solver.p_gop_no_error(phi)
+        detected_alive = solver.int_h(phi)
+        detected_failed = solver.int_hf(phi)
+        # Remaining mass: undetected failures.
+        undetected_failed = 1.0 - no_error - detected_alive - detected_failed
+        assert undetected_failed >= -1e-12
+        assert undetected_failed == pytest.approx(
+            (1 - PAPER_TABLE3.coverage)
+            * (1 - math.exp(-PAPER_TABLE3.mu_new * phi)),
+            rel=0.05,
+        )
+
+    def test_phi_out_of_range_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver.int_h(-1.0)
+        with pytest.raises(ValueError):
+            solver.int_tau_h(20_000.0)
+
+    def test_exact_detection_time_below_table1_value(self, solver):
+        # The Table 1 accumulated structure also accrues on no-event
+        # paths, so it dominates the exact conditional moment.
+        phi = 7000.0
+        exact = solver.mean_detection_time_exact(phi)
+        table1 = solver.int_tau_h(phi)
+        assert 0.0 < exact < table1
+
+
+class TestTable2Measures:
+    def test_rho1_matches_paper(self, solver):
+        assert solver.rho1() == pytest.approx(0.98, abs=0.005)
+
+    def test_rho2_matches_paper(self, solver):
+        assert solver.rho2() == pytest.approx(0.95, abs=0.01)
+
+    def test_rho1_closed_form(self, solver):
+        assert 1.0 - solver.rho1() == pytest.approx(
+            overhead_p1new(PAPER_TABLE3), rel=1e-6
+        )
+
+    def test_slow_safeguards_reduce_rho(self):
+        slow = ConstituentSolver(
+            PAPER_TABLE3.with_overrides(alpha=2500.0, beta=2500.0)
+        )
+        assert slow.rho1() == pytest.approx(0.95, abs=0.005)
+        assert slow.rho2() == pytest.approx(0.90, abs=0.015)
+
+    def test_rho_independent_of_phi_and_theta(self):
+        short = ConstituentSolver(PAPER_TABLE3.with_overrides(theta=5000.0))
+        base = ConstituentSolver(PAPER_TABLE3)
+        assert short.rho1() == pytest.approx(base.rho1())
+        assert short.rho2() == pytest.approx(base.rho2())
+
+
+class TestRMNdMeasures:
+    def test_survival_new(self, solver):
+        theta = PAPER_TABLE3.theta
+        assert solver.p_normal_no_failure(theta, "new") == pytest.approx(
+            survival_unprotected(PAPER_TABLE3, theta), rel=0.01
+        )
+
+    def test_survival_old_nearly_one(self, solver):
+        assert solver.p_normal_no_failure(10_000.0, "old") > 0.999
+
+    def test_int_f_complementarity(self, solver):
+        phi = 4000.0
+        assert solver.int_f(phi) == pytest.approx(
+            1.0 - solver.p_normal_no_failure(PAPER_TABLE3.theta - phi, "old")
+        )
+
+    def test_int_f_decreases_with_phi(self, solver):
+        # Larger phi leaves less post-recovery exposure time.
+        assert solver.int_f(8000.0) < solver.int_f(1000.0)
+
+    def test_negative_time_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver.p_normal_no_failure(-1.0)
+
+
+class TestModelCaching:
+    def test_models_dictionary_keys(self, solver):
+        models = solver.models()
+        assert set(models) == {"RMGd", "RMGp", "RMNd_new", "RMNd_old"}
+
+    def test_compiled_models_cached(self, solver):
+        assert solver.rm_gd is solver.rm_gd
+        assert solver.rm_gp is solver.rm_gp

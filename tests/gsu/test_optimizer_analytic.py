@@ -1,0 +1,122 @@
+"""Tests for the optimal-phi search and the closed-form approximations."""
+
+import math
+
+import pytest
+
+from repro.gsu.analytic import (
+    detection_probability,
+    mean_time_to_first_event,
+    overhead_p1new,
+    overhead_reset_fraction,
+    performability_index_approx,
+    probability_no_error_gop,
+    survival_recovered,
+    survival_unprotected,
+    undetected_failure_probability,
+)
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.optimizer import find_optimal_phi
+from repro.gsu.parameters import PAPER_TABLE3
+
+
+class TestOptimizer:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        return ConstituentSolver(PAPER_TABLE3)
+
+    def test_grid_optimum_matches_paper(self, solver):
+        result = find_optimal_phi(PAPER_TABLE3, solver=solver)
+        assert result.phi == 7000.0
+        assert result.beneficial
+        assert 1.4 < result.y < 1.6
+
+    def test_sweep_includes_endpoints(self, solver):
+        result = find_optimal_phi(PAPER_TABLE3, solver=solver)
+        phis = [e.phi for e in result.sweep]
+        assert phis[0] == 0.0
+        assert phis[-1] == PAPER_TABLE3.theta
+
+    def test_refinement_improves_or_matches(self, solver):
+        coarse = find_optimal_phi(PAPER_TABLE3, solver=solver)
+        refined = find_optimal_phi(
+            PAPER_TABLE3, refine=True, refine_tolerance=50.0, solver=solver
+        )
+        assert refined.y >= coarse.y
+        assert abs(refined.phi - coarse.phi) <= 1000.0
+
+    def test_grid_optimum_accessor(self, solver):
+        result = find_optimal_phi(PAPER_TABLE3, solver=solver)
+        assert result.grid_optimum().value == max(
+            e.value for e in result.sweep
+        )
+
+    def test_low_coverage_not_beneficial(self):
+        params = PAPER_TABLE3.with_overrides(
+            coverage=0.10, alpha=2500.0, beta=2500.0
+        )
+        result = find_optimal_phi(params, step=2000.0)
+        assert result.phi == 0.0
+        assert not result.beneficial
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            find_optimal_phi(PAPER_TABLE3, step=0.0)
+
+    def test_non_divisible_step_still_covers_theta(self):
+        result = find_optimal_phi(
+            PAPER_TABLE3.with_overrides(theta=5000.0), step=1700.0
+        )
+        phis = [e.phi for e in result.sweep]
+        assert phis[-1] == 5000.0
+
+
+class TestClosedForms:
+    def test_survival_unprotected(self):
+        # (mu_new + mu_old) * theta = (1e-4 + 1e-8) * 1e4 = 1.0001.
+        assert survival_unprotected(PAPER_TABLE3, 10_000.0) == pytest.approx(
+            math.exp(-1.0001), rel=1e-9
+        )
+
+    def test_survival_recovered_nearly_one(self):
+        assert survival_recovered(PAPER_TABLE3, 10_000.0) > 0.999
+
+    def test_detection_plus_escape_equals_fault_probability(self):
+        phi = 6000.0
+        fault = 1 - math.exp(-PAPER_TABLE3.mu_new * phi)
+        total = detection_probability(
+            PAPER_TABLE3, phi
+        ) + undetected_failure_probability(PAPER_TABLE3, phi)
+        assert total == pytest.approx(fault, rel=1e-12)
+
+    def test_mean_time_to_first_event_limits(self):
+        # Small phi: ~phi; large phi: ~1/mu.
+        assert mean_time_to_first_event(PAPER_TABLE3, 10.0) == pytest.approx(
+            10.0, rel=1e-3
+        )
+        assert mean_time_to_first_event(
+            PAPER_TABLE3.with_overrides(mu_new=1e-2), 10_000.0
+        ) == pytest.approx(100.0, rel=1e-9)
+
+    def test_overhead_p1new_values(self):
+        assert overhead_p1new(PAPER_TABLE3) == pytest.approx(
+            0.02, abs=0.001
+        )
+        slow = PAPER_TABLE3.with_overrides(alpha=2500.0, beta=2500.0)
+        assert overhead_p1new(slow) == pytest.approx(0.046, abs=0.002)
+
+    def test_reset_fraction_between_zero_and_one(self):
+        frac = overhead_reset_fraction(PAPER_TABLE3)
+        assert 0.0 < frac < 1.0
+
+    def test_closed_form_y_tracks_numerical(self):
+        solver = ConstituentSolver(PAPER_TABLE3)
+        from repro.gsu.performability import evaluate_index
+
+        for phi in (2000.0, 7000.0):
+            approx = performability_index_approx(PAPER_TABLE3, phi)
+            numeric = evaluate_index(PAPER_TABLE3, phi, solver=solver).value
+            assert approx == pytest.approx(numeric, rel=0.05)
+
+    def test_closed_form_y_at_zero(self):
+        assert performability_index_approx(PAPER_TABLE3, 0.0) == 1.0

@@ -1,0 +1,84 @@
+"""Tests for GSU parameters (Table 3)."""
+
+import pytest
+
+from repro.gsu.parameters import PAPER_TABLE3, GSUParameters
+
+
+class TestDefaults:
+    def test_defaults_match_table3(self):
+        p = GSUParameters()
+        assert p.theta == 10_000.0
+        assert p.lam == 1_200.0
+        assert p.mu_new == 1e-4
+        assert p.mu_old == 1e-8
+        assert p.coverage == 0.95
+        assert p.p_ext == 0.1
+        assert p.alpha == 6_000.0
+        assert p.beta == 6_000.0
+
+    def test_paper_constant_equals_defaults(self):
+        assert PAPER_TABLE3 == GSUParameters()
+
+    def test_physical_interpretation(self):
+        # lambda=1200/h -> 3 s between messages; alpha=6000/h -> 600 ms.
+        assert 3600.0 / PAPER_TABLE3.lam == pytest.approx(3.0)
+        assert 3600.0 * PAPER_TABLE3.mean_at_duration == pytest.approx(0.6)
+        assert 3600.0 * PAPER_TABLE3.mean_checkpoint_duration == pytest.approx(0.6)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("theta", 0.0),
+            ("lam", -1.0),
+            ("mu_new", 0.0),
+            ("mu_old", 0.0),
+            ("alpha", 0.0),
+            ("beta", -5.0),
+            ("coverage", 1.5),
+            ("coverage", -0.1),
+            ("p_ext", 0.0),
+            ("p_ext", 1.1),
+        ],
+    )
+    def test_rejects_invalid_field(self, field, value):
+        with pytest.raises(ValueError):
+            GSUParameters(**{field: value})
+
+    def test_rejects_fault_rate_above_message_rate(self):
+        with pytest.raises(ValueError, match="mu_new"):
+            GSUParameters(lam=10.0, mu_new=20.0)
+
+    def test_validate_phi(self):
+        p = GSUParameters()
+        assert p.validate_phi(0.0) == 0.0
+        assert p.validate_phi(10_000.0) == 10_000.0
+        with pytest.raises(ValueError):
+            p.validate_phi(-1.0)
+        with pytest.raises(ValueError):
+            p.validate_phi(10_001.0)
+
+
+class TestDerived:
+    def test_rates(self):
+        p = GSUParameters()
+        assert p.external_rate == pytest.approx(120.0)
+        assert p.internal_rate == pytest.approx(1080.0)
+
+    def test_with_overrides(self):
+        p = PAPER_TABLE3.with_overrides(mu_new=5e-5, theta=5000.0)
+        assert p.mu_new == 5e-5
+        assert p.theta == 5000.0
+        assert p.lam == PAPER_TABLE3.lam
+        # Original untouched (frozen dataclass).
+        assert PAPER_TABLE3.mu_new == 1e-4
+
+    def test_override_still_validated(self):
+        with pytest.raises(ValueError):
+            PAPER_TABLE3.with_overrides(coverage=2.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_TABLE3.theta = 1.0

@@ -1,0 +1,90 @@
+"""Unit tests for the validation module's comparison machinery."""
+
+import pytest
+
+from repro.des.stats import ConfidenceInterval
+from repro.gsu.validation import (
+    MeasureComparison,
+    ValidationReport,
+)
+
+
+def _interval(mean: float, half_width: float) -> ConfidenceInterval:
+    return ConfidenceInterval(
+        mean=mean, half_width=half_width, confidence=0.99, samples=100
+    )
+
+
+class TestMeasureComparison:
+    def test_consistent_when_inside_interval(self):
+        comp = MeasureComparison(
+            name="x", analytic=0.5, simulated=_interval(0.52, 0.05)
+        )
+        assert comp.consistent
+
+    def test_inconsistent_outside_interval_no_tolerance(self):
+        comp = MeasureComparison(
+            name="x", analytic=0.5, simulated=_interval(0.6, 0.05)
+        )
+        assert not comp.consistent
+
+    def test_relative_tolerance_rescues_small_gap(self):
+        comp = MeasureComparison(
+            name="x",
+            analytic=0.5,
+            simulated=_interval(0.52, 0.001),
+            relative_tolerance=0.10,
+        )
+        assert comp.consistent  # 4% gap within the 10% allowance
+
+    def test_relative_tolerance_does_not_rescue_large_gap(self):
+        comp = MeasureComparison(
+            name="x",
+            analytic=0.5,
+            simulated=_interval(0.7, 0.001),
+            relative_tolerance=0.10,
+        )
+        assert not comp.consistent
+
+    def test_absolute_tolerance_for_rare_events(self):
+        comp = MeasureComparison(
+            name="rare",
+            analytic=1e-4,
+            simulated=_interval(0.0, 0.0),
+            absolute_tolerance=0.01,
+        )
+        assert comp.consistent
+        assert comp.relative_gap == pytest.approx(1.0)
+
+    def test_relative_gap_scale_guard(self):
+        comp = MeasureComparison(
+            name="zero", analytic=0.0, simulated=_interval(0.1, 0.01)
+        )
+        assert comp.relative_gap > 1.0  # guarded against division by zero
+
+
+class TestValidationReport:
+    def _report(self, consistent: bool) -> ValidationReport:
+        comp = MeasureComparison(
+            name="m",
+            analytic=0.5,
+            simulated=_interval(0.5 if consistent else 0.9, 0.05),
+        )
+        return ValidationReport(phi=1.0, replications=100, comparisons=(comp,))
+
+    def test_all_consistent(self):
+        assert self._report(True).all_consistent
+        assert not self._report(False).all_consistent
+
+    def test_lookup(self):
+        report = self._report(True)
+        assert report.comparison("m").name == "m"
+        with pytest.raises(KeyError):
+            report.comparison("ghost")
+
+    def test_summary_format(self):
+        text = self._report(False).summary()
+        assert "phi=1.0" in text
+        assert "NO" in text
+        text_ok = self._report(True).summary()
+        assert "yes" in text_ok

@@ -1,0 +1,197 @@
+"""Tests for MDCD protocol components: messages, checkpoints, ATs,
+processes, fault injection."""
+
+import pytest
+
+from repro.des.engine import Engine
+from repro.des.rng import RandomStreams
+from repro.mdcd.acceptance_test import AcceptanceTest, ATOutcome
+from repro.mdcd.checkpoint import CheckpointStore
+from repro.mdcd.failure import FaultInjector
+from repro.mdcd.messages import Message, MessageKind, MessageLog
+from repro.mdcd.process import ApplicationProcess, ProcessRole
+
+
+def _message(**kwargs) -> Message:
+    defaults = dict(
+        sender="P1new",
+        kind=MessageKind.EXTERNAL,
+        erroneous=False,
+        sent_at=1.0,
+        sender_potentially_contaminated=True,
+    )
+    defaults.update(kwargs)
+    return Message.create(**defaults)
+
+
+class TestMessages:
+    def test_sequence_numbers_unique_and_increasing(self):
+        a, b = _message(), _message()
+        assert b.msg_id > a.msg_id
+
+    def test_message_log(self):
+        log = MessageLog()
+        log.append(_message(sent_at=1.0))
+        log.append(_message(sent_at=3.0))
+        assert len(log) == 2
+        assert len(log.since(2.0)) == 1
+        log.clear()
+        assert len(log) == 0
+
+
+class TestCheckpointRule:
+    def test_trigger_condition(self):
+        required = CheckpointStore.checkpoint_required
+        # Clean receiver + dirty sender: checkpoint.
+        assert required(False, True)
+        # Already-dirty receiver: no checkpoint.
+        assert not required(True, True)
+        # Clean sender never triggers.
+        assert not required(False, False)
+        assert not required(True, False)
+
+    def test_establish_and_lookup(self):
+        store = CheckpointStore()
+        store.establish("P2", 1.0, state_valid=True)
+        store.establish("P2", 2.0, state_valid=True)
+        assert store.count_for("P2") == 2
+        assert store.latest("P2").established_at == 2.0
+        assert store.latest("P1old") is None
+        assert store.established_count == 2
+
+    def test_discard_all(self):
+        store = CheckpointStore()
+        store.establish("P2", 1.0, state_valid=True)
+        store.discard_all()
+        assert store.latest("P2") is None
+
+
+class TestAcceptanceTest:
+    def _at(self, coverage: float) -> AcceptanceTest:
+        return AcceptanceTest(
+            coverage=coverage, completion_rate=100.0, streams=RandomStreams(0)
+        )
+
+    def test_correct_message_always_passes(self):
+        at = self._at(0.5)
+        for _ in range(50):
+            assert at.execute(_message(erroneous=False)) is ATOutcome.PASS
+        assert at.detections == 0
+
+    def test_full_coverage_always_detects(self):
+        at = self._at(1.0)
+        for _ in range(50):
+            assert at.execute(_message(erroneous=True)) is ATOutcome.DETECTED
+
+    def test_zero_coverage_always_escapes(self):
+        at = self._at(0.0)
+        for _ in range(50):
+            assert at.execute(_message(erroneous=True)) is ATOutcome.ESCAPED
+
+    def test_partial_coverage_statistics(self):
+        at = self._at(0.7)
+        outcomes = [at.execute(_message(erroneous=True)) for _ in range(3000)]
+        rate = sum(1 for o in outcomes if o is ATOutcome.DETECTED) / 3000
+        assert rate == pytest.approx(0.7, abs=0.03)
+
+    def test_required_policy(self):
+        external_dirty = _message()
+        internal = _message(kind=MessageKind.INTERNAL)
+        external_clean = _message(sender_potentially_contaminated=False)
+        assert AcceptanceTest.required(external_dirty, True)
+        assert not AcceptanceTest.required(internal, True)
+        assert not AcceptanceTest.required(external_clean, True)
+        assert not AcceptanceTest.required(external_dirty, False)
+
+    def test_duration_positive(self):
+        at = self._at(0.5)
+        assert at.duration() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._at(1.5)
+        with pytest.raises(ValueError):
+            AcceptanceTest(coverage=0.5, completion_rate=0.0,
+                           streams=RandomStreams(0))
+
+
+class TestApplicationProcess:
+    def test_always_suspect_pins_dirty_bit(self):
+        p = ApplicationProcess("P1new", ProcessRole.ACTIVE_NEW, always_suspect=True)
+        assert p.potentially_contaminated
+        p.clear_confidence()
+        assert p.potentially_contaminated
+
+    def test_mark_potentially_contaminated_reports_new_transitions(self):
+        p = ApplicationProcess("P2", ProcessRole.ACTIVE_PEER)
+        assert p.mark_potentially_contaminated()
+        assert not p.mark_potentially_contaminated()
+
+    def test_restore_from_checkpoint(self):
+        p = ApplicationProcess("P2", ProcessRole.ACTIVE_PEER)
+        p.contaminate()
+        p.mark_potentially_contaminated()
+        p.restore_from_checkpoint()
+        assert not p.contaminated
+        assert not p.potentially_contaminated
+
+    def test_busy_accounting_serialises(self):
+        p = ApplicationProcess("P2", ProcessRole.ACTIVE_PEER)
+        p.occupy(now=1.0, duration=2.0)
+        assert p.is_busy(2.5)
+        p.occupy(now=2.0, duration=1.0)  # queued behind the first
+        assert p.busy_until == 4.0
+        assert p.safeguard_time == 3.0
+
+    def test_overhead_fraction(self):
+        p = ApplicationProcess("P2", ProcessRole.ACTIVE_PEER)
+        p.occupy(0.0, 2.0)
+        assert p.overhead_fraction(10.0) == pytest.approx(0.2)
+        assert p.overhead_fraction(0.0) == 0.0
+        assert p.overhead_fraction(1.0) == 1.0  # clamped
+
+    def test_negative_duration_rejected(self):
+        p = ApplicationProcess("P2", ProcessRole.ACTIVE_PEER)
+        with pytest.raises(ValueError):
+            p.occupy(0.0, -1.0)
+
+    def test_is_active_by_role(self):
+        assert ApplicationProcess("x", ProcessRole.ACTIVE_NEW).is_active()
+        assert ApplicationProcess("x", ProcessRole.ACTIVE_OLD).is_active()
+        assert not ApplicationProcess("x", ProcessRole.SHADOW_OLD).is_active()
+        assert not ApplicationProcess("x", ProcessRole.RETIRED).is_active()
+
+
+class TestFaultInjector:
+    def test_manifestation_contaminates_and_rearms(self):
+        engine = Engine()
+        injector = FaultInjector(engine=engine, streams=RandomStreams(1))
+        p = ApplicationProcess("P1new", ProcessRole.ACTIVE_NEW)
+        injector.arm(p, rate=10.0)
+        engine.run(until=5.0)
+        assert p.contaminated
+        assert injector.count_for("P1new") >= 1
+
+    def test_stop_halts_future_manifestations(self):
+        engine = Engine()
+        injector = FaultInjector(engine=engine, streams=RandomStreams(2))
+        p = ApplicationProcess("P1new", ProcessRole.ACTIVE_NEW)
+        injector.arm(p, rate=100.0)
+        injector.stop()
+        engine.run(until=10.0)
+        assert injector.manifestations == []
+
+    def test_rate_validation(self):
+        injector = FaultInjector(engine=Engine(), streams=RandomStreams(3))
+        p = ApplicationProcess("x", ProcessRole.ACTIVE_PEER)
+        with pytest.raises(ValueError):
+            injector.arm(p, rate=0.0)
+
+    def test_mean_inter_manifestation_time(self):
+        engine = Engine()
+        injector = FaultInjector(engine=engine, streams=RandomStreams(4))
+        p = ApplicationProcess("x", ProcessRole.ACTIVE_PEER)
+        injector.arm(p, rate=5.0)
+        engine.run(until=400.0)
+        count = injector.count_for("x")
+        assert count == pytest.approx(2000, rel=0.1)

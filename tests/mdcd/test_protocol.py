@@ -1,0 +1,163 @@
+"""Tests for the MDCD protocol engine and scenario runner."""
+
+import pytest
+
+from repro.des.engine import Engine
+from repro.des.rng import RandomStreams
+from repro.gsu.parameters import GSUParameters
+from repro.mdcd.protocol import MDCDProtocol, SystemMode, UpgradeOutcome
+from repro.mdcd.scenario import (
+    GuardedOperationScenario,
+    run_replications,
+)
+
+
+def _params(**overrides) -> GSUParameters:
+    base = dict(
+        theta=20.0,
+        lam=60.0,
+        mu_new=0.2,
+        mu_old=1e-4,
+        coverage=0.9,
+        p_ext=0.1,
+        alpha=600.0,
+        beta=600.0,
+    )
+    base.update(overrides)
+    return GSUParameters(**base)
+
+
+def _run(params: GSUParameters, phi: float, seed: int) -> MDCDProtocol:
+    engine = Engine()
+    protocol = MDCDProtocol(engine, params, phi, RandomStreams(seed))
+    protocol.start()
+    engine.run(until=params.theta)
+    return protocol
+
+
+class TestModeTransitions:
+    def test_reliable_upgrade_succeeds(self):
+        params = _params(mu_new=1e-6)
+        protocol = _run(params, phi=10.0, seed=1)
+        assert protocol.outcome is UpgradeOutcome.SUCCESS
+        assert protocol.mode is SystemMode.NORMAL
+        assert protocol.p1old.role.name == "RETIRED"
+        assert not protocol.p1new.always_suspect
+
+    def test_phi_zero_starts_in_normal_mode(self):
+        params = _params(mu_new=1e-6)
+        engine = Engine()
+        protocol = MDCDProtocol(engine, params, 0.0, RandomStreams(2))
+        assert protocol.mode is SystemMode.NORMAL
+        protocol.start()
+        engine.run(until=params.theta)
+        # No safeguards ever run without guarded operation.
+        assert protocol.counts.acceptance_tests == 0
+        assert protocol.counts.checkpoints == 0
+
+    def test_unreliable_upgrade_with_full_coverage_downgrades_safely(self):
+        params = _params(mu_new=2.0, coverage=1.0)
+        protocol = _run(params, phi=20.0, seed=3)
+        assert protocol.outcome is UpgradeOutcome.SAFE_DOWNGRADE
+        assert protocol.detection_time is not None
+        assert protocol.p1old.role.name == "ACTIVE_OLD"
+        assert protocol.p1new.role.name == "RETIRED"
+
+    def test_zero_coverage_leads_to_failure(self):
+        params = _params(mu_new=2.0, coverage=0.0)
+        protocol = _run(params, phi=20.0, seed=4)
+        assert protocol.outcome is UpgradeOutcome.FAILURE
+        assert protocol.mode is SystemMode.FAILED
+        assert protocol.failure_time is not None
+
+    def test_failed_system_stops_messaging(self):
+        params = _params(mu_new=5.0, coverage=0.0)
+        engine = Engine()
+        protocol = MDCDProtocol(engine, params, 20.0, RandomStreams(5))
+        protocol.start()
+        engine.run(until=params.theta)
+        messages_at_failure = protocol.counts.messages
+        engine2_now = engine.now
+        assert protocol.mode is SystemMode.FAILED
+        # No active mission processes remain.
+        assert protocol.active_mission_processes() == []
+
+    def test_detection_time_within_guarded_window(self):
+        params = _params(mu_new=1.0, coverage=1.0)
+        for seed in range(5):
+            protocol = _run(params, phi=10.0, seed=seed)
+            if protocol.detection_time is not None:
+                assert protocol.detection_time <= 10.0 + 1.0 / params.alpha
+
+
+class TestProtocolMechanics:
+    def test_shadow_messages_suppressed_and_logged(self):
+        params = _params(mu_new=1e-6)
+        protocol = _run(params, phi=20.0, seed=6)
+        assert protocol.counts.suppressed > 0
+        assert protocol.p1old.messages_suppressed == protocol.counts.suppressed
+
+    def test_checkpoints_only_during_guarded_operation(self):
+        params = _params(mu_new=1e-6)
+        engine = Engine()
+        protocol = MDCDProtocol(engine, params, 5.0, RandomStreams(7))
+        protocol.start()
+        engine.run(until=5.0)
+        at_gop_end = protocol.counts.checkpoints
+        engine.run(until=params.theta)
+        assert protocol.counts.checkpoints == at_gop_end
+
+    def test_p1new_dirty_through_gop(self):
+        params = _params(mu_new=1e-6)
+        engine = Engine()
+        protocol = MDCDProtocol(engine, params, 10.0, RandomStreams(8))
+        protocol.start()
+        engine.run(until=9.0)
+        assert protocol.p1new.potentially_contaminated
+
+    def test_at_count_tracks_external_dirty_sends(self):
+        params = _params(mu_new=1e-6)
+        protocol = _run(params, phi=20.0, seed=9)
+        assert protocol.counts.acceptance_tests > 0
+        assert protocol.acceptance_test.executions == protocol.counts.acceptance_tests
+
+
+class TestScenario:
+    def test_worth_zero_on_failure(self):
+        params = _params(mu_new=5.0, coverage=0.0)
+        result = GuardedOperationScenario(params, 20.0, seed=1).run()
+        assert result.outcome is UpgradeOutcome.FAILURE
+        assert result.worth == 0.0
+
+    def test_worth_bounded_by_ideal(self):
+        params = _params()
+        for seed in range(10):
+            result = GuardedOperationScenario(params, 10.0, seed=seed).run()
+            assert 0.0 <= result.worth <= 2.0 * params.theta + 1e-9
+
+    def test_success_worth_accounts_for_overhead(self):
+        params = _params(mu_new=1e-6)
+        result = GuardedOperationScenario(params, 10.0, seed=2).run()
+        assert result.outcome is UpgradeOutcome.SUCCESS
+        ideal = 2.0 * params.theta
+        assert result.worth < ideal
+        assert result.worth > 0.9 * ideal
+
+    def test_reproducibility(self):
+        params = _params()
+        r1 = GuardedOperationScenario(params, 10.0, seed=33).run()
+        r2 = GuardedOperationScenario(params, 10.0, seed=33).run()
+        assert r1 == r2
+
+    def test_replications_distinct(self):
+        params = _params()
+        results = run_replications(params, 10.0, replications=5, seed=0)
+        assert len({r.messages for r in results}) > 1
+
+    def test_replication_validation(self):
+        with pytest.raises(ValueError):
+            run_replications(_params(), 10.0, replications=0)
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            GuardedOperationScenario(_params(), phi=100.0)

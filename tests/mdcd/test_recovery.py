@@ -1,0 +1,147 @@
+"""Tests for rollback / roll-forward recovery decisions and re-sends."""
+
+import pytest
+
+from repro.des.engine import Engine
+from repro.des.rng import RandomStreams
+from repro.gsu.parameters import GSUParameters
+from repro.mdcd.checkpoint import CheckpointStore
+from repro.mdcd.messages import Message, MessageKind
+from repro.mdcd.process import ApplicationProcess, ProcessRole
+from repro.mdcd.protocol import MDCDProtocol, UpgradeOutcome
+from repro.mdcd.recovery import (
+    RecoveryAction,
+    apply_recovery,
+    decide_action,
+    plan_recovery,
+)
+
+
+def _shadow(**kwargs) -> ApplicationProcess:
+    return ApplicationProcess("P1old", ProcessRole.SHADOW_OLD, **kwargs)
+
+
+def _peer(**kwargs) -> ApplicationProcess:
+    return ApplicationProcess("P2", ProcessRole.ACTIVE_PEER, **kwargs)
+
+
+def _log(process: ApplicationProcess, *times: float) -> None:
+    for t in times:
+        process.message_log.append(
+            Message.create(
+                sender=process.name,
+                kind=MessageKind.INTERNAL,
+                erroneous=False,
+                sent_at=t,
+                sender_potentially_contaminated=False,
+            )
+        )
+
+
+class TestDecideAction:
+    def test_dirty_process_rolls_back(self):
+        process = _peer()
+        process.mark_potentially_contaminated()
+        assert decide_action(process) is RecoveryAction.ROLLBACK
+
+    def test_clean_process_rolls_forward(self):
+        assert decide_action(_peer()) is RecoveryAction.ROLL_FORWARD
+
+    def test_decision_uses_knowledge_not_ground_truth(self):
+        # Actually contaminated but believed clean: rolls forward (the
+        # scenario-2 hazard the paper's RMGd captures).
+        process = _peer()
+        process.contaminate()
+        assert decide_action(process) is RecoveryAction.ROLL_FORWARD
+
+
+class TestPlanRecovery:
+    def test_rollback_uses_latest_checkpoint(self):
+        p1old, p2 = _shadow(), _peer()
+        p1old.mark_potentially_contaminated()
+        p2.mark_potentially_contaminated()
+        store = CheckpointStore()
+        store.establish("P1old", 2.0, state_valid=True)
+        store.establish("P1old", 5.0, state_valid=True)
+        store.establish("P2", 4.0, state_valid=True)
+        _log(p1old, 1.0, 4.0, 6.0)
+        plan = plan_recovery(p1old, p2, store, detection_time=7.0)
+        assert plan.action_for("P1old") is RecoveryAction.ROLLBACK
+        assert plan.action_for("P2") is RecoveryAction.ROLLBACK
+        # Re-send window starts at the shadow's restored checkpoint (5.0).
+        assert [m.sent_at for m in plan.resend] == [6.0]
+        assert [m.sent_at for m in plan.suppressed] == [1.0, 4.0]
+
+    def test_rollforward_resends_since_last_consistency_point(self):
+        p1old, p2 = _shadow(), _peer()
+        p2.mark_potentially_contaminated()
+        store = CheckpointStore()
+        store.establish("P2", 3.0, state_valid=True)
+        _log(p1old, 1.0, 2.0, 4.0)
+        plan = plan_recovery(p1old, p2, store, detection_time=5.0)
+        assert plan.action_for("P1old") is RecoveryAction.ROLL_FORWARD
+        assert [m.sent_at for m in plan.resend] == [4.0]
+
+    def test_no_checkpoints_resends_everything(self):
+        p1old, p2 = _shadow(), _peer()
+        _log(p1old, 0.5, 1.5)
+        plan = plan_recovery(p1old, p2, CheckpointStore(), detection_time=2.0)
+        assert len(plan.resend) == 2
+        assert plan.suppressed == ()
+
+    def test_unknown_process_lookup(self):
+        plan = plan_recovery(_shadow(), _peer(), CheckpointStore(), 1.0)
+        with pytest.raises(KeyError):
+            plan.action_for("ghost")
+
+
+class TestApplyRecovery:
+    def test_rollback_restores_clean_state(self):
+        p1old, p2 = _shadow(), _peer()
+        for p in (p1old, p2):
+            p.mark_potentially_contaminated()
+            p.contaminate()
+        plan = plan_recovery(p1old, p2, CheckpointStore(), 1.0)
+        apply_recovery(plan, p1old, p2)
+        assert not p2.contaminated
+        assert not p2.potentially_contaminated
+
+    def test_rollforward_preserves_hidden_contamination(self):
+        p1old, p2 = _shadow(), _peer()
+        p2.contaminate()  # believed clean, actually contaminated
+        plan = plan_recovery(p1old, p2, CheckpointStore(), 1.0)
+        apply_recovery(plan, p1old, p2)
+        assert plan.action_for("P2") is RecoveryAction.ROLL_FORWARD
+        assert p2.contaminated  # the hazard survives recovery
+
+
+class TestProtocolIntegration:
+    def test_recovery_plan_recorded_on_safe_downgrade(self):
+        params = GSUParameters(
+            theta=20.0, lam=60.0, mu_new=2.0, mu_old=1e-4,
+            coverage=1.0, p_ext=0.1, alpha=600.0, beta=600.0,
+        )
+        engine = Engine()
+        protocol = MDCDProtocol(engine, params, 20.0, RandomStreams(3))
+        protocol.start()
+        engine.run(until=params.theta)
+        assert protocol.outcome is UpgradeOutcome.SAFE_DOWNGRADE
+        assert protocol.recovery_plan is not None
+        assert protocol.recovery_plan.detection_time == protocol.detection_time
+        assert protocol.counts.resent == len(protocol.recovery_plan.resend)
+        # P2 had received messages from the suspect P1new: rollback.
+        assert protocol.recovery_plan.action_for("P2") in (
+            RecoveryAction.ROLLBACK, RecoveryAction.ROLL_FORWARD
+        )
+
+    def test_no_plan_without_detection(self):
+        params = GSUParameters(
+            theta=5.0, lam=60.0, mu_new=1e-6, mu_old=1e-8,
+            coverage=0.9, p_ext=0.1, alpha=600.0, beta=600.0,
+        )
+        engine = Engine()
+        protocol = MDCDProtocol(engine, params, 2.0, RandomStreams(4))
+        protocol.start()
+        engine.run(until=params.theta)
+        assert protocol.outcome is UpgradeOutcome.SUCCESS
+        assert protocol.recovery_plan is None

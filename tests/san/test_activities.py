@@ -1,0 +1,184 @@
+"""Tests for timed and instantaneous activities and their cases."""
+
+import pytest
+
+from repro.san.activities import (
+    Case,
+    InstantaneousActivity,
+    TimedActivity,
+    evaluate_marking_dependent,
+)
+from repro.san.errors import ModelStructureError
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+
+
+class TestMarkingDependent:
+    def test_constant(self):
+        assert evaluate_marking_dependent(2.5, Marking(a=0)) == 2.5
+
+    def test_callable(self):
+        assert evaluate_marking_dependent(lambda m: m["a"] * 2.0, Marking(a=3)) == 6.0
+
+
+class TestCase:
+    def test_apply_output_arcs_then_gates(self):
+        case = Case(
+            output_arcs=(("a", 2),),
+            output_gates=(OutputGate("g", lambda m: m.set("b", m["a"])),),
+        )
+        result = case.apply(Marking(a=0, b=0))
+        assert result["a"] == 2
+        assert result["b"] == 2  # gate saw the arc's effect
+
+    def test_rejects_zero_token_arc(self):
+        with pytest.raises(ModelStructureError):
+            Case(output_arcs=(("a", 0),))
+
+
+class TestEnabling:
+    def test_input_arc_threshold(self):
+        act = TimedActivity("t", rate=1.0, input_arcs=[("a", 2)])
+        assert act.enabled(Marking(a=2))
+        assert not act.enabled(Marking(a=1))
+
+    def test_input_gate_conjunction(self):
+        act = TimedActivity(
+            "t",
+            rate=1.0,
+            input_gates=[
+                InputGate("g1", predicate=lambda m: m["a"] > 0),
+                InputGate("g2", predicate=lambda m: m["b"] == 0),
+            ],
+        )
+        assert act.enabled(Marking(a=1, b=0))
+        assert not act.enabled(Marking(a=1, b=1))
+        assert not act.enabled(Marking(a=0, b=0))
+
+    def test_no_conditions_always_enabled(self):
+        act = TimedActivity("t", rate=1.0)
+        assert act.enabled(Marking(a=0))
+
+
+class TestCaseProbabilities:
+    def test_constant_distribution_validated(self):
+        act = TimedActivity(
+            "t", rate=1.0, cases=[Case(probability=0.3), Case(probability=0.7)]
+        )
+        assert act.case_probabilities(Marking(a=0)) == [0.3, 0.7]
+
+    def test_marking_dependent_distribution(self):
+        act = TimedActivity(
+            "t",
+            rate=1.0,
+            cases=[
+                Case(probability=lambda m: 1.0 if m["a"] else 0.0),
+                Case(probability=lambda m: 0.0 if m["a"] else 1.0),
+            ],
+        )
+        assert act.case_probabilities(Marking(a=1)) == [1.0, 0.0]
+        assert act.case_probabilities(Marking(a=0)) == [0.0, 1.0]
+
+    def test_rejects_bad_total(self):
+        act = TimedActivity(
+            "t", rate=1.0, cases=[Case(probability=0.5), Case(probability=0.6)]
+        )
+        with pytest.raises(ModelStructureError, match="sum to"):
+            act.case_probabilities(Marking(a=0))
+
+    def test_rejects_out_of_range(self):
+        act = TimedActivity(
+            "t", rate=1.0, cases=[Case(probability=1.4), Case(probability=-0.4)]
+        )
+        with pytest.raises(ModelStructureError):
+            act.case_probabilities(Marking(a=0))
+
+
+class TestCompletion:
+    def test_input_arcs_consume_then_case_applies(self):
+        act = TimedActivity(
+            "t",
+            rate=1.0,
+            input_arcs=[("a", 1)],
+            cases=[Case(output_arcs=(("b", 1),))],
+        )
+        result = act.complete(Marking(a=1, b=0), 0)
+        assert (result["a"], result["b"]) == (0, 1)
+
+    def test_input_gate_function_runs_between(self):
+        act = TimedActivity(
+            "t",
+            rate=1.0,
+            input_gates=[
+                InputGate(
+                    "g",
+                    predicate=lambda m: True,
+                    function=lambda m: m.set("flag", 1),
+                )
+            ],
+            cases=[Case(output_gates=(OutputGate(
+                "og", lambda m: m.set("copy", m["flag"])),))],
+        )
+        result = act.complete(Marking(flag=0, copy=0), 0)
+        assert result["copy"] == 1
+
+    def test_successors_skip_zero_probability_cases(self):
+        act = TimedActivity(
+            "t",
+            rate=1.0,
+            cases=[
+                Case(probability=lambda m: 0.0, output_arcs=(("a", 1),)),
+                Case(probability=lambda m: 1.0, output_arcs=(("b", 1),)),
+            ],
+        )
+        successors = act.successors(Marking(a=0, b=0))
+        assert len(successors) == 1
+        prob, marking = successors[0]
+        assert prob == 1.0
+        assert marking["b"] == 1
+
+
+class TestTimedActivity:
+    def test_rate_at_constant(self):
+        act = TimedActivity("t", rate=2.5)
+        assert act.rate_at(Marking(a=0)) == 2.5
+
+    def test_rate_at_marking_dependent(self):
+        act = TimedActivity("t", rate=lambda m: 0.5 * m["a"])
+        assert act.rate_at(Marking(a=4)) == 2.0
+
+    def test_nonpositive_rate_rejected_at_evaluation(self):
+        act = TimedActivity("t", rate=lambda m: 0.0)
+        with pytest.raises(ModelStructureError):
+            act.rate_at(Marking(a=0))
+
+    def test_default_single_case(self):
+        act = TimedActivity("t", rate=1.0)
+        assert len(act.cases) == 1
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ModelStructureError):
+            TimedActivity("bad name", rate=1.0)
+
+    def test_rejects_zero_token_input_arc(self):
+        with pytest.raises(ModelStructureError):
+            TimedActivity("t", rate=1.0, input_arcs=[("a", 0)])
+
+
+class TestInstantaneousActivity:
+    def test_weight_default(self):
+        act = InstantaneousActivity("i")
+        assert act.weight_at(Marking(a=0)) == 1.0
+
+    def test_marking_dependent_weight(self):
+        act = InstantaneousActivity("i", weight=lambda m: float(m["a"] + 1))
+        assert act.weight_at(Marking(a=2)) == 3.0
+
+    def test_nonpositive_weight_rejected(self):
+        act = InstantaneousActivity("i", weight=0.0)
+        with pytest.raises(ModelStructureError):
+            act.weight_at(Marking(a=0))
+
+    def test_repr(self):
+        act = InstantaneousActivity("i")
+        assert "InstantaneousActivity" in repr(act)

@@ -1,0 +1,120 @@
+"""Tests for the fluent SAN builder."""
+
+import pytest
+
+from repro.ctmc.steady_state import steady_state_distribution
+from repro.san.builder import SANBuilder
+from repro.san.ctmc_builder import build_ctmc
+from repro.san.errors import ModelStructureError
+from repro.san.marking import Marking
+
+
+class TestBuilder:
+    def test_docstring_example_builds_mm1k(self):
+        model = (
+            SANBuilder("mm1k")
+            .place("queue", capacity=3)
+            .timed("arrive", rate=2.0, when=lambda m: m["queue"] < 3)
+            .case(produces=[("queue", 1)])
+            .timed("serve", rate=3.0, consumes=[("queue", 1)])
+            .build()
+        )
+        compiled = build_ctmc(model)
+        assert compiled.num_states == 4
+        pi = steady_state_distribution(compiled.chain)
+        rho = 2.0 / 3.0
+        weights = [rho**k for k in range(4)]
+        expected = [w / sum(weights) for w in weights]
+        for k in range(4):
+            idx = compiled.graph.index_of(Marking(queue=k))
+            assert pi[idx] == pytest.approx(expected[k])
+
+    def test_string_arc_shorthand(self):
+        model = (
+            SANBuilder("cycle")
+            .place("a", initial=1)
+            .place("b")
+            .timed("f", rate=1.0, consumes=["a"])
+            .case(produces=["b"])
+            .timed("g", rate=1.0, consumes=["b"])
+            .case(produces=["a"])
+            .build()
+        )
+        assert model.activity("f").input_arcs == (("a", 1),)
+
+    def test_multi_case_probabilities(self):
+        model = (
+            SANBuilder("split")
+            .place("src", initial=1)
+            .places("x", "y")
+            .timed("t", rate=1.0, consumes=["src"])
+            .case(probability=0.3, produces=["x"], label="left")
+            .case(probability=0.7, produces=["y"], label="right")
+            .build()
+        )
+        activity = model.activity("t")
+        assert len(activity.cases) == 2
+        assert activity.case_probabilities(model.initial_marking()) == [0.3, 0.7]
+
+    def test_effect_callback_becomes_output_gate(self):
+        model = (
+            SANBuilder("flag")
+            .place("p", initial=1)
+            .place("flag")
+            .timed("t", rate=1.0, consumes=["p"])
+            .case(effect=lambda m: m.set("flag", 1))
+            .build()
+        )
+        compiled = build_ctmc(model)
+        assert any(m["flag"] == 1 for m in compiled.graph.markings)
+
+    def test_instantaneous_with_weight(self):
+        model = (
+            SANBuilder("race")
+            .place("mid", initial=1)
+            .places("x", "y")
+            .instantaneous("i1", consumes=["mid"], weight=1.0)
+            .case(produces=["x"])
+            .instantaneous("i2", consumes=["mid"], weight=3.0)
+            .case(produces=["y"])
+            .build()
+        )
+        compiled = build_ctmc(model)
+        x = compiled.graph.index_of(Marking(mid=0, x=1, y=0))
+        assert compiled.chain.initial_distribution[x] == pytest.approx(0.25)
+
+    def test_chaining_after_caseless_activity(self):
+        # Declaring another place directly after .timed(...) must work.
+        model = (
+            SANBuilder("chain")
+            .place("a", initial=1)
+            .timed("t", rate=1.0, consumes=["a"])
+            .place("b")
+            .timed("u", rate=1.0, consumes=["b"])
+            .case(produces=["a"])
+            .build()
+        )
+        assert set(model.place_names()) == {"a", "b"}
+
+    def test_no_places_rejected(self):
+        with pytest.raises(ModelStructureError):
+            SANBuilder("empty").build()
+
+    def test_structural_validation_delegated(self):
+        builder = (
+            SANBuilder("bad")
+            .place("a", initial=1)
+            .timed("t", rate=1.0, consumes=["ghost"])
+        )
+        with pytest.raises(ModelStructureError, match="unknown"):
+            builder.build()
+
+    def test_marking_dependent_rate(self):
+        model = (
+            SANBuilder("md")
+            .place("jobs", initial=2, capacity=2)
+            .timed("serve", rate=lambda m: 1.5 * m["jobs"],
+                   consumes=["jobs"])
+            .build()
+        )
+        assert model.activity("serve").rate_at(Marking(jobs=2)) == 3.0

@@ -1,0 +1,91 @@
+"""Tests for SAN -> CTMC compilation."""
+
+import numpy as np
+import pytest
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.ctmc_builder import build_ctmc
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+class TestBuildCtmc:
+    def test_cycle_generator(self, simple_san):
+        compiled = build_ctmc(simple_san)
+        assert compiled.num_states == 2
+        a = compiled.graph.index_of(Marking(a=1, b=0))
+        b = compiled.graph.index_of(Marking(a=0, b=1))
+        assert compiled.chain.rate(a, b) == pytest.approx(1.0)
+        assert compiled.chain.rate(b, a) == pytest.approx(2.0)
+        assert compiled.chain.rate(a, a) == pytest.approx(-1.0)
+
+    def test_labels_are_markings(self, simple_san):
+        compiled = build_ctmc(simple_san)
+        labels = compiled.chain.labels
+        assert all(isinstance(lab, Marking) for lab in labels)
+
+    def test_initial_distribution_propagates(self, simple_san):
+        compiled = build_ctmc(simple_san)
+        idx = compiled.graph.index_of(simple_san.initial_marking())
+        assert compiled.chain.initial_distribution[idx] == 1.0
+
+    def test_vanishing_initial_marking(self):
+        places = [Place("mid", initial=1), Place("x"), Place("y")]
+        i = InstantaneousActivity(
+            "i", input_arcs=[("mid", 1)],
+            cases=[
+                Case(probability=0.4, output_arcs=(("x", 1),)),
+                Case(probability=0.6, output_arcs=(("y", 1),)),
+            ],
+        )
+        hold = TimedActivity("hold", rate=1.0, input_arcs=[("x", 1)],
+                             cases=[Case(output_arcs=(("y", 1),))])
+        compiled = build_ctmc(SANModel("vinit", places, [hold], [i]))
+        init = compiled.chain.initial_distribution
+        assert init.sum() == pytest.approx(1.0)
+        x = compiled.graph.index_of(Marking(mid=0, x=1, y=0))
+        assert init[x] == pytest.approx(0.4)
+
+
+class TestRewardVectors:
+    def test_reward_vector_sums_matching_pairs(self, simple_san):
+        compiled = build_ctmc(simple_san)
+        vec = compiled.reward_vector(
+            [(lambda m: m["a"] == 1, 2.0), (lambda m: True, 1.0)]
+        )
+        a = compiled.graph.index_of(Marking(a=1, b=0))
+        b = compiled.graph.index_of(Marking(a=0, b=1))
+        assert vec[a] == 3.0
+        assert vec[b] == 1.0
+
+    def test_probability_vector(self, simple_san):
+        compiled = build_ctmc(simple_san)
+        vec = compiled.probability_vector_for(lambda m: m["b"] == 1)
+        assert set(vec) == {0.0, 1.0}
+        assert vec.sum() == 1.0
+
+    def test_states_where_and_marking_of(self, simple_san):
+        compiled = build_ctmc(simple_san)
+        states = compiled.states_where(lambda m: m["a"] == 1)
+        assert len(states) == 1
+        assert compiled.marking_of(states[0])["a"] == 1
+
+
+class TestEndToEndSolution:
+    def test_cycle_steady_state(self, simple_san):
+        from repro.ctmc.steady_state import steady_state_distribution
+
+        compiled = build_ctmc(simple_san)
+        pi = steady_state_distribution(compiled.chain)
+        a = compiled.graph.index_of(Marking(a=1, b=0))
+        # Balance: pi_a * 1 = pi_b * 2 -> pi_a = 2/3.
+        assert pi[a] == pytest.approx(2.0 / 3.0)
+
+    def test_absorbing_transient(self, absorbing_san):
+        from repro.ctmc.transient import transient_distribution
+
+        compiled = build_ctmc(absorbing_san)
+        pi = transient_distribution(compiled.chain, 5.0)
+        working = compiled.graph.index_of(Marking(working=1, failed=0))
+        assert pi[working] == pytest.approx(np.exp(-0.5), rel=1e-8)

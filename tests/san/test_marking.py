@@ -1,0 +1,120 @@
+"""Tests for immutable markings."""
+
+import pytest
+
+from repro.san.errors import MarkingError
+from repro.san.marking import Marking
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        m = Marking({"a": 1, "b": 0})
+        assert m["a"] == 1
+        assert m["b"] == 0
+
+    def test_from_kwargs(self):
+        m = Marking(a=2, b=3)
+        assert m["a"] == 2
+
+    def test_kwargs_override_dict(self):
+        m = Marking({"a": 1}, a=5)
+        assert m["a"] == 5
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(MarkingError):
+            Marking(a=-1)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(MarkingError):
+            Marking(a=1.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(MarkingError):
+            Marking(a=True)
+
+
+class TestMappingProtocol:
+    def test_len_and_iter(self):
+        m = Marking(a=1, b=2, c=0)
+        assert len(m) == 3
+        assert sorted(m) == ["a", "b", "c"]
+
+    def test_contains(self):
+        m = Marking(a=1)
+        assert "a" in m
+        assert "z" not in m
+
+    def test_unknown_place_raises(self):
+        with pytest.raises(MarkingError):
+            Marking(a=1)["z"]
+
+    def test_as_dict_is_mutable_copy(self):
+        m = Marking(a=1)
+        d = m.as_dict()
+        d["a"] = 99
+        assert m["a"] == 1
+
+
+class TestEqualityAndHashing:
+    def test_equal_markings_hash_equal(self):
+        assert Marking(a=1, b=2) == Marking(b=2, a=1)
+        assert hash(Marking(a=1, b=2)) == hash(Marking(b=2, a=1))
+
+    def test_different_counts_not_equal(self):
+        assert Marking(a=1) != Marking(a=2)
+
+    def test_different_places_not_equal(self):
+        assert Marking(a=1) != Marking(b=1)
+
+    def test_usable_as_dict_key(self):
+        d = {Marking(a=1): "x"}
+        assert d[Marking(a=1)] == "x"
+
+    def test_not_equal_to_plain_dict(self):
+        assert Marking(a=1) != {"a": 1}
+
+
+class TestFunctionalUpdates:
+    def test_set_returns_new_marking(self):
+        m = Marking(a=1, b=0)
+        m2 = m.set("b", 5)
+        assert m["b"] == 0
+        assert m2["b"] == 5
+
+    def test_set_unknown_place(self):
+        with pytest.raises(MarkingError):
+            Marking(a=1).set("z", 1)
+
+    def test_update_multiple(self):
+        m = Marking(a=1, b=2, c=3).update({"a": 0, "c": 9})
+        assert (m["a"], m["b"], m["c"]) == (0, 2, 9)
+
+    def test_update_unknown_place(self):
+        with pytest.raises(MarkingError):
+            Marking(a=1).update({"z": 1})
+
+    def test_add_positive_and_negative(self):
+        m = Marking(a=2)
+        assert m.add("a", 3)["a"] == 5
+        assert m.add("a", -2)["a"] == 0
+
+    def test_add_below_zero_rejected(self):
+        with pytest.raises(MarkingError):
+            Marking(a=1).add("a", -2)
+
+
+class TestDisplay:
+    def test_nonzero_places(self):
+        m = Marking(a=1, b=0, c=2)
+        assert set(m.nonzero_places()) == {"a", "c"}
+
+    def test_short_label_lists_only_marked(self):
+        label = Marking(a=1, b=0).short_label()
+        assert "a=1" in label
+        assert "b" not in label
+
+    def test_short_label_empty(self):
+        assert Marking(a=0).short_label() == "(empty)"
+
+    def test_repr_contains_marked_places(self):
+        assert "a=3" in repr(Marking(a=3, b=0))

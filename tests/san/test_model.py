@@ -1,0 +1,124 @@
+"""Tests for the SANModel container and validation."""
+
+import pytest
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.errors import ModelStructureError
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+
+def _simple_model(**kwargs) -> SANModel:
+    places = kwargs.pop("places", [Place("a", initial=1), Place("b")])
+    timed = kwargs.pop(
+        "timed",
+        [TimedActivity("move", rate=1.0, input_arcs=[("a", 1)],
+                       cases=[Case(output_arcs=(("b", 1),))])],
+    )
+    return SANModel("m", places, timed, kwargs.pop("instantaneous", ()))
+
+
+class TestValidation:
+    def test_valid_model(self):
+        model = _simple_model()
+        assert model.name == "m"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelStructureError):
+            SANModel("", [Place("a")])
+
+    def test_rejects_no_places(self):
+        with pytest.raises(ModelStructureError):
+            SANModel("m", [])
+
+    def test_rejects_duplicate_place_names(self):
+        with pytest.raises(ModelStructureError, match="duplicate place"):
+            SANModel("m", [Place("a"), Place("a")])
+
+    def test_rejects_duplicate_activity_names(self):
+        with pytest.raises(ModelStructureError, match="duplicate activity"):
+            SANModel(
+                "m",
+                [Place("a", initial=1)],
+                [
+                    TimedActivity("x", rate=1.0, input_arcs=[("a", 1)]),
+                    TimedActivity("x", rate=2.0, input_arcs=[("a", 1)]),
+                ],
+            )
+
+    def test_duplicate_across_kinds_rejected(self):
+        with pytest.raises(ModelStructureError, match="duplicate activity"):
+            SANModel(
+                "m",
+                [Place("a", initial=1)],
+                [TimedActivity("x", rate=1.0, input_arcs=[("a", 1)])],
+                [InstantaneousActivity("x", input_arcs=[("a", 1)])],
+            )
+
+    def test_rejects_unknown_input_place(self):
+        with pytest.raises(ModelStructureError, match="unknown"):
+            SANModel(
+                "m",
+                [Place("a")],
+                [TimedActivity("t", rate=1.0, input_arcs=[("ghost", 1)])],
+            )
+
+    def test_rejects_unknown_output_place(self):
+        with pytest.raises(ModelStructureError, match="unknown"):
+            SANModel(
+                "m",
+                [Place("a", initial=1)],
+                [TimedActivity(
+                    "t", rate=1.0, input_arcs=[("a", 1)],
+                    cases=[Case(output_arcs=(("ghost", 1),))],
+                )],
+            )
+
+
+class TestAccessors:
+    def test_place_lookup(self):
+        model = _simple_model()
+        assert model.place("a").initial == 1
+        with pytest.raises(ModelStructureError):
+            model.place("ghost")
+
+    def test_place_names_in_order(self):
+        model = _simple_model()
+        assert model.place_names() == ("a", "b")
+
+    def test_activity_lookup(self):
+        model = _simple_model()
+        assert model.activity("move").name == "move"
+        with pytest.raises(ModelStructureError):
+            model.activity("ghost")
+
+    def test_initial_marking(self):
+        model = _simple_model()
+        assert model.initial_marking() == Marking(a=1, b=0)
+
+    def test_repr(self):
+        assert "places=2" in repr(_simple_model())
+
+
+class TestEnabling:
+    def test_enabled_timed(self):
+        model = _simple_model()
+        assert [a.name for a in model.enabled_timed(Marking(a=1, b=0))] == ["move"]
+        assert model.enabled_timed(Marking(a=0, b=1)) == []
+
+    def test_is_vanishing(self):
+        inst = InstantaneousActivity("i", input_arcs=[("b", 1)])
+        model = _simple_model(instantaneous=[inst])
+        assert not model.is_vanishing(Marking(a=1, b=0))
+        assert model.is_vanishing(Marking(a=0, b=1))
+
+    def test_check_capacities(self):
+        model = SANModel(
+            "m",
+            [Place("a", initial=1, capacity=1)],
+            [TimedActivity("t", rate=1.0, input_arcs=[("a", 1)])],
+        )
+        model.check_capacities(Marking(a=1))
+        with pytest.raises(ModelStructureError, match="capacity"):
+            model.check_capacities(Marking(a=2))

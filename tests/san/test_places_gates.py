@@ -1,0 +1,113 @@
+"""Tests for places and gates."""
+
+import pytest
+
+from repro.san.errors import ModelStructureError
+from repro.san.gates import (
+    InputGate,
+    OutputGate,
+    always_true,
+    identity_function,
+    predicate_gate,
+    set_places,
+)
+from repro.san.marking import Marking
+from repro.san.places import Place
+
+
+class TestPlace:
+    def test_defaults(self):
+        p = Place("buffer")
+        assert p.initial == 0
+        assert p.capacity is None
+
+    def test_initial_and_capacity(self):
+        p = Place("buffer", initial=2, capacity=5)
+        assert p.initial == 2
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ModelStructureError):
+            Place("not a name")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelStructureError):
+            Place("")
+
+    def test_rejects_negative_initial(self):
+        with pytest.raises(ModelStructureError):
+            Place("p", initial=-1)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ModelStructureError):
+            Place("p", capacity=0)
+
+    def test_rejects_initial_above_capacity(self):
+        with pytest.raises(ModelStructureError):
+            Place("p", initial=3, capacity=2)
+
+    def test_frozen(self):
+        p = Place("p")
+        with pytest.raises(Exception):
+            p.initial = 5
+
+
+class TestInputGate:
+    def test_enabled_evaluates_predicate(self):
+        gate = InputGate("g", predicate=lambda m: m["a"] > 0)
+        assert gate.enabled(Marking(a=1))
+        assert not gate.enabled(Marking(a=0))
+
+    def test_default_function_is_identity(self):
+        gate = InputGate("g", predicate=always_true)
+        m = Marking(a=1)
+        assert gate.fire(m) is m
+
+    def test_function_transforms_marking(self):
+        gate = InputGate(
+            "g", predicate=always_true, function=lambda m: m.set("a", 0)
+        )
+        assert gate.fire(Marking(a=3))["a"] == 0
+
+    def test_function_must_return_marking(self):
+        gate = InputGate("g", predicate=always_true, function=lambda m: {"a": 1})
+        with pytest.raises(ModelStructureError):
+            gate.fire(Marking(a=1))
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ModelStructureError):
+            InputGate("bad name", predicate=always_true)
+
+    def test_rejects_noncallable_predicate(self):
+        with pytest.raises(ModelStructureError):
+            InputGate("g", predicate="nope")
+
+
+class TestOutputGate:
+    def test_fires_function(self):
+        gate = OutputGate("g", lambda m: m.add("a", 1))
+        assert gate.fire(Marking(a=0))["a"] == 1
+
+    def test_must_return_marking(self):
+        gate = OutputGate("g", lambda m: None)
+        with pytest.raises(ModelStructureError):
+            gate.fire(Marking(a=1))
+
+    def test_rejects_noncallable(self):
+        with pytest.raises(ModelStructureError):
+            OutputGate("g", function=42)
+
+
+class TestHelpers:
+    def test_predicate_gate(self):
+        gate = predicate_gate("g", lambda m: m["x"] == 2)
+        assert gate.enabled(Marking(x=2))
+        assert gate.fire(Marking(x=2)) == Marking(x=2)
+
+    def test_set_places(self):
+        gate = set_places("g", a=1, b=0)
+        result = gate.fire(Marking(a=0, b=5, c=7))
+        assert (result["a"], result["b"], result["c"]) == (1, 0, 7)
+
+    def test_identity_function(self):
+        m = Marking(a=1)
+        assert identity_function(m) is m

@@ -1,0 +1,215 @@
+"""Tests for declarative (JSON/dict) model specifications."""
+
+import json
+import math
+
+import pytest
+
+from repro.ctmc.steady_state import steady_state_distribution
+from repro.san.ctmc_builder import build_ctmc
+from repro.san.errors import ModelStructureError
+from repro.san.marking import Marking
+from repro.san.rewards import RewardStructure, instant_of_time
+from repro.san.serialization import model_from_dict, model_from_json
+
+FAILURE_SPEC = {
+    "name": "failure_model",
+    "places": [
+        {"name": "working", "initial": 1},
+        {"name": "failed"},
+    ],
+    "activities": [
+        {
+            "name": "fail",
+            "type": "timed",
+            "rate": 0.1,
+            "when": "MARK(working) == 1",
+            "cases": [{"effect": "working = 0; failed = 1"}],
+        }
+    ],
+}
+
+
+class TestModelFromDict:
+    def test_failure_model_solves_correctly(self):
+        model = model_from_dict(FAILURE_SPEC)
+        compiled = build_ctmc(model)
+        alive = RewardStructure.from_pairs(
+            "alive", [(lambda m: m["failed"] == 0, 1.0)]
+        )
+        assert instant_of_time(compiled, alive, 5.0) == pytest.approx(
+            math.exp(-0.5), rel=1e-8
+        )
+
+    def test_string_place_shorthand(self):
+        model = model_from_dict(
+            {
+                "name": "m",
+                "places": ["a", {"name": "b", "initial": 1}],
+                "activities": [
+                    {"name": "t", "rate": 1.0, "consumes": ["b"],
+                     "cases": [{"produces": ["a"]}]}
+                ],
+            }
+        )
+        assert model.place("a").initial == 0
+        assert model.place("b").initial == 1
+
+    def test_consumes_and_produces_forms(self):
+        model = model_from_dict(
+            {
+                "name": "m",
+                "places": [{"name": "p", "initial": 3}, "q"],
+                "activities": [
+                    {
+                        "name": "t",
+                        "rate": 1.0,
+                        "consumes": [["p", 2]],
+                        "cases": [{"produces": [{"place": "q", "tokens": 2}]}],
+                    }
+                ],
+            }
+        )
+        activity = model.activity("t")
+        assert activity.input_arcs == (("p", 2),)
+        assert activity.cases[0].output_arcs == (("q", 2),)
+
+    def test_marking_dependent_rate_expression(self):
+        model = model_from_dict(
+            {
+                "name": "md",
+                "places": [{"name": "jobs", "initial": 3, "capacity": 3}],
+                "activities": [
+                    {"name": "serve", "rate": "2 * MARK(jobs)",
+                     "consumes": ["jobs"]}
+                ],
+            }
+        )
+        assert model.activity("serve").rate_at(Marking(jobs=3)) == 6.0
+
+    def test_probabilistic_cases(self):
+        model = model_from_dict(
+            {
+                "name": "split",
+                "places": [{"name": "src", "initial": 1}, "x", "y"],
+                "activities": [
+                    {
+                        "name": "t",
+                        "rate": 4.0,
+                        "consumes": ["src"],
+                        "cases": [
+                            {"probability": 0.25, "produces": ["x"]},
+                            {"probability": 0.75, "produces": ["y"]},
+                        ],
+                    }
+                ],
+            }
+        )
+        compiled = build_ctmc(model)
+        src = compiled.graph.index_of(Marking(src=1, x=0, y=0))
+        x = compiled.graph.index_of(Marking(src=0, x=1, y=0))
+        assert compiled.chain.rate(src, x) == pytest.approx(1.0)
+
+    def test_instantaneous_activities_with_weights(self):
+        model = model_from_dict(
+            {
+                "name": "race",
+                "places": [{"name": "mid", "initial": 1}, "x", "y"],
+                "activities": [
+                    {"name": "i1", "type": "instantaneous",
+                     "consumes": ["mid"], "weight": 1.0,
+                     "cases": [{"produces": ["x"]}]},
+                    {"name": "i2", "type": "instantaneous",
+                     "consumes": ["mid"], "weight": 3.0,
+                     "cases": [{"produces": ["y"]}]},
+                ],
+            }
+        )
+        compiled = build_ctmc(model)
+        y = compiled.graph.index_of(Marking(mid=0, x=0, y=1))
+        assert compiled.chain.initial_distribution[y] == pytest.approx(0.75)
+
+    def test_cycle_model_steady_state(self):
+        model = model_from_dict(
+            {
+                "name": "cycle",
+                "places": [{"name": "a", "initial": 1}, "b"],
+                "activities": [
+                    {"name": "f", "rate": 1.0, "consumes": ["a"],
+                     "cases": [{"produces": ["b"]}]},
+                    {"name": "g", "rate": 2.0, "consumes": ["b"],
+                     "cases": [{"produces": ["a"]}]},
+                ],
+            }
+        )
+        compiled = build_ctmc(model)
+        pi = steady_state_distribution(compiled.chain)
+        a = compiled.graph.index_of(Marking(a=1, b=0))
+        assert pi[a] == pytest.approx(2.0 / 3.0)
+
+
+class TestValidation:
+    def test_missing_name(self):
+        with pytest.raises(ModelStructureError, match="name"):
+            model_from_dict({"places": ["a"]})
+
+    def test_unknown_place_key(self):
+        with pytest.raises(ModelStructureError, match="unknown keys"):
+            model_from_dict(
+                {"name": "m", "places": [{"name": "a", "color": "red"}]}
+            )
+
+    def test_unknown_activity_key(self):
+        with pytest.raises(ModelStructureError, match="unknown keys"):
+            model_from_dict(
+                {
+                    "name": "m",
+                    "places": ["a"],
+                    "activities": [{"name": "t", "rate": 1.0, "delay": 2}],
+                }
+            )
+
+    def test_timed_without_rate(self):
+        with pytest.raises(ModelStructureError, match="rate"):
+            model_from_dict(
+                {"name": "m", "places": ["a"],
+                 "activities": [{"name": "t"}]}
+            )
+
+    def test_bad_activity_type(self):
+        with pytest.raises(ModelStructureError, match="type"):
+            model_from_dict(
+                {"name": "m", "places": ["a"],
+                 "activities": [{"name": "t", "type": "magic", "rate": 1.0}]}
+            )
+
+    def test_bad_arc_entry(self):
+        with pytest.raises(ModelStructureError, match="arc entries"):
+            model_from_dict(
+                {"name": "m", "places": ["a"],
+                 "activities": [{"name": "t", "rate": 1.0, "consumes": [3]}]}
+            )
+
+    def test_structural_validation_delegated(self):
+        with pytest.raises(ModelStructureError, match="unknown"):
+            model_from_dict(
+                {"name": "m", "places": ["a"],
+                 "activities": [{"name": "t", "rate": 1.0,
+                                 "consumes": ["ghost"]}]}
+            )
+
+
+class TestJson:
+    def test_round_trip_from_json_text(self):
+        model = model_from_json(json.dumps(FAILURE_SPEC))
+        assert model.name == "failure_model"
+        compiled = build_ctmc(model)
+        assert compiled.num_states == 2
+
+    def test_invalid_json(self):
+        with pytest.raises(ModelStructureError, match="invalid JSON"):
+            model_from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(ModelStructureError, match="object"):
+            model_from_json("[1, 2, 3]")

@@ -1,0 +1,107 @@
+"""Tests for the SAN trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.ctmc_builder import build_ctmc
+from repro.san.errors import SANError
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.san.rewards import RewardStructure, instant_of_time, steady_state
+from repro.san.simulate import SANSimulator
+
+
+@pytest.fixture
+def in_a() -> RewardStructure:
+    return RewardStructure.from_pairs("in_a", [(lambda m: m["a"] == 1, 1.0)])
+
+
+class TestTrajectories:
+    def test_trajectory_covers_horizon(self, simple_san):
+        sim = SANSimulator(simple_san, seed=1)
+        total_dwell = sum(d for _t, _m, d in sim.run_trajectory(10.0))
+        assert total_dwell == pytest.approx(10.0)
+
+    def test_trajectory_times_monotone(self, simple_san):
+        sim = SANSimulator(simple_san, seed=2)
+        entries = [t for t, _m, _d in sim.run_trajectory(5.0)]
+        assert entries == sorted(entries)
+
+    def test_absorbing_trajectory_ends_in_absorbing_marking(self, absorbing_san):
+        sim = SANSimulator(absorbing_san, seed=3)
+        markings = [m for _t, m, _d in sim.run_trajectory(1000.0)]
+        assert markings[-1]["failed"] == 1
+
+    def test_negative_horizon_rejected(self, simple_san):
+        sim = SANSimulator(simple_san, seed=4)
+        with pytest.raises(SANError):
+            list(sim.run_trajectory(-1.0))
+
+    def test_reproducible_with_seed(self, simple_san):
+        run1 = list(SANSimulator(simple_san, seed=42).run_trajectory(5.0))
+        run2 = list(SANSimulator(simple_san, seed=42).run_trajectory(5.0))
+        assert run1 == run2
+
+    def test_vanishing_markings_not_yielded(self):
+        places = [Place("a", initial=1), Place("mid"), Place("b")]
+        t = TimedActivity("t", rate=1.0, input_arcs=[("a", 1)],
+                          cases=[Case(output_arcs=(("mid", 1),))])
+        i = InstantaneousActivity("i", input_arcs=[("mid", 1)],
+                                  cases=[Case(output_arcs=(("b", 1),))])
+        back = TimedActivity("back", rate=1.0, input_arcs=[("b", 1)],
+                             cases=[Case(output_arcs=(("a", 1),))])
+        model = SANModel("v", places, [t, back], [i])
+        sim = SANSimulator(model, seed=5)
+        for _t, marking, _d in sim.run_trajectory(20.0):
+            assert marking["mid"] == 0
+
+    def test_unresolvable_vanishing_loop_detected(self):
+        places = [Place("p", initial=1)]
+        i = InstantaneousActivity("i", input_arcs=[("p", 1)],
+                                  cases=[Case(output_arcs=(("p", 1),))])
+        sim = SANSimulator(SANModel("loop", places, [], [i]), seed=6)
+        with pytest.raises(SANError):
+            list(sim.run_trajectory(1.0))
+
+
+class TestEstimators:
+    def test_instant_estimate_matches_numerical(self, simple_san, in_a):
+        compiled = build_ctmc(simple_san)
+        exact = instant_of_time(compiled, in_a, 1.0)
+        sim = SANSimulator(simple_san, seed=7)
+        estimate = sim.estimate_instant_of_time(in_a, 1.0, replications=3000)
+        low, high = estimate.confidence_interval(z=3.29)  # ~99.9%
+        assert low <= exact <= high
+
+    def test_accumulated_estimate_matches_numerical(self, simple_san, in_a):
+        from repro.san.rewards import interval_of_time
+
+        compiled = build_ctmc(simple_san)
+        exact = interval_of_time(compiled, in_a, 5.0)
+        sim = SANSimulator(simple_san, seed=8)
+        estimate = sim.estimate_accumulated(in_a, 5.0, replications=2000)
+        low, high = estimate.confidence_interval(z=3.29)
+        assert low <= exact <= high
+
+    def test_steady_estimate_matches_numerical(self, simple_san, in_a):
+        compiled = build_ctmc(simple_san)
+        exact = steady_state(compiled, in_a)
+        sim = SANSimulator(simple_san, seed=9)
+        estimate = sim.estimate_steady_state(
+            in_a, horizon=300.0, warmup=30.0, replications=30
+        )
+        low, high = estimate.confidence_interval(z=3.29)
+        assert low <= exact <= high
+
+    def test_steady_estimate_rejects_bad_warmup(self, simple_san, in_a):
+        sim = SANSimulator(simple_san, seed=10)
+        with pytest.raises(SANError):
+            sim.estimate_steady_state(in_a, horizon=5.0, warmup=10.0)
+
+    def test_estimate_summary_fields(self, simple_san, in_a):
+        sim = SANSimulator(simple_san, seed=11)
+        estimate = sim.estimate_instant_of_time(in_a, 1.0, replications=100)
+        assert estimate.replications == 100
+        assert estimate.std_error >= 0.0
+        assert 0.0 <= estimate.mean <= 1.0

@@ -1,0 +1,159 @@
+"""Tests for the textual predicate/update expression language."""
+
+import pytest
+
+from repro.san.errors import RewardSpecificationError
+from repro.san.marking import Marking
+from repro.san.spec import (
+    SpecSyntaxError,
+    parse_expression,
+    parse_predicate,
+    parse_update,
+    reward_structure_from_spec,
+)
+
+
+class TestPredicates:
+    def test_equality(self):
+        pred = parse_predicate("detected == 1")
+        assert pred(Marking(detected=1))
+        assert not pred(Marking(detected=0))
+
+    def test_c_style_operators(self):
+        pred = parse_predicate("detected == 1 && failure == 0")
+        assert pred(Marking(detected=1, failure=0))
+        assert not pred(Marking(detected=1, failure=1))
+
+    def test_or_and_not(self):
+        pred = parse_predicate("!(a == 1) || b >= 2")
+        assert pred(Marking(a=0, b=0))
+        assert pred(Marking(a=1, b=2))
+        assert not pred(Marking(a=1, b=1))
+
+    def test_mark_call_syntax(self):
+        pred = parse_predicate("MARK(queue) > 0 && MARK(server) == 1")
+        assert pred(Marking(queue=2, server=1))
+
+    def test_bang_not_confused_with_neq(self):
+        pred = parse_predicate("a != 1")
+        assert pred(Marking(a=0))
+        assert not pred(Marking(a=1))
+
+    def test_arithmetic_inside_comparison(self):
+        pred = parse_predicate("a + b * 2 >= 5")
+        assert pred(Marking(a=1, b=2))
+        assert not pred(Marking(a=1, b=1))
+
+    def test_chained_comparison(self):
+        pred = parse_predicate("0 < a <= 2")
+        assert pred(Marking(a=1))
+        assert not pred(Marking(a=3))
+
+    def test_unknown_place_raises_at_evaluation(self):
+        pred = parse_predicate("ghost == 1")
+        with pytest.raises(SpecSyntaxError, match="unknown place"):
+            pred(Marking(a=1))
+
+    def test_spec_source_preserved(self):
+        pred = parse_predicate("a == 1")
+        assert pred.spec == "a == 1"
+
+
+class TestSafety:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "__import__('os').system('true')",
+            "a.bit_length()",
+            "[x for x in range(3)]",
+            "lambda: 1",
+            "a ** 2",
+            "a / 2",
+            "'string' == 'string'",
+            "f(a)",
+            "a if b else c",
+        ],
+    )
+    def test_dangerous_or_unsupported_constructs_rejected(self, bad):
+        with pytest.raises(SpecSyntaxError):
+            parse_predicate(bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_predicate("   ")
+
+    def test_unparseable_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_predicate("a ==")
+
+
+class TestUpdates:
+    def test_single_assignment(self):
+        update = parse_update("failure = 1")
+        assert update(Marking(failure=0))["failure"] == 1
+
+    def test_multiple_assignments(self):
+        update = parse_update("detected = 1; P2ctn = 0; dirty_bit = 0")
+        result = update(Marking(detected=0, P2ctn=1, dirty_bit=1))
+        assert (result["detected"], result["P2ctn"], result["dirty_bit"]) == (
+            1, 0, 0,
+        )
+
+    def test_simultaneous_semantics(self):
+        # Both right-hand sides see the pre-update marking: swap works.
+        update = parse_update("a = b; b = a")
+        result = update(Marking(a=1, b=2))
+        assert (result["a"], result["b"]) == (2, 1)
+
+    def test_arithmetic_rhs(self):
+        update = parse_update("down = down + up + 1; up = 0")
+        result = update(Marking(up=1, down=0))
+        assert (result["up"], result["down"]) == (0, 2)
+
+    def test_mark_syntax_on_both_sides(self):
+        update = parse_update("MARK(x) = MARK(y) + 1")
+        assert update(Marking(x=0, y=2))["x"] == 3
+
+    def test_validation(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_update("a == 1")  # comparison, not assignment
+        with pytest.raises(SpecSyntaxError):
+            parse_update("not_an_assignment")
+        with pytest.raises(SpecSyntaxError):
+            parse_update(";")
+        with pytest.raises(SpecSyntaxError):
+            parse_update("2 = a")
+
+
+class TestRewardStructureFromSpec:
+    def test_table1_detection_measure(self):
+        # The paper's Table 1 first row, as data.
+        structure = reward_structure_from_spec(
+            "int_h", [("MARK(detected)==1 && MARK(failure)==0", 1.0)]
+        )
+        pair = structure.rate_rewards[0]
+        assert pair.label == "MARK(detected)==1 && MARK(failure)==0"
+        assert pair.predicate(Marking(detected=1, failure=0))
+        assert not pair.predicate(Marking(detected=0, failure=0))
+
+    def test_matches_programmatic_solution(self):
+        from repro.gsu.measures import RS_INT_TAU_H, ConstituentSolver
+        from repro.gsu.parameters import PAPER_TABLE3
+        from repro.san.rewards import interval_of_time
+
+        solver = ConstituentSolver(PAPER_TABLE3)
+        textual = reward_structure_from_spec(
+            "int_tau_h",
+            [
+                ("MARK(detected)==0", 1.0),
+                ("MARK(detected)==0 && MARK(failure)==1", -1.0),
+            ],
+        )
+        phi = 4000.0
+        assert interval_of_time(
+            solver.rm_gd, textual, phi, method="auto"
+        ) == pytest.approx(solver.int_tau_h(phi), rel=1e-9)
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(RewardSpecificationError):
+            reward_structure_from_spec("empty", [])

@@ -1,0 +1,179 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_parameter_overrides_parsed(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--phi", "100", "--mu-new", "5e-5", "--theta", "5000"]
+        )
+        assert args.mu_new == 5e-5
+        assert args.theta == 5000.0
+
+
+class TestEvaluate:
+    def test_prints_index_and_constituents(self, capsys):
+        assert main(["evaluate", "--phi", "7000"]) == 0
+        out = capsys.readouterr().out
+        assert "Y(7000) = 1.5364" in out
+        assert "int_h" in out
+        assert "rho1" in out
+
+    def test_override_changes_result(self, capsys):
+        main(["evaluate", "--phi", "5000", "--mu-new", "5e-5"])
+        out = capsys.readouterr().out
+        assert "Y(5000) = 1.336" in out
+
+
+class TestSweepAndOptimal:
+    def test_sweep_table_and_chart(self, capsys):
+        assert main(["sweep", "--step", "2500"]) == 0
+        out = capsys.readouterr().out
+        assert "Y(phi)" in out
+        assert "legend" in out
+
+    def test_sweep_no_chart(self, capsys):
+        main(["sweep", "--step", "2500", "--no-chart"])
+        assert "legend" not in capsys.readouterr().out
+
+    def test_optimal_matches_paper(self, capsys):
+        assert main(["optimal"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal phi = 7000" in out
+        assert "beneficial" in out
+
+
+class TestExperiment:
+    def test_tab3_runs(self, capsys):
+        assert main(["experiment", "TAB3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "FIG99"])
+
+
+class TestValidateAndHybrid:
+    def test_validate_scaled(self, capsys):
+        status = main(
+            ["validate", "--phi", "5", "--replications", "120", "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert "Validation at phi=5" in out
+        assert status in (0, 1)  # statistical outcome, printed either way
+
+    def test_hybrid_prints_interval(self, capsys):
+        assert main(
+            ["hybrid", "--phi", "5", "--replications", "100", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out
+        assert "simulated" in out and "analytic" in out
+
+
+class TestExportModel:
+    def test_dot_export(self, capsys):
+        assert main(["export-model", "rmgd"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "P1Nmsg" in out
+
+    def test_json_export_parses(self, capsys):
+        main(["export-model", "rmgp", "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "RMGp"
+
+    def test_states_export(self, capsys):
+        main(["export-model", "rmnd", "--format", "states", "--rate", "old"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_tangible"] >= 5
+
+
+class TestMeasure:
+    def test_instant_measure_matches_solver(self, capsys):
+        status = main([
+            "measure", "rmgd",
+            "--predicate", "MARK(detected)==1 && MARK(failure)==0",
+            "--at", "7000",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "0.478" in out
+
+    def test_accumulated_with_signed_rates(self, capsys):
+        main([
+            "measure", "rmgd",
+            "--predicate", "MARK(detected)==0:1",
+            "--predicate", "MARK(detected)==0 && MARK(failure)==1:-1",
+            "--solution", "accumulated", "--at", "7000",
+        ])
+        out = capsys.readouterr().out
+        assert "5033.99" in out
+
+    def test_steady_measure(self, capsys):
+        main([
+            "measure", "rmgp",
+            "--predicate", "MARK(P1nExt)==1",
+            "--solution", "steady",
+        ])
+        assert "0.0196" in capsys.readouterr().out
+
+    def test_missing_at_errors(self, capsys):
+        status = main([
+            "measure", "rmgd", "--predicate", "MARK(failure)==1",
+        ])
+        assert status == 2
+        assert "--at" in capsys.readouterr().err
+
+
+class TestSolve:
+    @pytest.fixture
+    def model_file(self, tmp_path):
+        spec = {
+            "name": "repairable",
+            "places": [{"name": "up", "initial": 1}, {"name": "down"}],
+            "activities": [
+                {"name": "fail", "rate": 0.01, "consumes": ["up"],
+                 "cases": [{"produces": ["down"]}]},
+                {"name": "repair", "rate": 0.5, "consumes": ["down"],
+                 "cases": [{"produces": ["up"]}]},
+            ],
+        }
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_steady_solution(self, capsys, model_file):
+        assert main([
+            "solve", model_file, "--predicate", "MARK(up)==1",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Availability = 0.5 / 0.51.
+        assert "0.98039216" in out
+
+    def test_instant_solution(self, capsys, model_file):
+        assert main([
+            "solve", model_file, "--predicate", "MARK(up)==1",
+            "--solution", "instant", "--at", "24",
+        ]) == 0
+        assert "instant-of-time" in capsys.readouterr().out
+
+    def test_missing_at_errors(self, capsys, model_file):
+        assert main([
+            "solve", model_file, "--predicate", "MARK(up)==1",
+            "--solution", "accumulated",
+        ]) == 2
