@@ -2,13 +2,27 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples reports experiments clean
+.PHONY: install test campaign-smoke bench examples reports experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test:
+test: campaign-smoke
 	$(PYTHON) -m pytest tests/
+
+# End-to-end smoke test of the campaign runtime: a tiny two-point-per-curve
+# campaign through the process backend, cached into a temp dir; the warm
+# rerun must be served entirely from the cache.
+campaign-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro campaign FIG9 --step 10000 \
+		--backend process --jobs 2 --no-chart \
+		--cache-dir "$$tmp/cache" --run-dir "$$tmp/runs" >/dev/null && \
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro campaign FIG9 --step 10000 \
+		--backend process --jobs 2 --no-chart \
+		--cache-dir "$$tmp/cache" --run-dir "$$tmp/runs" \
+		| grep -q "hit rate 100%" && \
+	echo "campaign-smoke: OK (warm rerun fully cached)"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

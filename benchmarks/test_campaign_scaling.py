@@ -1,0 +1,146 @@
+"""Scaling benchmarks for the campaign runtime (ISSUE tentpole).
+
+Two engineering claims about ``repro.runtime``:
+
+1. **Warm cache eliminates solver work.**  Rerunning a Fig. 9-sized
+   campaign against a populated content-addressed cache performs *zero*
+   constituent-solver invocations (counted with a stub evaluation
+   function) and returns bit-identical curves.
+2. **The process backend shortens the wall clock.**  On a machine with
+   enough cores, a dense Fig. 9 campaign at ``jobs=4`` beats the serial
+   run by >1.5x while producing bit-identical numbers.  The speedup
+   assertion is skipped honestly on boxes without the cores to show it;
+   the determinism and cache claims run everywhere.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import publish_report
+from repro.analysis.tables import format_table
+from repro.gsu.performability import evaluate_index
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import run_campaign
+from repro.runtime.spec import figure_campaign
+
+CPU_COUNT = os.cpu_count() or 1
+
+#: Cores needed for the jobs=4 speedup claim to be meaningful.
+SPEEDUP_CORES = 4
+
+
+class CountingEvaluate:
+    """Evaluation stub that counts constituent-solver invocations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, params, phi, solver):
+        self.calls += 1
+        return evaluate_index(params, phi, solver=solver)
+
+
+@pytest.fixture(scope="module")
+def cold_warm(tmp_path_factory):
+    """Run FIG9 cold then warm against one cache; return both passes."""
+    cache = ResultCache(root=tmp_path_factory.mktemp("campaign-cache"))
+    spec = figure_campaign("FIG9")
+
+    cold_counter = CountingEvaluate()
+    start = time.perf_counter()
+    cold = run_campaign(spec, cache=cache, evaluate_fn=cold_counter)
+    cold_wall = time.perf_counter() - start
+
+    warm_counter = CountingEvaluate()
+    start = time.perf_counter()
+    warm = run_campaign(spec, cache=cache, evaluate_fn=warm_counter)
+    warm_wall = time.perf_counter() - start
+
+    report = format_table(
+        ["pass", "wall s", "solver calls", "cache hits", "cache misses"],
+        [
+            ["cold", cold_wall, cold_counter.calls,
+             cold.cache_stats.hits, cold.cache_stats.misses],
+            ["warm", warm_wall, warm_counter.calls,
+             warm.cache_stats.hits, warm.cache_stats.misses],
+        ],
+        title="FIG9 campaign: cold vs warm content-addressed cache",
+    )
+    publish_report("CAMPAIGN_CACHE", report)
+    return {
+        "cache": cache,
+        "spec": spec,
+        "cold": cold,
+        "warm": warm,
+        "cold_calls": cold_counter.calls,
+        "warm_calls": warm_counter.calls,
+        "cold_wall": cold_wall,
+        "warm_wall": warm_wall,
+    }
+
+
+def test_warm_rerun_is_solver_free(cold_warm):
+    assert cold_warm["cold_calls"] == cold_warm["spec"].num_points
+    assert cold_warm["warm_calls"] == 0
+    assert cold_warm["warm"].tasks_computed == 0
+    assert cold_warm["warm"].cache_stats.hit_rate == 1.0
+
+
+def test_warm_rerun_is_bit_identical(cold_warm):
+    for cold_sweep, warm_sweep in zip(
+        cold_warm["cold"].sweeps, cold_warm["warm"].sweeps
+    ):
+        assert warm_sweep.phis == cold_sweep.phis
+        assert warm_sweep.values == cold_sweep.values
+
+
+def test_warm_rerun_is_faster(cold_warm):
+    # A cache hit is a JSON read; a miss is a CTMC solve.  Even on a
+    # noisy box the warm pass wins comfortably.
+    assert cold_warm["warm_wall"] < cold_warm["cold_wall"]
+
+
+def test_warm_campaign_kernel(benchmark, cold_warm):
+    """pytest-benchmark timing of a fully cached FIG9 campaign."""
+    cache, spec = cold_warm["cache"], cold_warm["spec"]
+
+    def kernel():
+        return run_campaign(spec, cache=cache).tasks_computed
+
+    assert benchmark(kernel) == 0
+
+
+@pytest.mark.skipif(
+    CPU_COUNT < SPEEDUP_CORES,
+    reason=f"jobs=4 speedup needs >={SPEEDUP_CORES} CPUs, "
+    f"machine has {CPU_COUNT}",
+)
+def test_process_backend_speedup():
+    """Dense Fig. 9 campaign: process backend at jobs=4 vs serial."""
+    spec = figure_campaign("FIG9", step=250.0)
+
+    start = time.perf_counter()
+    serial = run_campaign(spec, backend="serial", jobs=1)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_campaign(spec, backend="process", jobs=4)
+    parallel_wall = time.perf_counter() - start
+
+    speedup = serial_wall / parallel_wall
+    report = format_table(
+        ["backend", "jobs", "points", "wall s"],
+        [
+            ["serial", 1, spec.num_points, serial_wall],
+            ["process", 4, spec.num_points, parallel_wall],
+        ],
+        title=f"FIG9 (step 250) campaign speedup: {speedup:.2f}x "
+        f"on {CPU_COUNT} CPUs",
+    )
+    publish_report("CAMPAIGN_SPEEDUP", report)
+
+    for serial_sweep, parallel_sweep in zip(serial.sweeps, parallel.sweeps):
+        assert parallel_sweep.values == serial_sweep.values
+    assert speedup > 1.5

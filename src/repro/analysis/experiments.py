@@ -7,20 +7,30 @@ paper's row/series format, and checks the paper's *qualitative claims*
 reproduction criteria appropriate for a model-based study re-implemented
 on a fresh substrate.
 
+The figure experiments execute through the campaign runtime: their
+parameter studies are declared once as campaign specs
+(:func:`repro.runtime.spec.figure_campaign`) and evaluated by
+:func:`repro.runtime.campaign.run_campaign`, so ``repro experiment``
+and ``repro campaign`` share one execution path — and the installed
+:class:`~repro.runtime.campaign.RuntimeConfig` (parallel backend,
+result cache) applies to both.
+
 Experiment ids: ``FIG9``, ``FIG10``, ``FIG11``, ``FIG12``, ``TAB1``,
 ``TAB2``, ``TAB3`` (see DESIGN.md's per-experiment index).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
 from repro.analysis.plotting import ascii_curves
-from repro.analysis.sweep import SweepResult, run_sweep
+from repro.analysis.sweep import SweepResult
 from repro.analysis.tables import format_table, optimum_table, sweep_table
 from repro.gsu.measures import ConstituentSolver
 from repro.gsu.parameters import PAPER_TABLE3, GSUParameters
+from repro.runtime.campaign import run_campaign
+from repro.runtime.spec import figure_campaign
 
 
 @dataclass(frozen=True)
@@ -120,13 +130,13 @@ def _figure_outcome(
 # ----------------------------------------------------------------------
 # Figure experiments
 # ----------------------------------------------------------------------
+def _figure_sweeps(experiment_id: str) -> list[SweepResult]:
+    """Run one figure's campaign through the runtime (spec order)."""
+    return list(run_campaign(figure_campaign(experiment_id)).sweeps)
+
+
 def _run_fig9() -> ExperimentOutcome:
-    base = PAPER_TABLE3
-    low = base.with_overrides(mu_new=0.5e-4)
-    sweeps = [
-        run_sweep(base, label="mu_new = 0.0001"),
-        run_sweep(low, label="mu_new = 0.00005"),
-    ]
+    sweeps = _figure_sweeps("FIG9")
     claims = [
         _claim_optimum(sweeps[0], [7000.0], "mu_new=1e-4"),
         _claim_optimum(sweeps[1], [5000.0], "mu_new=5e-5"),
@@ -150,22 +160,22 @@ def _run_fig9() -> ExperimentOutcome:
 
 
 def _run_fig10() -> ExperimentOutcome:
-    fast = PAPER_TABLE3
-    slow = fast.with_overrides(alpha=2500.0, beta=2500.0)
-    fast_solver = ConstituentSolver(fast)
-    slow_solver = ConstituentSolver(slow)
+    sweeps = _figure_sweeps("FIG10")
+    # The campaign declares the static study names; the paper labels the
+    # curves by their derived overhead fractions, so compute the rho
+    # values (two cheap steady-state solves each) and relabel.
+    fast_solver = ConstituentSolver(sweeps[0].params)
+    slow_solver = ConstituentSolver(sweeps[1].params)
     rho_fast = (fast_solver.rho1(), fast_solver.rho2())
     rho_slow = (slow_solver.rho1(), slow_solver.rho2())
     sweeps = [
-        run_sweep(
-            fast,
+        replace(
+            sweeps[0],
             label=f"rho1 = {rho_fast[0]:.2f}, rho2 = {rho_fast[1]:.2f}",
-            solver=fast_solver,
         ),
-        run_sweep(
-            slow,
+        replace(
+            sweeps[1],
             label=f"rho1 = {rho_slow[0]:.2f}, rho2 = {rho_slow[1]:.2f}",
-            solver=slow_solver,
         ),
     ]
     claims = [
@@ -196,12 +206,10 @@ def _run_fig10() -> ExperimentOutcome:
 
 
 def _run_fig11() -> ExperimentOutcome:
-    base = PAPER_TABLE3.with_overrides(alpha=2500.0, beta=2500.0)
-    coverages = (0.95, 0.75, 0.50)
-    sweeps = [
-        run_sweep(base.with_overrides(coverage=c), label=f"c = {c:.2f}")
-        for c in coverages
-    ]
+    # Campaign order: c = 0.95, 0.75, 0.50 (the figure) then the text's
+    # extra studies c = 0.20 and c = 0.10.
+    all_sweeps = _figure_sweeps("FIG11")
+    sweeps, (c20, c10) = all_sweeps[:3], all_sweeps[3:]
     optima = [s.optimum() for s in sweeps]
     max_ys = [o.y for o in optima]
     claims = [
@@ -217,8 +225,6 @@ def _run_fig11() -> ExperimentOutcome:
         ),
     ]
     # The text's two extra studies: c = 0.2 and c = 0.1.
-    c20 = run_sweep(base.with_overrides(coverage=0.20), label="c = 0.20")
-    c10 = run_sweep(base.with_overrides(coverage=0.10), label="c = 0.10")
     best20 = c20.optimum()
     claims.append(
         _claim(
@@ -249,12 +255,7 @@ def _run_fig11() -> ExperimentOutcome:
 
 
 def _run_fig12() -> ExperimentOutcome:
-    base = PAPER_TABLE3.with_overrides(theta=5000.0)
-    low = base.with_overrides(mu_new=0.5e-4)
-    sweeps = [
-        run_sweep(base, label="mu_new = 0.0001", step=500.0),
-        run_sweep(low, label="mu_new = 0.00005", step=500.0),
-    ]
+    sweeps = _figure_sweeps("FIG12")
     claims = [
         _claim_optimum(sweeps[0], [2500.0], "theta=5000, mu_new=1e-4"),
         _claim_optimum(sweeps[1], [2000.0, 2500.0], "theta=5000, mu_new=5e-5"),

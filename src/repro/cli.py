@@ -5,7 +5,9 @@ Exposes the reproduction's main entry points without writing Python::
     python -m repro evaluate --phi 7000
     python -m repro sweep --step 1000 --mu-new 5e-5
     python -m repro optimal --refine
-    python -m repro experiment FIG9
+    python -m repro experiment FIG9 --jobs 4 --cache-dir ~/.repro-cache
+    python -m repro campaign FIG9 --jobs 4 --run-dir runs/
+    python -m repro campaign --spec my_campaign.json --backend process
     python -m repro validate --phi 10 --replications 300
     python -m repro hybrid --phi 10 --replications 300
     python -m repro measure rmgd --predicate "MARK(detected)==1" --at 7000
@@ -14,7 +16,10 @@ Exposes the reproduction's main entry points without writing Python::
 
 Model-bound commands accept the Table 3 parameter overrides
 (``--theta``, ``--lam``, ``--mu-new``, ``--mu-old``, ``--coverage``,
-``--p-ext``, ``--alpha``, ``--beta``).
+``--p-ext``, ``--alpha``, ``--beta``).  Batch commands (``sweep``,
+``optimal``, ``experiment``, ``campaign``) accept the campaign-runtime
+flags (``--jobs``, ``--backend``, ``--cache-dir``, ``--no-cache``,
+``--run-dir``).
 """
 
 from __future__ import annotations
@@ -37,6 +42,9 @@ from repro.gsu.optimizer import find_optimal_phi
 from repro.gsu.parameters import PAPER_TABLE3, GSUParameters
 from repro.gsu.performability import evaluate_index
 from repro.gsu.validation import SCALED_VALIDATION_PARAMS, validate_constituents
+from repro.runtime.campaign import RuntimeConfig, run_campaign, use_config
+from repro.runtime.executor import BACKENDS
+from repro.runtime.spec import FIGURE_CAMPAIGNS, CampaignSpec, figure_campaign
 from repro.san.export import graph_to_dict, model_to_dict, model_to_dot
 from repro.san.reachability import explore
 
@@ -70,6 +78,44 @@ def _params_from(args: argparse.Namespace, base: GSUParameters) -> GSUParameters
     return base.with_overrides(**overrides) if overrides else base
 
 
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("campaign runtime")
+    group.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker count for parallel execution (default 1)",
+    )
+    group.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="execution backend (default: serial, or process when --jobs > 1)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache directory",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir is set",
+    )
+    group.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="write a run manifest and results under this directory",
+    )
+
+
+def _runtime_config_from(args: argparse.Namespace) -> RuntimeConfig:
+    if args.jobs < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {args.jobs}")
+    backend = args.backend
+    if backend is None:
+        backend = "process" if args.jobs > 1 else "serial"
+    return RuntimeConfig(
+        backend=backend,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        artifacts_dir=args.run_dir,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -90,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--step", type=float, default=1000.0)
     sweep.add_argument("--no-chart", action="store_true")
     _add_parameter_flags(sweep)
+    _add_runtime_flags(sweep)
 
     optimal = sub.add_parser(
         "optimal", help="find the optimal guarded-operation duration"
@@ -97,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimal.add_argument("--step", type=float, default=1000.0)
     optimal.add_argument("--refine", action="store_true")
     _add_parameter_flags(optimal)
+    _add_runtime_flags(optimal)
 
     experiment = sub.add_parser(
         "experiment", help="run a canned paper experiment"
@@ -106,6 +154,30 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="paper artifact id (FIG9..FIG12, TAB1..TAB3) or 'all'",
     )
+    _add_runtime_flags(experiment)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a figure campaign (or a JSON campaign spec) through "
+             "the parallel runtime with caching and run artifacts",
+    )
+    campaign.add_argument(
+        "target",
+        nargs="?",
+        choices=sorted(FIGURE_CAMPAIGNS) + ["all"],
+        default=None,
+        help="figure campaign id (FIG9..FIG12) or 'all'; omit with --spec",
+    )
+    campaign.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="path to a JSON campaign spec (alternative to a figure id)",
+    )
+    campaign.add_argument(
+        "--step", type=float, default=None,
+        help="re-space every implicit phi grid (e.g. for smoke runs)",
+    )
+    campaign.add_argument("--no-chart", action="store_true")
+    _add_runtime_flags(campaign)
 
     validate = sub.add_parser(
         "validate",
@@ -226,7 +298,8 @@ def _cmd_evaluate(args) -> int:
 
 def _cmd_sweep(args) -> int:
     params = _params_from(args, PAPER_TABLE3)
-    sweep = run_sweep(params, step=args.step)
+    with use_config(_runtime_config_from(args)):
+        sweep = run_sweep(params, step=args.step)
     print(sweep_table([sweep], title="Y(phi)"))
     print()
     print(optimum_table([sweep]))
@@ -238,7 +311,8 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_optimal(args) -> int:
     params = _params_from(args, PAPER_TABLE3)
-    result = find_optimal_phi(params, step=args.step, refine=args.refine)
+    with use_config(_runtime_config_from(args)):
+        result = find_optimal_phi(params, step=args.step, refine=args.refine)
     verdict = "beneficial" if result.beneficial else "NOT beneficial"
     print(f"optimal phi = {result.phi:g} with Y = {result.y:.6f} ({verdict})")
     return 0
@@ -247,12 +321,70 @@ def _cmd_optimal(args) -> int:
 def _cmd_experiment(args) -> int:
     ids = sorted(EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
     status = 0
-    for experiment_id in ids:
-        outcome = run_experiment(experiment_id)
-        print(outcome.report)
-        print()
-        if not outcome.all_claims_hold:
-            status = 1
+    with use_config(_runtime_config_from(args)):
+        for experiment_id in ids:
+            outcome = run_experiment(experiment_id)
+            print(outcome.report)
+            print()
+            if not outcome.all_claims_hold:
+                status = 1
+    return status
+
+
+def _cmd_campaign(args) -> int:
+    if (args.target is None) == (args.spec is None):
+        print(
+            "error: give exactly one of a figure id (FIG9..FIG12, all) "
+            "or --spec FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if args.spec is not None:
+        try:
+            with open(args.spec) as handle:
+                specs = [CampaignSpec.from_json(handle.read())]
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: bad campaign spec {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.step is not None:
+            specs = [spec.with_step(args.step) for spec in specs]
+    else:
+        ids = (
+            sorted(FIGURE_CAMPAIGNS)
+            if args.target == "all"
+            else [args.target]
+        )
+        specs = [figure_campaign(i, step=args.step) for i in ids]
+
+    config = _runtime_config_from(args)
+    status = 0
+    with use_config(config):
+        for spec in specs:
+            result = run_campaign(spec)
+            print(sweep_table(result.sweeps, title=f"Campaign {spec.name}"))
+            print()
+            print(optimum_table(result.sweeps, title="Optima:"))
+            if not args.no_chart:
+                print()
+                print(ascii_curves(result.sweeps, title=f"{spec.name} Y(phi)"))
+            print()
+            print(
+                f"{spec.name}: {len(result.outcomes)} points "
+                f"({result.tasks_computed} solved) on {config.backend} "
+                f"backend, jobs={config.jobs}, wall {result.wall_seconds:.2f}s, "
+                f"solver {result.solver_seconds:.2f}s"
+            )
+            if result.cache_stats is not None:
+                stats = result.cache_stats
+                print(
+                    f"cache: {stats.hits} hits, {stats.misses} misses, "
+                    f"{stats.corrupt} corrupt, {stats.writes} writes "
+                    f"(hit rate {stats.hit_rate:.0%})"
+                )
+            if result.artifacts is not None:
+                print(f"manifest: {result.artifacts.manifest_path}")
+            print()
     return status
 
 
@@ -404,6 +536,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "optimal": _cmd_optimal,
     "experiment": _cmd_experiment,
+    "campaign": _cmd_campaign,
     "validate": _cmd_validate,
     "hybrid": _cmd_hybrid,
     "measure": _cmd_measure,

@@ -51,6 +51,9 @@ def find_optimal_phi(
     refine: bool = False,
     refine_tolerance: float = 10.0,
     solver: ConstituentSolver | None = None,
+    jobs: int | None = None,
+    backend: str | None = None,
+    cache=None,
 ) -> OptimalDuration:
     """Locate the ``phi`` maximising ``Y`` over ``[0, theta]``.
 
@@ -66,24 +69,50 @@ def find_optimal_phi(
     refine_tolerance:
         Bracket width (hours) at which refinement stops.
     solver:
-        Optional shared solver for model reuse.
+        Optional shared solver; forces the direct in-process path.
+        Otherwise the coarse grid routes through the campaign runtime
+        (honouring the installed runtime configuration and any
+        ``jobs``/``backend``/``cache`` overrides) — refinement is a
+        sequential bracket search and always runs in-process.
+    jobs / backend / cache:
+        Runtime overrides for the coarse grid, forwarded to
+        :func:`~repro.runtime.campaign.run_campaign`.
     """
     if step <= 0:
         raise ValueError(f"step must be positive, got {step}")
-    if solver is None:
-        solver = ConstituentSolver(params)
-    grid: list[float] = []
-    value = 0.0
-    while value < params.theta:
-        grid.append(value)
-        value += step
-    grid.append(params.theta)
-    evaluations = [evaluate_index(params, phi, solver=solver) for phi in grid]
+    if solver is not None:
+        from repro.runtime.spec import default_grid
+
+        grid = default_grid(params.theta, step=step)
+        evaluations = [
+            evaluate_index(params, phi, solver=solver) for phi in grid
+        ]
+    else:
+        # Route the coarse grid through the campaign runtime.  (Lazy
+        # import: the runtime's executor evaluates the index, which
+        # lives beside this module.)
+        from repro.runtime.campaign import run_campaign
+        from repro.runtime.spec import CampaignSpec, CurveSpec, default_grid
+
+        spec = CampaignSpec(
+            name="optimal-phi",
+            curves=(
+                CurveSpec(
+                    label="optimal-phi",
+                    params=params,
+                    phis=tuple(default_grid(params.theta, step=step)),
+                ),
+            ),
+        )
+        result = run_campaign(spec, backend=backend, jobs=jobs, cache=cache)
+        evaluations = [point.evaluation for point in result.sweeps[0].points]
     best_idx = max(range(len(evaluations)), key=lambda i: evaluations[i].value)
     best = evaluations[best_idx]
     best_phi, best_y = best.phi, best.value
 
     if refine and 0 < best_idx < len(evaluations) - 1:
+        if solver is None:
+            solver = ConstituentSolver(params)
         lo = evaluations[best_idx - 1].phi
         hi = evaluations[best_idx + 1].phi
         refined_phi, refined_y = _golden_section(

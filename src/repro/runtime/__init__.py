@@ -1,0 +1,73 @@
+"""Campaign runtime: parallel sweep execution with result caching.
+
+The runtime turns ad-hoc ``Y(phi)`` sweeps into *campaigns* — declarative
+batches of independent index evaluations that can be planned, executed on
+pluggable backends, memoized on disk, and archived as reproducible run
+artifacts.  The layer every batch workload in the repo routes through:
+
+* :mod:`~repro.runtime.spec` — campaign/curve specifications (parameter
+  sets × ``phi`` grids) plus the canned per-figure campaigns that
+  :mod:`repro.analysis.experiments` evaluates.
+* :mod:`~repro.runtime.tasks` — the task planner: expands a spec into
+  hashable, content-addressable evaluation tasks.
+* :mod:`~repro.runtime.records` — plain-data serialization of
+  :class:`~repro.gsu.performability.PerformabilityEvaluation` results
+  (the unit of caching and of inter-process transport).
+* :mod:`~repro.runtime.cache` — content-addressed on-disk result cache
+  (SHA-256 keys, versioned schema, corruption-tolerant reads).
+* :mod:`~repro.runtime.executor` — serial / thread / process execution
+  backends with chunking and deterministic result ordering.
+* :mod:`~repro.runtime.artifacts` — per-campaign run manifests (spec,
+  code version, timings, cache statistics).
+* :mod:`~repro.runtime.campaign` — the :func:`run_campaign` entry point
+  and the process-wide :class:`RuntimeConfig`.
+"""
+
+from repro.runtime.artifacts import RunArtifacts, code_version
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.campaign import (
+    CampaignResult,
+    RuntimeConfig,
+    get_config,
+    run_campaign,
+    set_config,
+    use_config,
+)
+from repro.runtime.executor import BACKENDS, TaskOutcome, execute_tasks
+from repro.runtime.records import evaluation_from_record, record_from_evaluation
+from repro.runtime.spec import (
+    CampaignSpec,
+    CurveSpec,
+    default_grid,
+    figure_campaign,
+)
+from repro.runtime.tasks import (
+    CACHE_KEY_SCHEMA_VERSION,
+    EvaluationTask,
+    plan_campaign,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CACHE_KEY_SCHEMA_VERSION",
+    "CacheStats",
+    "CampaignResult",
+    "CampaignSpec",
+    "CurveSpec",
+    "EvaluationTask",
+    "ResultCache",
+    "RunArtifacts",
+    "RuntimeConfig",
+    "TaskOutcome",
+    "code_version",
+    "default_grid",
+    "evaluation_from_record",
+    "execute_tasks",
+    "figure_campaign",
+    "get_config",
+    "plan_campaign",
+    "record_from_evaluation",
+    "run_campaign",
+    "set_config",
+    "use_config",
+]

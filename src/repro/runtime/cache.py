@@ -1,0 +1,164 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the SHA-256 of
+the task's canonical input payload (see
+:meth:`repro.runtime.tasks.EvaluationTask.cache_key`).  Each file is an
+envelope ``{"schema": ..., "key": ..., "record": {...}}`` so a read can
+verify it is looking at the entry it asked for.
+
+Reads are corruption tolerant by design: a truncated, unparseable, or
+mismatched file logs a warning, counts as a ``corrupt`` (and a miss),
+and the caller recomputes — a damaged cache can cost time, never
+correctness.  Writes are atomic (temp file + ``os.replace``) so a
+crashed run cannot leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runtime.records import validate_record
+from repro.runtime.tasks import CACHE_KEY_SCHEMA_VERSION, EvaluationTask
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/corruption counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-data form for manifests and reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "writes": self.writes,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of evaluation records.
+
+    Attributes
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    schema_version:
+        Key-schema version this cache reads and writes.  Entries written
+        under a different version hash to different keys, so bumping the
+        version invalidates the cache without deleting anything.
+    stats:
+        Counters accumulated over this instance's lifetime.
+    """
+
+    root: Path
+    schema_version: int = CACHE_KEY_SCHEMA_VERSION
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def key_for(self, task: EvaluationTask) -> str:
+        """The content address of a task under this cache's schema."""
+        return task.cache_key(self.schema_version)
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of an entry (two-level fan-out by prefix)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def get(self, task: EvaluationTask) -> dict | None:
+        """The cached record for ``task``, or ``None`` on miss/corruption."""
+        key = self.key_for(task)
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self._corrupt(path, f"unreadable ({exc})")
+            return None
+        try:
+            envelope = json.loads(text)
+            if not isinstance(envelope, dict):
+                raise ValueError("envelope is not an object")
+            if envelope.get("schema") != self.schema_version:
+                raise ValueError(
+                    f"schema {envelope.get('schema')!r} != {self.schema_version}"
+                )
+            if envelope.get("key") != key:
+                raise ValueError("stored key does not match content address")
+            record = envelope["record"]
+            validate_record(record)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            self._corrupt(path, str(exc))
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, task: EvaluationTask, record: dict) -> Path:
+        """Store a record atomically; returns the entry path."""
+        validate_record(record)
+        key = self.key_for(task)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"schema": self.schema_version, "key": key, "record": record}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _corrupt(self, path: Path, reason: str) -> None:
+        logger.warning(
+            "result cache entry %s is unusable (%s); recomputing", path, reason
+        )
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

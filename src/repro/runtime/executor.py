@@ -1,0 +1,196 @@
+"""Execution backends for planned evaluation tasks.
+
+Three backends behind one interface:
+
+``serial``
+    In-process loop — the reference backend; zero scheduling overhead.
+``thread``
+    ``ThreadPoolExecutor`` — the solver's linear algebra releases the
+    GIL, so threads overlap the numerical kernels.
+``process``
+    ``ProcessPoolExecutor`` — full CPU parallelism; tasks and records
+    are plain picklable data by construction.
+
+Tasks are grouped into *chunks* of same-parameter work before dispatch
+so each worker compiles the four base models once per chunk instead of
+once per point.  Results are reassembled strictly in the order the
+tasks were submitted — backend choice, chunking, completion order, and
+worker count never change the output, only the wall clock.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import GSUParameters
+from repro.gsu.performability import PerformabilityEvaluation, evaluate_index
+from repro.runtime.cache import ResultCache
+from repro.runtime.records import record_from_evaluation
+from repro.runtime.tasks import EvaluationTask
+
+#: The supported backend names.
+BACKENDS = ("serial", "thread", "process")
+
+#: An injectable evaluation function ``(params, phi, solver) -> evaluation``.
+EvaluateFn = Callable[[GSUParameters, float, ConstituentSolver], PerformabilityEvaluation]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One executed (or cache-served) task.
+
+    Attributes
+    ----------
+    task:
+        The planned task.
+    record:
+        The plain-data evaluation record (see :mod:`repro.runtime.records`).
+    seconds:
+        Solver wall time for this point (0.0 when served from cache).
+    cached:
+        Whether the record came from the result cache.
+    """
+
+    task: EvaluationTask
+    record: dict
+    seconds: float
+    cached: bool
+
+
+def _solve_points(
+    params: GSUParameters,
+    phis: Sequence[float],
+    evaluate_fn: EvaluateFn | None = None,
+) -> list[tuple[dict, float]]:
+    """Evaluate one chunk of same-parameter points with a shared solver."""
+    evaluate = evaluate_fn or evaluate_index
+    solver = ConstituentSolver(params)
+    results: list[tuple[dict, float]] = []
+    for phi in phis:
+        start = time.perf_counter()
+        evaluation = evaluate(params, phi, solver)
+        results.append(
+            (record_from_evaluation(evaluation), time.perf_counter() - start)
+        )
+    return results
+
+
+def _solve_points_remote(
+    params: GSUParameters, phis: tuple[float, ...]
+) -> list[tuple[dict, float]]:
+    """Module-level chunk worker for the process backend (picklable)."""
+    return _solve_points(params, phis)
+
+
+def _chunk_length(group_size: int, jobs: int, chunk_size: int | None) -> int:
+    """Points per chunk: explicit, else ~2 chunks per worker per group."""
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    if jobs <= 1:
+        return group_size
+    return max(1, math.ceil(group_size / (2 * jobs)))
+
+
+def execute_tasks(
+    tasks: Sequence[EvaluationTask],
+    backend: str = "serial",
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    evaluate_fn: EvaluateFn | None = None,
+    chunk_size: int | None = None,
+) -> list[TaskOutcome]:
+    """Execute tasks and return outcomes in submission order.
+
+    Parameters
+    ----------
+    tasks:
+        The tasks to run, in any order; outcomes come back aligned with
+        this sequence element-for-element.
+    backend:
+        One of :data:`BACKENDS`.
+    jobs:
+        Worker count for the ``thread``/``process`` backends.
+    cache:
+        Optional result cache — hits skip the solver entirely, misses
+        are computed and written back.
+    evaluate_fn:
+        Evaluation override for instrumentation (e.g. counting stub
+        solvers in tests).  Supported on the in-process backends only;
+        the process backend would need to pickle it.
+    chunk_size:
+        Points per dispatched chunk; default sizes chunks to roughly
+        two per worker per curve for load balance.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if evaluate_fn is not None and backend == "process":
+        raise ValueError(
+            "evaluate_fn overrides require the serial or thread backend"
+        )
+
+    outcomes: dict[int, TaskOutcome] = {}
+    pending: list[tuple[int, EvaluationTask]] = []
+    for position, task in enumerate(tasks):
+        record = cache.get(task) if cache is not None else None
+        if record is not None:
+            outcomes[position] = TaskOutcome(
+                task=task, record=record, seconds=0.0, cached=True
+            )
+        else:
+            pending.append((position, task))
+
+    # Group pending work by parameter set (insertion order), then split
+    # each group into chunks sized for the worker pool.
+    groups: dict[GSUParameters, list[tuple[int, EvaluationTask]]] = {}
+    for position, task in pending:
+        groups.setdefault(task.params, []).append((position, task))
+    chunks: list[list[tuple[int, EvaluationTask]]] = []
+    for group in groups.values():
+        length = _chunk_length(len(group), jobs, chunk_size)
+        chunks.extend(
+            group[start : start + length] for start in range(0, len(group), length)
+        )
+
+    def _chunk_args(chunk):
+        return chunk[0][1].params, tuple(task.phi for _, task in chunk)
+
+    if backend == "serial" or jobs == 1 or len(chunks) <= 1:
+        solved = [
+            _solve_points(*_chunk_args(chunk), evaluate_fn=evaluate_fn)
+            for chunk in chunks
+        ]
+    elif backend == "thread":
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    _solve_points, *_chunk_args(chunk), evaluate_fn=evaluate_fn
+                )
+                for chunk in chunks
+            ]
+            solved = [future.result() for future in futures]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_solve_points_remote, *_chunk_args(chunk))
+                for chunk in chunks
+            ]
+            solved = [future.result() for future in futures]
+
+    for chunk, results in zip(chunks, solved):
+        for (position, task), (record, seconds) in zip(chunk, results):
+            if cache is not None:
+                cache.put(task, record)
+            outcomes[position] = TaskOutcome(
+                task=task, record=record, seconds=seconds, cached=False
+            )
+
+    return [outcomes[position] for position in range(len(tasks))]

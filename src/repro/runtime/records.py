@@ -1,0 +1,82 @@
+"""Plain-data records for ``Y(phi)`` evaluations.
+
+A *record* is the JSON-ready form of a
+:class:`~repro.gsu.performability.PerformabilityEvaluation` — the unit
+stored in the result cache and shipped back from worker processes.  The
+round trip is exact: every field is a Python float serialized via
+``repr`` (what :mod:`json` emits), which round-trips bit-identically, so
+a cache hit reproduces the original evaluation to the last ulp.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.index import PerformabilityIndex, WorthModel
+from repro.gsu.performability import PerformabilityEvaluation
+
+#: Top-level keys every valid record must carry.
+REQUIRED_KEYS = frozenset(
+    {"phi", "value", "y_s1", "y_s2", "gamma", "worth", "constituents"}
+)
+
+#: Keys of the nested worth triple.
+WORTH_KEYS = frozenset({"ideal", "unguarded", "guarded"})
+
+
+def record_from_evaluation(evaluation: PerformabilityEvaluation) -> dict:
+    """Flatten an evaluation into a plain-data record."""
+    return {
+        "phi": evaluation.phi,
+        "value": evaluation.value,
+        "y_s1": evaluation.y_s1,
+        "y_s2": evaluation.y_s2,
+        "gamma": evaluation.gamma,
+        "worth": {
+            "ideal": evaluation.worth.ideal,
+            "unguarded": evaluation.worth.unguarded,
+            "guarded": evaluation.worth.guarded,
+        },
+        "constituents": dict(evaluation.constituents),
+    }
+
+
+def validate_record(record: Mapping) -> None:
+    """Raise ``ValueError`` unless ``record`` has the full record shape."""
+    if not isinstance(record, Mapping):
+        raise ValueError(f"record must be a mapping, got {type(record).__name__}")
+    missing = REQUIRED_KEYS - set(record)
+    if missing:
+        raise ValueError(f"record missing keys: {sorted(missing)}")
+    worth = record["worth"]
+    if not isinstance(worth, Mapping) or WORTH_KEYS - set(worth):
+        raise ValueError("record worth triple malformed")
+    if not isinstance(record["constituents"], Mapping):
+        raise ValueError("record constituents must be a mapping")
+
+
+def evaluation_from_record(record: Mapping) -> PerformabilityEvaluation:
+    """Rebuild the full evaluation object from a record.
+
+    The index value is recomputed from the stored worth triple with the
+    same arithmetic the original evaluation used, so ``.value`` matches
+    the stored ``value`` exactly.
+    """
+    validate_record(record)
+    worth = WorthModel(
+        ideal=float(record["worth"]["ideal"]),
+        unguarded=float(record["worth"]["unguarded"]),
+        guarded=float(record["worth"]["guarded"]),
+    )
+    return PerformabilityEvaluation(
+        phi=float(record["phi"]),
+        index=PerformabilityIndex(worth),
+        worth=worth,
+        y_s1=float(record["y_s1"]),
+        y_s2=float(record["y_s2"]),
+        gamma=float(record["gamma"]),
+        constituents={
+            str(name): float(value)
+            for name, value in record["constituents"].items()
+        },
+    )

@@ -1,0 +1,108 @@
+"""The task planner: campaign specs → hashable evaluation tasks.
+
+A task is one ``Y(phi)`` evaluation — the atomic unit of scheduling,
+caching, and timing.  Tasks carry everything a worker needs (parameter
+set, ``phi``, solver options) plus their position in the campaign so
+results can be reassembled in deterministic spec order no matter which
+backend, chunking, or submission order executed them.
+
+Cache keys are content addresses: the SHA-256 of a canonical JSON
+payload of *inputs only* (schema version, parameters, ``phi``, solver
+options).  Position and labels are deliberately excluded so identical
+evaluations are shared across campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.gsu.parameters import GSUParameters
+from repro.runtime.spec import CampaignSpec, params_to_dict
+
+#: Version of the cache-key schema.  Bump whenever the key payload, the
+#: record layout, or the semantics of an existing field change — old
+#: cache entries then become unreachable instead of silently wrong.
+CACHE_KEY_SCHEMA_VERSION = 1
+
+#: The measure a task evaluates (part of the key payload, so future
+#: measure families cannot collide with ``Y(phi)`` entries).
+_MEASURE = "performability.Y"
+
+
+@dataclass(frozen=True)
+class EvaluationTask:
+    """One planned ``Y(phi)`` evaluation.
+
+    Attributes
+    ----------
+    index:
+        Global position in campaign order (curve-major, then grid order).
+    curve_index / point_index:
+        Position of the task's curve in the spec and of its ``phi`` on
+        the curve's grid.
+    label:
+        The curve label (display only; not part of the cache key).
+    params:
+        The parameter set to evaluate.
+    phi:
+        The guarded-operation duration.
+    solver_options:
+        Canonical key/value pairs folded into the cache key.
+    """
+
+    index: int
+    curve_index: int
+    point_index: int
+    label: str
+    params: GSUParameters
+    phi: float
+    solver_options: tuple[tuple[str, str], ...] = ()
+
+    def key_payload(
+        self, schema_version: int = CACHE_KEY_SCHEMA_VERSION
+    ) -> dict:
+        """The canonical content-address payload (inputs only)."""
+        return {
+            "schema": schema_version,
+            "measure": _MEASURE,
+            "params": params_to_dict(self.params),
+            "phi": float(self.phi),
+            "solver": {k: v for k, v in self.solver_options},
+        }
+
+    def cache_key(self, schema_version: int = CACHE_KEY_SCHEMA_VERSION) -> str:
+        """SHA-256 content address of this task's inputs."""
+        payload = json.dumps(
+            self.key_payload(schema_version),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def plan_campaign(spec: CampaignSpec) -> tuple[EvaluationTask, ...]:
+    """Expand a campaign spec into its ordered evaluation tasks.
+
+    The plan is deterministic: curve-major, grid order within each
+    curve, with ``index`` numbering the global order.  Every ``phi`` is
+    validated against its curve's ``[0, theta]`` up front so a malformed
+    spec fails before any work is scheduled.
+    """
+    tasks: list[EvaluationTask] = []
+    for curve_index, curve in enumerate(spec.curves):
+        for point_index, phi in enumerate(curve.grid()):
+            curve.params.validate_phi(phi)
+            tasks.append(
+                EvaluationTask(
+                    index=len(tasks),
+                    curve_index=curve_index,
+                    point_index=point_index,
+                    label=curve.label,
+                    params=curve.params,
+                    phi=float(phi),
+                    solver_options=spec.solver_options,
+                )
+            )
+    return tuple(tasks)

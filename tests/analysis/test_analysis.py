@@ -32,6 +32,19 @@ class TestGrid:
         with pytest.raises(ValueError):
             default_grid(10.0, step=-1.0)
 
+    def test_no_accumulated_drift_near_theta(self):
+        # value += 0.1 drifts to 0.9999999999999999 after ten steps and
+        # used to emit a near-duplicate of theta; integer multiples and
+        # the endpoint guard must not.
+        grid = default_grid(1.0, step=0.1)
+        assert grid[-1] == 1.0
+        assert len(grid) == 11
+        assert min(b - a for a, b in zip(grid, grid[1:])) > 0.05
+
+    def test_interior_points_are_integer_multiples(self):
+        grid = default_grid(50_000.0, step=1000.0)
+        assert grid == [float(i * 1000) for i in range(51)]
+
 
 class TestSweep:
     def test_points_ordered(self, quick_sweep):
@@ -45,6 +58,19 @@ class TestSweep:
         assert quick_sweep.value_at(0.0) == pytest.approx(1.0)
         with pytest.raises(KeyError):
             quick_sweep.value_at(1234.5)
+
+    def test_value_at_tolerates_float_noise(self, quick_sweep):
+        # A phi reconstructed by arithmetic need not be bit-identical to
+        # the grid point; value_at matches within documented tolerance.
+        reconstructed = 7500.0 * (1.0 + 1e-12)
+        assert reconstructed != 7500.0
+        assert quick_sweep.value_at(reconstructed) == quick_sweep.value_at(
+            7500.0
+        )
+
+    def test_value_at_still_rejects_off_grid(self, quick_sweep):
+        with pytest.raises(KeyError):
+            quick_sweep.value_at(7500.0 + 1.0)
 
     def test_default_label_summarises_parameters(self):
         solver = ConstituentSolver(PAPER_TABLE3)

@@ -1,0 +1,167 @@
+"""Tests for the content-addressed result cache (ISSUE satellite).
+
+Covers: cold-run population, warm-run identity with *zero* solver
+invocations (counted via a stub evaluation function), corruption
+fallback, and cache-key sensitivity to every parameter field and to the
+key-schema version.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.gsu.performability import evaluate_index
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import run_campaign
+from repro.runtime.spec import CampaignSpec, CurveSpec
+from repro.runtime.tasks import plan_campaign
+
+
+def small_spec(name="cache-test", phis=(0.0, 4000.0, 10_000.0)):
+    return CampaignSpec(
+        name=name,
+        curves=(
+            CurveSpec(label="base", params=PAPER_TABLE3, phis=tuple(phis)),
+        ),
+    )
+
+
+class CountingEvaluate:
+    """Evaluation stub that counts constituent-solver invocations."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, params, phi, solver):
+        self.calls.append((params, phi))
+        return evaluate_index(params, phi, solver=solver)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+class TestColdWarm:
+    def test_cold_populates_then_warm_is_solver_free(self, cache):
+        spec = small_spec()
+        cold_counter = CountingEvaluate()
+        cold = run_campaign(spec, cache=cache, evaluate_fn=cold_counter)
+        assert len(cold_counter.calls) == 3
+        assert cold.cache_stats.misses == 3
+        assert cold.cache_stats.writes == 3
+        assert len(cache) == 3
+
+        warm_counter = CountingEvaluate()
+        warm = run_campaign(spec, cache=cache, evaluate_fn=warm_counter)
+        assert warm_counter.calls == []  # zero solver invocations
+        assert warm.cache_stats.hits == 3
+        assert warm.cache_stats.misses == 0
+        assert warm.tasks_computed == 0
+
+        # Identical SweepResult values, bit for bit.
+        assert warm.sweeps[0].values == cold.sweeps[0].values
+        assert warm.sweeps[0].phis == cold.sweeps[0].phis
+        cold_eval = cold.sweeps[0].points[1].evaluation
+        warm_eval = warm.sweeps[0].points[1].evaluation
+        assert warm_eval.constituents == cold_eval.constituents
+        assert warm_eval.worth == cold_eval.worth
+        assert warm_eval.gamma == cold_eval.gamma
+
+    def test_partial_warm_run_solves_only_new_points(self, cache):
+        run_campaign(small_spec(), cache=cache)
+        counter = CountingEvaluate()
+        grown = small_spec(phis=(0.0, 2000.0, 4000.0, 10_000.0))
+        result = run_campaign(grown, cache=cache, evaluate_fn=counter)
+        assert [phi for _, phi in counter.calls] == [2000.0]
+        assert result.cache_stats.hits == 3
+        assert result.cache_stats.misses == 1
+
+
+class TestCorruption:
+    def _one_entry(self, cache):
+        spec = small_spec(phis=(5000.0,))
+        run_campaign(spec, cache=cache)
+        task = plan_campaign(spec)[0]
+        return spec, task, cache.path_for(cache.key_for(task))
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            lambda path: path.write_text("{ not json"),
+            lambda path: path.write_text(""),
+            lambda path: path.write_text(json.dumps({"schema": 999})),
+            lambda path: path.write_text(
+                json.dumps({"schema": 1, "key": "0" * 64, "record": {}})
+            ),
+        ],
+        ids=["garbage", "truncated", "wrong-schema", "wrong-key"],
+    )
+    def test_corrupt_entry_recomputes_and_heals(self, cache, damage):
+        spec, task, path = self._one_entry(cache)
+        reference = run_campaign(spec, cache=cache)
+        damage(path)
+
+        counter = CountingEvaluate()
+        result = run_campaign(spec, cache=cache, evaluate_fn=counter)
+        assert len(counter.calls) == 1  # recomputed, did not crash
+        assert result.cache_stats.corrupt == 1
+        assert result.sweeps[0].values == reference.sweeps[0].values
+        # The recompute rewrote a valid entry.
+        healed = run_campaign(spec, cache=cache)
+        assert healed.cache_stats.hits == 1
+        assert healed.cache_stats.corrupt == 0
+
+    def test_record_with_missing_fields_is_corrupt(self, cache):
+        spec, task, path = self._one_entry(cache)
+        envelope = json.loads(path.read_text())
+        del envelope["record"]["constituents"]
+        path.write_text(json.dumps(envelope))
+        assert cache.get(task) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestKeying:
+    def test_every_parameter_field_changes_the_key(self, cache):
+        base_task = plan_campaign(small_spec(phis=(5000.0,)))[0]
+        base_key = cache.key_for(base_task)
+        overrides = {
+            "theta": 12_000.0,
+            "lam": 1_100.0,
+            "mu_new": 2e-4,
+            "mu_old": 2e-8,
+            "coverage": 0.9,
+            "p_ext": 0.2,
+            "alpha": 5_000.0,
+            "beta": 5_000.0,
+        }
+        assert set(overrides) == {
+            f.name for f in dataclasses.fields(PAPER_TABLE3)
+        }
+        for name, value in overrides.items():
+            changed = dataclasses.replace(
+                base_task, params=PAPER_TABLE3.with_overrides(**{name: value})
+            )
+            assert cache.key_for(changed) != base_key, name
+
+    def test_schema_version_bump_invalidates(self, tmp_path):
+        spec = small_spec(phis=(5000.0,))
+        v1 = ResultCache(root=tmp_path / "cache")
+        run_campaign(spec, cache=v1)
+        assert v1.stats.writes == 1
+
+        v2 = ResultCache(root=tmp_path / "cache", schema_version=2)
+        counter = CountingEvaluate()
+        result = run_campaign(spec, cache=v2, evaluate_fn=counter)
+        assert len(counter.calls) == 1  # v1 entry unreachable under v2
+        assert result.cache_stats.misses == 1
+        # Both versions now coexist without clashing.
+        assert len(v2) == 2
+
+    def test_no_cache_flag_bypasses_configured_cache(self, cache):
+        spec = small_spec(phis=(5000.0,))
+        result = run_campaign(spec, cache=cache, no_cache=True)
+        assert result.cache_stats is None
+        assert len(cache) == 0

@@ -66,6 +66,71 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             main(["experiment", "FIG99"])
 
+    def test_runtime_flags_accepted(self, capsys, tmp_path):
+        assert main([
+            "experiment", "TAB3",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+
+
+class TestCampaign:
+    def test_runtime_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["campaign", "FIG9", "--jobs", "4", "--backend", "thread",
+             "--cache-dir", "/tmp/c", "--run-dir", "/tmp/r"]
+        )
+        assert args.jobs == 4
+        assert args.backend == "thread"
+        assert args.cache_dir == "/tmp/c"
+
+    def test_requires_target_or_spec(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "figure id" in capsys.readouterr().err
+
+    def test_figure_campaign_with_cache_and_manifest(self, capsys, tmp_path):
+        argv = [
+            "campaign", "FIG9", "--step", "5000", "--no-chart",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--run-dir", str(tmp_path / "runs"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Campaign FIG9" in out
+        assert "6 points (6 solved)" in out
+        assert "manifest:" in out
+
+        # Warm rerun: everything served from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "6 points (0 solved)" in out
+        assert "hit rate 100%" in out
+
+    def test_bad_spec_file_errors_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        assert main(["campaign", "--spec", str(bad)]) == 2
+        assert "bad campaign spec" in capsys.readouterr().err
+
+    def test_spec_file_campaign(self, capsys, tmp_path):
+        from repro.runtime.spec import figure_campaign
+
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(figure_campaign("FIG12", step=2500.0).to_json())
+        assert main(["campaign", "--spec", str(spec_path), "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign FIG12" in out
+
+    def test_campaign_matches_experiment_numbers(self, capsys):
+        """`repro campaign FIG9` equals the experiment path's numbers."""
+        from repro.analysis.experiments import run_experiment
+        from repro.runtime.campaign import run_campaign
+        from repro.runtime.spec import figure_campaign
+
+        campaign = run_campaign(figure_campaign("FIG9"))
+        outcome = run_experiment("FIG9")
+        for camp_sweep, exp_sweep in zip(campaign.sweeps, outcome.sweeps):
+            assert camp_sweep.values == exp_sweep.values  # beats 1e-12
+
 
 class TestValidateAndHybrid:
     def test_validate_scaled(self, capsys):
