@@ -2,12 +2,23 @@
 
 PYTHON ?= python3
 
-.PHONY: install test campaign-smoke bench examples reports experiments clean
+.PHONY: install lint test campaign-smoke bench examples reports experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test: campaign-smoke
+# Lint with ruff when it is installed (config lives in pyproject.toml);
+# degrade to a notice otherwise so `make test` works on minimal boxes.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install ruff)"; \
+	fi
+
+test: lint campaign-smoke
 	$(PYTHON) -m pytest tests/
 
 # End-to-end smoke test of the campaign runtime: a tiny two-point-per-curve

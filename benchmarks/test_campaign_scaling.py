@@ -1,6 +1,6 @@
-"""Scaling benchmarks for the campaign runtime (ISSUE tentpole).
+"""Scaling benchmarks for the campaign runtime.
 
-Two engineering claims about ``repro.runtime``:
+Three engineering claims about ``repro.runtime``:
 
 1. **Warm cache eliminates solver work.**  Rerunning a Fig. 9-sized
    campaign against a populated content-addressed cache performs *zero*
@@ -11,19 +11,26 @@ Two engineering claims about ``repro.runtime``:
    run by >1.5x while producing bit-identical numbers.  The speedup
    assertion is skipped honestly on boxes without the cores to show it;
    the determinism and cache claims run everywhere.
+3. **Batched per-curve solves beat point-by-point.**  A cold 50-point
+   single-worker sweep through the batched path (one solver pass per
+   model and reward structure) is at least 5x faster than the
+   point-by-point path, with machine-readable numbers in
+   ``benchmarks/reports/BENCH_sweep.json``.
 """
 
+import json
 import os
 import time
 
 import pytest
 
-from benchmarks.conftest import publish_report
+from benchmarks.conftest import REPORTS_DIR, publish_report
 from repro.analysis.tables import format_table
+from repro.gsu.parameters import PAPER_TABLE3
 from repro.gsu.performability import evaluate_index
 from repro.runtime.cache import ResultCache
 from repro.runtime.campaign import run_campaign
-from repro.runtime.spec import figure_campaign
+from repro.runtime.spec import CampaignSpec, CurveSpec, figure_campaign
 
 CPU_COUNT = os.cpu_count() or 1
 
@@ -144,3 +151,73 @@ def test_process_backend_speedup():
     for serial_sweep, parallel_sweep in zip(serial.sweeps, parallel.sweeps):
         assert parallel_sweep.values == serial_sweep.values
     assert speedup > 1.5
+
+
+#: Points in the batched-vs-per-point sweep benchmark.
+BATCH_BENCH_POINTS = 50
+
+#: Required cold single-worker speedup of the batched path.
+BATCH_BENCH_SPEEDUP = 5.0
+
+
+def _timed_campaign(spec: CampaignSpec, batch: bool) -> tuple[float, object]:
+    """Best-of-three cold serial run (solver compile included each time)."""
+    best_wall, best = float("inf"), None
+    for _ in range(3):
+        start = time.perf_counter()
+        result = run_campaign(spec, backend="serial", jobs=1, batch=batch)
+        wall = time.perf_counter() - start
+        if wall < best_wall:
+            best_wall, best = wall, result
+    return best_wall, best
+
+
+def test_batched_sweep_speedup():
+    """Cold 50-point single-worker sweep: batched vs point-by-point."""
+    theta = PAPER_TABLE3.theta
+    phis = tuple(
+        i * theta / (BATCH_BENCH_POINTS - 1) for i in range(BATCH_BENCH_POINTS)
+    )
+    spec = CampaignSpec(
+        name="bench-sweep",
+        curves=(CurveSpec(label="base", params=PAPER_TABLE3, phis=phis),),
+    )
+
+    batched_wall, batched = _timed_campaign(spec, batch=True)
+    per_point_wall, per_point = _timed_campaign(spec, batch=False)
+    speedup = per_point_wall / batched_wall
+
+    payload = {
+        "benchmark": "BENCH_sweep",
+        "description": (
+            "cold single-worker Y(phi) sweep, batched per-curve solver "
+            "vs point-by-point"
+        ),
+        "points": BATCH_BENCH_POINTS,
+        "batched": {
+            "wall_seconds": batched_wall,
+            "points_per_second": BATCH_BENCH_POINTS / batched_wall,
+        },
+        "per_point": {
+            "wall_seconds": per_point_wall,
+            "points_per_second": BATCH_BENCH_POINTS / per_point_wall,
+        },
+        "speedup": speedup,
+        "required_speedup": BATCH_BENCH_SPEEDUP,
+    }
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    report = format_table(
+        ["path", "wall s", "points/s"],
+        [
+            ["batched", batched_wall, BATCH_BENCH_POINTS / batched_wall],
+            ["per-point", per_point_wall, BATCH_BENCH_POINTS / per_point_wall],
+        ],
+        title=f"50-point sweep: batched is {speedup:.1f}x faster",
+    )
+    publish_report("BENCH_sweep", report)
+
+    assert batched.sweeps[0].values == per_point.sweeps[0].values
+    assert speedup >= BATCH_BENCH_SPEEDUP

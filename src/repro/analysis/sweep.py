@@ -110,6 +110,7 @@ def run_sweep(
     jobs: int | None = None,
     backend: str | None = None,
     cache=None,
+    batch: bool | None = None,
 ) -> SweepResult:
     """Evaluate one ``Y(phi)`` curve.
 
@@ -131,6 +132,10 @@ def run_sweep(
     jobs / backend / cache:
         Runtime overrides, forwarded to
         :func:`~repro.runtime.campaign.run_campaign`.
+    batch:
+        Use the batched per-curve solver (default) or the point-by-point
+        path (``--no-batch``); ``None`` defers to the runtime config on
+        the campaign path.
     """
     if not label:
         label = (
@@ -140,7 +145,9 @@ def run_sweep(
     if solver is not None:
         if phis is None:
             phis = default_grid(params.theta, step=step)
-        evaluations = sweep_phi(params, phis, solver=solver)
+        evaluations = sweep_phi(
+            params, phis, solver=solver, batch=batch if batch is not None else True
+        )
         points = tuple(
             SweepPoint(phi=e.phi, y=e.value, evaluation=e) for e in evaluations
         )
@@ -162,5 +169,7 @@ def run_sweep(
             ),
         ),
     )
-    result = run_campaign(spec, backend=backend, jobs=jobs, cache=cache)
+    result = run_campaign(
+        spec, backend=backend, jobs=jobs, cache=cache, batch=batch
+    )
     return result.sweeps[0]

@@ -19,7 +19,7 @@ Model-bound commands accept the Table 3 parameter overrides
 ``--p-ext``, ``--alpha``, ``--beta``).  Batch commands (``sweep``,
 ``optimal``, ``experiment``, ``campaign``) accept the campaign-runtime
 flags (``--jobs``, ``--backend``, ``--cache-dir``, ``--no-cache``,
-``--run-dir``).
+``--run-dir``, ``--no-batch``).
 """
 
 from __future__ import annotations
@@ -100,6 +100,14 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         "--run-dir", default=None, metavar="DIR",
         help="write a run manifest and results under this directory",
     )
+    group.add_argument(
+        "--no-batch", action="store_true",
+        help=(
+            "solve sweep points one by one instead of batching each "
+            "curve through a single solver pass (cross-validation "
+            "escape hatch; slower, same results to well under 1e-10)"
+        ),
+    )
 
 
 def _runtime_config_from(args: argparse.Namespace) -> RuntimeConfig:
@@ -113,6 +121,7 @@ def _runtime_config_from(args: argparse.Namespace) -> RuntimeConfig:
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         artifacts_dir=args.run_dir,
+        batch=not args.no_batch,
     )
 
 

@@ -20,6 +20,7 @@ from typing import Callable, Mapping
 
 from repro.san.ctmc_builder import CompiledSAN
 from repro.san.rewards import (
+    DEFAULT_METHOD,
     RewardStructure,
     instant_of_time,
     interval_of_time,
@@ -137,14 +138,16 @@ class ConstituentMeasure:
                 key = (self.name, self.model_key, "instant", t)
                 raw = context.memoised(
                     key,
-                    lambda: instant_of_time(compiled, self.structure, t, method="auto"),
+                    lambda: instant_of_time(
+                        compiled, self.structure, t, method=DEFAULT_METHOD
+                    ),
                 )
             else:
                 key = (self.name, self.model_key, "interval", t)
                 raw = context.memoised(
                     key,
                     lambda: interval_of_time(
-                        compiled, self.structure, t, method="auto"
+                        compiled, self.structure, t, method=DEFAULT_METHOD
                     ),
                 )
         return self.transform(raw) if self.transform else raw

@@ -30,14 +30,24 @@ from repro.ctmc.transient import (
     transient_distribution,
     transient_grid,
 )
-from repro.ctmc.accumulated import accumulated_reward, averaged_interval_reward
+from repro.ctmc.accumulated import (
+    accumulated_grid,
+    accumulated_reward,
+    averaged_interval_reward,
+    transient_accumulated_grid,
+)
 from repro.ctmc.steady_state import steady_state_distribution, steady_state_reward
 from repro.ctmc.absorbing import (
     AbsorbingAnalysis,
     absorption_probabilities,
     mean_time_to_absorption,
 )
-from repro.ctmc.uniformization import fox_glynn_weights, uniformize
+from repro.ctmc.uniformization import (
+    accumulated_by_uniformization_grid,
+    fox_glynn_weights,
+    transient_by_uniformization_grid,
+    uniformize,
+)
 from repro.ctmc.dtmc import DTMC, embedded_dtmc, uniformized_dtmc
 from repro.ctmc.first_passage import (
     first_passage_cdf,
@@ -69,8 +79,12 @@ __all__ = [
     "AbsorbingAnalysis",
     "transient_distribution",
     "transient_grid",
+    "transient_by_uniformization_grid",
     "instant_of_time_reward",
     "accumulated_reward",
+    "accumulated_grid",
+    "accumulated_by_uniformization_grid",
+    "transient_accumulated_grid",
     "averaged_interval_reward",
     "steady_state_distribution",
     "steady_state_reward",

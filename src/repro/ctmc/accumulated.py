@@ -32,10 +32,24 @@ from repro.ctmc.transient import (
     DENSE_STATE_LIMIT,
     transient_distribution,
 )
-from repro.ctmc.uniformization import accumulated_by_uniformization
+from repro.ctmc.uniformization import (
+    _accumulated_uniformization_walk,
+    _validate_time_grid,
+    accumulated_by_uniformization,
+    accumulated_by_uniformization_grid,
+)
 
 #: Supported accumulated-reward solver backends.
 ACCUMULATED_METHODS = ("uniformization", "augmented-expm", "quadrature", "auto")
+
+#: Supported grid solver backends (see :func:`accumulated_grid`).
+ACCUMULATED_GRID_METHODS = (
+    "auto",
+    "uniformization",
+    "augmented-expm",
+    "augmented-propagator",
+    "quadrature",
+)
 
 
 def accumulated_reward(
@@ -112,6 +126,187 @@ def _augmented_expm(chain: CTMC, rewards: np.ndarray, t: float) -> float:
     state[:n] = chain.initial_distribution
     result = state @ dense_expm(a * t)
     return float(result[n])
+
+
+def accumulated_grid(
+    chain: CTMC,
+    rewards,
+    times,
+    method: str = "auto",
+    tolerance: float = 1e-12,
+) -> np.ndarray:
+    """Accumulated rewards ``E[Y(times[j])]`` for a whole time grid.
+
+    The grid is deduplicated up front, then the unique points are served
+    by one of four strategies:
+
+    * ``"uniformization"`` — one incremental integrated-uniformization
+      pass (:func:`~repro.ctmc.uniformization.accumulated_by_uniformization_grid`).
+      Sparse, no state limit; cost grows with ``Lambda * times[-1]``.
+    * ``"augmented-expm"`` — an independent dense augmented-generator
+      exponential per unique point; arithmetic identical to the scalar
+      :func:`accumulated_reward` augmented branch.  Stiffness-
+      independent.
+    * ``"augmented-propagator"`` — step the augmented state with reused
+      ``exp(A dt)`` propagators; cheapest for dense grids on small
+      chains, with step round-off compounding along the grid.
+    * ``"quadrature"`` — independent per-point quadrature
+      (cross-validation only).
+
+    ``"auto"`` mirrors the scalar dispatch against ``times[-1]``.
+    Returns an array of shape ``(len(times),)``.
+    """
+    grid = _validate_time_grid(times)
+    if method not in ACCUMULATED_GRID_METHODS:
+        raise CTMCError(
+            f"unknown accumulated grid method {method!r}; expected one of "
+            f"{ACCUMULATED_GRID_METHODS}"
+        )
+    r = validate_rewards(rewards, chain.num_states)
+    unique, inverse = np.unique(grid, return_inverse=True)
+    if method == "auto":
+        max_exit = float(np.max(chain.exit_rates(), initial=0.0))
+        if max_exit * float(unique[-1]) <= AUTO_STIFFNESS_THRESHOLD:
+            method = "uniformization"
+        elif chain.num_states < DENSE_STATE_LIMIT:
+            method = "augmented-expm"
+        else:
+            method = "uniformization"
+    if method == "uniformization":
+        out = accumulated_by_uniformization_grid(
+            chain.generator,
+            chain.initial_distribution,
+            r,
+            unique,
+            tolerance=tolerance,
+        )
+    elif method == "augmented-expm":
+        out = np.array([_augmented_expm(chain, r, float(t)) for t in unique])
+    elif method == "augmented-propagator":
+        out = _augmented_propagator_grid(chain, r, unique)
+    else:
+        out = np.array(
+            [
+                accumulated_reward(chain, r, float(t), method="quadrature")
+                for t in unique
+            ]
+        )
+    return out[inverse]
+
+
+#: Methods supported by the fused transient+accumulated grid solver.
+TRANSIENT_ACCUMULATED_GRID_METHODS = ("auto", "uniformization", "augmented-expm")
+
+
+def transient_accumulated_grid(
+    chain: CTMC,
+    rewards,
+    times,
+    method: str = "auto",
+    tolerance: float = 1e-12,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Transient distributions *and* accumulated rewards, one pass.
+
+    Returns ``(pi_grid, accumulated)`` where ``pi_grid[j]`` is the state
+    distribution at ``times[j]`` and ``accumulated[j]`` the reward
+    integral over ``[0, times[j]]``.  Both come from a single solver
+    pass per unique time point:
+
+    * ``"augmented-expm"`` — the augmented generator
+      ``A = [[Q, r], [0, 0]]`` is block upper-triangular, so
+      ``expm(A t)`` embeds ``expm(Q t)`` as its leading block; one dense
+      exponential per unique point yields the distribution row and the
+      integral together, at the cost the scalar path pays for the
+      integral alone.
+    * ``"uniformization"`` — the incremental integrated-uniformization
+      walk already carries ``pi`` between segments; this returns it.
+
+    ``"auto"`` mirrors :func:`accumulated_grid`'s dispatch.  This is the
+    solver behind the GSU batch path, where the same ``RMGd`` grid
+    serves three instant measures plus the accumulated one.
+    """
+    grid = _validate_time_grid(times)
+    if method not in TRANSIENT_ACCUMULATED_GRID_METHODS:
+        raise CTMCError(
+            f"unknown transient+accumulated grid method {method!r}; expected "
+            f"one of {TRANSIENT_ACCUMULATED_GRID_METHODS}"
+        )
+    r = validate_rewards(rewards, chain.num_states)
+    unique, inverse = np.unique(grid, return_inverse=True)
+    if method == "auto":
+        max_exit = float(np.max(chain.exit_rates(), initial=0.0))
+        if max_exit * float(unique[-1]) <= AUTO_STIFFNESS_THRESHOLD:
+            method = "uniformization"
+        elif chain.num_states < DENSE_STATE_LIMIT:
+            method = "augmented-expm"
+        else:
+            method = "uniformization"
+    if method == "uniformization":
+        acc, rows = _accumulated_uniformization_walk(
+            chain.generator,
+            chain.initial_distribution,
+            r,
+            unique,
+            tolerance,
+        )
+    else:
+        n = chain.num_states
+        if n >= DENSE_STATE_LIMIT:
+            raise CTMCError(
+                f"augmented-expm limited to {DENSE_STATE_LIMIT} states; "
+                f"chain has {n}"
+            )
+        a = np.zeros((n + 1, n + 1))
+        a[:n, :n] = chain.generator.toarray()
+        a[:n, n] = r
+        state = np.zeros(n + 1)
+        state[:n] = chain.initial_distribution
+        rows = np.empty((unique.size, n))
+        acc = np.empty(unique.size)
+        for k, t in enumerate(unique):
+            if t == 0.0:
+                rows[k] = state[:n]
+                acc[k] = 0.0
+                continue
+            result = state @ dense_expm(a * float(t))
+            acc[k] = result[n]
+            row = np.clip(result[:n], 0.0, None)
+            total = row.sum()
+            if total > 0:
+                row = row / total
+            rows[k] = row
+    return rows[inverse], acc[inverse]
+
+
+def _augmented_propagator_grid(
+    chain: CTMC, rewards: np.ndarray, unique: np.ndarray
+) -> np.ndarray:
+    """Step ``(pi(t), y(t))`` along the grid with reused ``exp(A dt)``."""
+    n = chain.num_states
+    if n >= DENSE_STATE_LIMIT:
+        raise CTMCError(
+            f"augmented-propagator limited to {DENSE_STATE_LIMIT} states; "
+            f"chain has {n}"
+        )
+    a = np.zeros((n + 1, n + 1))
+    a[:n, :n] = chain.generator.toarray()
+    a[:n, n] = rewards
+    state = np.zeros(n + 1)
+    state[:n] = chain.initial_distribution
+    propagators: dict[float, np.ndarray] = {}
+    out = np.empty(unique.size)
+    prev = 0.0
+    for k, t in enumerate(unique):
+        dt = float(t) - prev
+        if dt > 0.0:
+            propagator = propagators.get(dt)
+            if propagator is None:
+                propagator = dense_expm(a * dt)
+                propagators[dt] = propagator
+            state = state @ propagator
+        out[k] = state[n]
+        prev = float(t)
+    return out
 
 
 def averaged_interval_reward(

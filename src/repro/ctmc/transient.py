@@ -13,8 +13,14 @@ The primary entry points are :func:`transient_distribution` and
   essentially independent of stiffness, which matters for the paper's
   models where message rates (1200/h) and fault rates (1e-4/h) differ by
   seven orders of magnitude over 1e4-hour horizons.
-* ``"auto"`` — uniformization when ``Lambda * t`` is small, dense expm
-  otherwise (the default used by the GSU measures).
+* ``"spectral"`` — one eigendecomposition of ``Q``, then each time is an
+  independent ``O(n^2)`` evaluation.  Stiffness-independent and far
+  cheaper than repeated Padé exponentials on tiny chains; limited to
+  ``SPECTRAL_STATE_LIMIT`` states and falls back to dense expm on
+  defective or ill-conditioned generators.
+* ``"auto"`` — uniformization when ``Lambda * t`` is small; for stiff
+  problems, spectral on tiny chains and dense expm otherwise (the
+  default used by the GSU measures).
 """
 
 from __future__ import annotations
@@ -26,16 +32,40 @@ from scipy.sparse.linalg import expm_multiply
 from repro.ctmc.chain import CTMC
 from repro.ctmc.errors import CTMCError
 from repro.ctmc.linalg import validate_rewards
-from repro.ctmc.uniformization import transient_by_uniformization
+from repro.ctmc.uniformization import (
+    _validate_time_grid,
+    transient_by_uniformization,
+    transient_by_uniformization_grid,
+)
 
 #: Supported transient solver backends.
-TRANSIENT_METHODS = ("uniformization", "expm", "dense-expm", "auto")
+TRANSIENT_METHODS = ("uniformization", "expm", "dense-expm", "spectral", "auto")
+
+#: Supported grid solver backends (see :func:`transient_grid`).
+TRANSIENT_GRID_METHODS = (
+    "auto",
+    "uniformization",
+    "dense-expm",
+    "spectral",
+    "propagator",
+    "expm",
+)
 
 #: ``Lambda * t`` threshold above which "auto" switches to dense expm.
 AUTO_STIFFNESS_THRESHOLD = 50_000.0
 
 #: Largest state count "dense-expm" accepts (dense n x n work).
 DENSE_STATE_LIMIT = 4_000
+
+#: Largest chain the "spectral" backend diagonalises.  Deliberately
+#: small: eigendecomposition is only a clear win over Padé expm when the
+#: per-call overhead dominates, and its conditioning risk grows with
+#: state count.  The paper's RMNd chains (7-8 states) sit well inside.
+SPECTRAL_STATE_LIMIT = 32
+
+#: Eigenvector-matrix condition ceiling; beyond it (or on a defective
+#: generator) "spectral" falls back to dense expm.
+SPECTRAL_CONDITION_LIMIT = 1e8
 
 
 def transient_distribution(
@@ -74,6 +104,11 @@ def transient_distribution(
         return transient_by_uniformization(
             chain.generator, pi0, t, tolerance=tolerance
         )
+    if method == "spectral":
+        rows = _spectral_rows(chain, np.array([t]))
+        if rows is not None:
+            return rows[0]
+        method = "dense-expm"
     if method == "dense-expm":
         _check_dense(chain)
         result = pi0 @ dense_expm(chain.generator.toarray() * t)
@@ -88,13 +123,56 @@ def transient_distribution(
 
 
 def _choose_method(chain: CTMC, t: float) -> str:
-    """Pick uniformization vs dense expm by stiffness and size."""
+    """Pick uniformization / spectral / dense expm by stiffness and size."""
     max_exit = float(np.max(chain.exit_rates(), initial=0.0))
     if max_exit * t <= AUTO_STIFFNESS_THRESHOLD:
         return "uniformization"
+    if chain.num_states <= SPECTRAL_STATE_LIMIT:
+        return "spectral"
     if chain.num_states <= DENSE_STATE_LIMIT:
         return "dense-expm"
     return "uniformization"
+
+
+def _spectral_rows(chain: CTMC, unique: np.ndarray) -> np.ndarray | None:
+    """``pi(t)`` rows per unique time via one eigendecomposition.
+
+    ``pi(t) = pi(0) V e^{diag(w) t} V^{-1}`` with ``Q = V diag(w) V^{-1}``.
+    Every time point is an *independent* evaluation from the same
+    factorisation, so results do not depend on which other times ride
+    along in the grid — the scalar path and any grid containing ``t``
+    produce bitwise-identical values.  Returns ``None`` when the chain
+    is too large, the generator is defective, or the eigenvector matrix
+    is ill-conditioned; callers then fall back to dense expm.
+    """
+    n = chain.num_states
+    if n > SPECTRAL_STATE_LIMIT:
+        return None
+    q = chain.generator.toarray()
+    w, v = np.linalg.eig(q)
+    try:
+        vinv = np.linalg.inv(v)
+    except np.linalg.LinAlgError:
+        return None
+    if (
+        not np.all(np.isfinite(vinv))
+        or np.linalg.cond(v) > SPECTRAL_CONDITION_LIMIT
+    ):
+        return None
+    pi0 = chain.initial_distribution
+    coeff = pi0.astype(complex) @ v
+    out = np.empty((unique.size, n))
+    for k, t in enumerate(unique):
+        if t == 0.0:
+            out[k] = pi0
+            continue
+        row = np.real((coeff * np.exp(w * float(t))) @ vinv)
+        row = np.clip(row, 0.0, None)
+        total = row.sum()
+        if total > 0:
+            row = row / total
+        out[k] = row
+    return out
 
 
 def _check_dense(chain: CTMC) -> None:
@@ -109,46 +187,122 @@ def transient_grid(
     chain: CTMC,
     times,
     method: str = "auto",
+    tolerance: float = 1e-12,
 ) -> np.ndarray:
-    """Transient distributions at many time points, efficiently.
+    """Transient distributions at every point of a time grid, batched.
 
-    For a uniform grid the solver computes one step propagator
-    ``P_dt = exp(Q dt)`` and reuses it, costing one matrix exponential
-    plus one matrix-vector product per point; non-uniform grids fall
-    back to independent solves.  Returns an array of shape
-    ``(len(times), num_states)``.
+    The grid is deduplicated up front (repeated time points are solved
+    once and broadcast back), then the unique points are served by one of
+    four strategies:
+
+    * ``"uniformization"`` — one incremental Fox–Glynn pass across the
+      whole grid (:func:`~repro.ctmc.uniformization.transient_by_uniformization_grid`).
+      Sparse; no state-count limit; non-uniform grids included.  Cost
+      grows with ``Lambda * times[-1]``, so it suits non-stiff problems
+      and is the only option above ``DENSE_STATE_LIMIT``.
+    * ``"dense-expm"`` — an independent dense ``expm(Q t)`` per unique
+      point; arithmetic identical to the scalar
+      :func:`transient_distribution` dense branch.  Stiffness-
+      independent; dense state limit applies.
+    * ``"propagator"`` — dense step propagators ``exp(Q dt)`` reused
+      across equal segment lengths, one matrix-vector product per point.
+      Cheapest for dense grids on small chains; step round-off compounds
+      along the grid, so prefer ``"dense-expm"`` when bitwise agreement
+      with the scalar path matters.
+    * ``"expm"`` — an independent Krylov ``expm_multiply`` per point
+      (cross-validation backend).
+
+    ``"auto"`` (the default) picks uniformization when
+    ``Lambda * times[-1]`` is below ``AUTO_STIFFNESS_THRESHOLD``,
+    dense-expm for stiff problems within ``DENSE_STATE_LIMIT``, and the
+    incremental uniformization pass otherwise.  Returns an array of
+    shape ``(len(times), num_states)``.
     """
-    grid = np.asarray(list(times), dtype=np.float64)
-    if grid.ndim != 1 or grid.size == 0:
-        raise CTMCError("need a non-empty 1-D grid of time points")
-    if np.any(grid < 0):
-        raise CTMCError("time points must be non-negative")
-    if np.any(np.diff(grid) < 0):
-        raise CTMCError("time grid must be non-decreasing")
-    steps = np.diff(grid)
-    uniform = (
-        grid.size >= 3
-        and np.allclose(steps, steps[0], rtol=1e-9, atol=1e-12)
-        and steps[0] > 0
-        and chain.num_states <= DENSE_STATE_LIMIT
-    )
-    out = np.empty((grid.size, chain.num_states))
-    if not uniform:
-        for k, t in enumerate(grid):
-            out[k] = transient_distribution(chain, float(t), method=method)
-        return out
-    from scipy.linalg import expm as _expm
+    grid = _validate_time_grid(times)
+    if method not in TRANSIENT_GRID_METHODS:
+        raise CTMCError(
+            f"unknown transient grid method {method!r}; expected one of "
+            f"{TRANSIENT_GRID_METHODS}"
+        )
+    unique, inverse = np.unique(grid, return_inverse=True)
+    if method == "auto":
+        method = _choose_grid_method(chain, float(unique[-1]))
+    if method == "uniformization":
+        out = transient_by_uniformization_grid(
+            chain.generator,
+            chain.initial_distribution,
+            unique,
+            tolerance=tolerance,
+        )
+    elif method == "spectral":
+        out = _spectral_rows(chain, unique)
+        if out is None:
+            out = _dense_expm_grid(chain, unique)
+    elif method == "dense-expm":
+        out = _dense_expm_grid(chain, unique)
+    elif method == "propagator":
+        out = _propagator_grid(chain, unique)
+    else:
+        out = np.empty((unique.size, chain.num_states))
+        for k, t in enumerate(unique):
+            out[k] = transient_distribution(chain, float(t), method="expm")
+    return out[inverse]
 
-    propagator = _expm(chain.generator.toarray() * float(steps[0]))
-    pi = transient_distribution(chain, float(grid[0]), method=method)
-    out[0] = pi
-    for k in range(1, grid.size):
-        pi = pi @ propagator
-        pi = np.clip(pi, 0.0, None)
-        total = pi.sum()
+
+def _choose_grid_method(chain: CTMC, t_max: float) -> str:
+    """Pick the grid strategy by stiffness and size (mirrors scalar auto)."""
+    max_exit = float(np.max(chain.exit_rates(), initial=0.0))
+    if max_exit * t_max <= AUTO_STIFFNESS_THRESHOLD:
+        return "uniformization"
+    if chain.num_states <= SPECTRAL_STATE_LIMIT:
+        return "spectral"
+    if chain.num_states <= DENSE_STATE_LIMIT:
+        return "dense-expm"
+    # Stiff *and* large: the incremental pass is the only sparse-safe
+    # option; cost scales with Lambda * t_max but memory stays O(nnz).
+    return "uniformization"
+
+
+def _dense_expm_grid(chain: CTMC, unique: np.ndarray) -> np.ndarray:
+    """One dense expm per unique time — scalar-identical arithmetic."""
+    _check_dense(chain)
+    pi0 = chain.initial_distribution
+    out = np.empty((unique.size, chain.num_states))
+    for k, t in enumerate(unique):
+        if t == 0.0:
+            out[k] = pi0
+            continue
+        row = pi0 @ dense_expm(chain.generator.toarray() * float(t))
+        row = np.clip(row, 0.0, None)
+        total = row.sum()
         if total > 0:
-            pi = pi / total
+            row = row / total
+        out[k] = row
+    return out
+
+
+def _propagator_grid(chain: CTMC, unique: np.ndarray) -> np.ndarray:
+    """Step dense propagators ``exp(Q dt)`` along the grid, reusing them."""
+    _check_dense(chain)
+    q = chain.generator.toarray()
+    pi = chain.initial_distribution
+    propagators: dict[float, np.ndarray] = {}
+    out = np.empty((unique.size, chain.num_states))
+    prev = 0.0
+    for k, t in enumerate(unique):
+        dt = float(t) - prev
+        if dt > 0.0:
+            propagator = propagators.get(dt)
+            if propagator is None:
+                propagator = dense_expm(q * dt)
+                propagators[dt] = propagator
+            pi = pi @ propagator
+            pi = np.clip(pi, 0.0, None)
+            total = pi.sum()
+            if total > 0:
+                pi = pi / total
         out[k] = pi
+        prev = float(t)
     return out
 
 

@@ -21,6 +21,7 @@ from repro.gsu.measures import ConstituentSolver
 from repro.gsu.performability import (
     PerformabilityEvaluation,
     build_translation_pipeline,
+    evaluate_batch,
     evaluate_index,
     sweep_phi,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "PerformabilityEvaluation",
     "ValidationReport",
     "build_translation_pipeline",
+    "evaluate_batch",
     "evaluate_index",
     "find_optimal_phi",
     "hybrid_evaluate",

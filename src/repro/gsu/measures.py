@@ -24,6 +24,7 @@ measure             model    reward variable
 from __future__ import annotations
 
 from functools import cached_property
+from typing import Sequence
 
 from repro.gsu.models.rm_gd import build_rm_gd
 from repro.gsu.models.rm_gp import build_rm_gp
@@ -32,9 +33,12 @@ from repro.gsu.parameters import GSUParameters
 from repro.san.ctmc_builder import CompiledSAN, build_ctmc
 from repro.san.marking import Marking
 from repro.san.rewards import (
+    DEFAULT_METHOD,
     PredicateRatePair,
     RewardStructure,
+    instant_and_interval_many,
     instant_of_time,
+    instant_of_time_many,
     interval_of_time,
     steady_state,
 )
@@ -193,22 +197,22 @@ class ConstituentSolver:
     def int_h(self, phi: float) -> float:
         """``int_0^phi h(tau) dtau`` — P(detected & recovered alive at phi)."""
         phi = self.params.validate_phi(phi)
-        return instant_of_time(self.rm_gd, RS_INT_H, phi, method="auto")
+        return instant_of_time(self.rm_gd, RS_INT_H, phi, method=DEFAULT_METHOD)
 
     def int_tau_h(self, phi: float) -> float:
         """``int_0^phi tau h(tau) dtau`` per the Table 1 structure."""
         phi = self.params.validate_phi(phi)
-        return interval_of_time(self.rm_gd, RS_INT_TAU_H, phi, method="auto")
+        return interval_of_time(self.rm_gd, RS_INT_TAU_H, phi, method=DEFAULT_METHOD)
 
     def int_hf(self, phi: float) -> float:
         """``int_0^phi int_tau^phi h f`` — detected then failed by phi."""
         phi = self.params.validate_phi(phi)
-        return instant_of_time(self.rm_gd, RS_INT_HF, phi, method="auto")
+        return instant_of_time(self.rm_gd, RS_INT_HF, phi, method=DEFAULT_METHOD)
 
     def p_gop_no_error(self, phi: float) -> float:
         """``P(X'_phi in A1')`` — survived G-OP with no error."""
         phi = self.params.validate_phi(phi)
-        return instant_of_time(self.rm_gd, RS_A1_GOP, phi, method="auto")
+        return instant_of_time(self.rm_gd, RS_A1_GOP, phi, method=DEFAULT_METHOD)
 
     def mean_detection_time_exact(self, phi: float) -> float:
         """Exact ``E[tau * 1{detected by phi}]`` (ablation alternative).
@@ -229,8 +233,8 @@ class ConstituentSolver:
                 ),
             ),
         )
-        at_phi = instant_of_time(self.rm_gd, detected_now, phi, method="auto")
-        integral = interval_of_time(self.rm_gd, detected_now, phi, method="auto")
+        at_phi = instant_of_time(self.rm_gd, detected_now, phi, method=DEFAULT_METHOD)
+        integral = interval_of_time(self.rm_gd, detected_now, phi, method=DEFAULT_METHOD)
         return phi * at_phi - integral
 
     # ------------------------------------------------------------------
@@ -256,10 +260,82 @@ class ConstituentSolver:
         if t < 0:
             raise ValueError(f"time must be non-negative, got {t}")
         model = self.rm_nd_new if which == "new" else self.rm_nd_old
-        return instant_of_time(model, RS_ND_ALIVE, t, method="auto")
+        return instant_of_time(model, RS_ND_ALIVE, t, method=DEFAULT_METHOD)
 
     def int_f(self, phi: float) -> float:
         """``int_phi^theta f(x) dx`` — recovered system fails in the rest
         of the mission (complement of survival over ``theta - phi``)."""
         phi = self.params.validate_phi(phi)
         return 1.0 - self.p_normal_no_failure(self.params.theta - phi, "old")
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (one solver pass per model / reward structure)
+    # ------------------------------------------------------------------
+    def batch(self, phis: Sequence[float]) -> list[dict[str, float]]:
+        """All nine constituent measures for many durations at once.
+
+        Returns one ``{measure_name: value}`` dict per requested ``phi``
+        (input order preserved; duplicates and unsorted inputs are fine),
+        with the same nine keys the translation pipeline produces.  The
+        economy over calling the scalar measures point by point:
+
+        * ``rho1``, ``rho2`` and ``p_nd_theta`` are phi-independent and
+          solved exactly once instead of once per point;
+        * the three RMGd instant measures (``int_h``, ``int_hf``,
+          ``p_gd_phi_a1``) share a *single* transient grid solve —
+          one pass over the phi grid instead of three;
+        * ``int_tau_h`` shares one accumulated-grid pass;
+        * the two RMNd survival curves each share one grid over the
+          remaining horizons ``{theta - phi} ∪ {theta}``.
+
+        Values match the scalar measures to well under 1e-10 (for stiff
+        parameter sets the RMGd grids use arithmetic identical to the
+        scalar dense/augmented matrix-exponential branches).
+        """
+        validated = [self.params.validate_phi(phi) for phi in phis]
+        if not validated:
+            return []
+        theta = self.params.theta
+
+        # Phi-independent measures: Table 2 steady states, solved once.
+        rho1 = self.rho1()
+        rho2 = self.rho2()
+
+        # Table 1 (RMGd): one fused grid pass serves all three instant
+        # measures and the accumulated measure together.
+        phi_grid = sorted(set(validated))
+        instants, int_tau_h = instant_and_interval_many(
+            self.rm_gd, (RS_INT_H, RS_INT_HF, RS_A1_GOP), RS_INT_TAU_H, phi_grid
+        )
+
+        # RMNd survival over the remaining horizons, with theta riding
+        # along so phi-independent p_nd_theta comes from the same pass.
+        # The default dispatch keeps every unique time an *independent*
+        # solve with scalar-identical arithmetic, so batch results do
+        # not depend on how a sweep was chunked across workers.
+        remaining = sorted({theta - phi for phi in validated} | {theta})
+        nd_new = instant_of_time_many(self.rm_nd_new, RS_ND_ALIVE, remaining)
+        nd_old = instant_of_time_many(self.rm_nd_old, RS_ND_ALIVE, remaining)
+
+        int_h_at = dict(zip(phi_grid, instants[RS_INT_H.name]))
+        int_hf_at = dict(zip(phi_grid, instants[RS_INT_HF.name]))
+        a1_at = dict(zip(phi_grid, instants[RS_A1_GOP.name]))
+        tau_at = dict(zip(phi_grid, int_tau_h))
+        new_at = dict(zip(remaining, nd_new))
+        old_at = dict(zip(remaining, nd_old))
+        p_nd_theta = float(new_at[theta])
+
+        return [
+            {
+                "p_nd_theta": p_nd_theta,
+                "p_gd_phi_a1": float(a1_at[phi]),
+                "p_nd_theta_minus_phi": float(new_at[theta - phi]),
+                "rho1": rho1,
+                "rho2": rho2,
+                "int_h": float(int_h_at[phi]),
+                "int_tau_h": float(tau_at[phi]),
+                "int_hf": float(int_hf_at[phi]),
+                "int_f": 1.0 - float(old_at[theta - phi]),
+            }
+            for phi in validated
+        ]

@@ -13,7 +13,11 @@ from dataclasses import dataclass
 
 from repro.gsu.measures import ConstituentSolver
 from repro.gsu.parameters import GSUParameters
-from repro.gsu.performability import PerformabilityEvaluation, evaluate_index
+from repro.gsu.performability import (
+    PerformabilityEvaluation,
+    evaluate_index,
+    sweep_phi,
+)
 
 #: Golden ratio constant for the section search.
 _INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
@@ -84,9 +88,8 @@ def find_optimal_phi(
         from repro.runtime.spec import default_grid
 
         grid = default_grid(params.theta, step=step)
-        evaluations = [
-            evaluate_index(params, phi, solver=solver) for phi in grid
-        ]
+        # Batched: one solver pass per model serves the whole coarse grid.
+        evaluations = sweep_phi(params, grid, solver=solver)
     else:
         # Route the coarse grid through the campaign runtime.  (Lazy
         # import: the runtime's executor evaluates the index, which

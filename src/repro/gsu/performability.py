@@ -312,7 +312,16 @@ def evaluate_index(
     pipeline = build_translation_pipeline()
     context = _make_context(solver, phi)
     result = pipeline.evaluate(context)
-    breakdown = aggregate_breakdown(result.constituents, context.parameters)
+    return _evaluation_from_constituents(params, phi, result.constituents)
+
+
+def _evaluation_from_constituents(
+    params: GSUParameters, phi: float, constituents: dict[str, float]
+) -> PerformabilityEvaluation:
+    """Assemble a :class:`PerformabilityEvaluation` from solved measures."""
+    breakdown = aggregate_breakdown(
+        constituents, {"phi": phi, "theta": params.theta}
+    )
     worth = WorthModel(
         ideal=breakdown["E_WI"],
         unguarded=breakdown["E_W0"],
@@ -325,16 +334,48 @@ def evaluate_index(
         y_s1=breakdown["Y_S1"],
         y_s2=breakdown["Y_S2"],
         gamma=breakdown["gamma"],
-        constituents=result.constituents,
+        constituents=constituents,
     )
+
+
+def evaluate_batch(
+    params: GSUParameters,
+    phis: Sequence[float],
+    solver: ConstituentSolver | None = None,
+) -> list[PerformabilityEvaluation]:
+    """Evaluate ``Y`` at many durations with one solver pass per model.
+
+    Semantically equivalent to ``[evaluate_index(params, phi) ...]`` (to
+    well under 1e-10 on the paper's curves) but the constituent measures
+    are batched through :meth:`ConstituentSolver.batch`: one transient
+    grid per (model, reward structure) and the phi-independent measures
+    solved once, instead of restarting every solver at each sweep point.
+    """
+    if solver is None:
+        solver = ConstituentSolver(params)
+    phi_list = [float(phi) for phi in phis]
+    return [
+        _evaluation_from_constituents(params, phi, constituents)
+        for phi, constituents in zip(phi_list, solver.batch(phi_list))
+    ]
 
 
 def sweep_phi(
     params: GSUParameters,
     phis: Sequence[float],
     solver: ConstituentSolver | None = None,
+    batch: bool = True,
 ) -> list[PerformabilityEvaluation]:
-    """Evaluate ``Y`` over a sequence of durations, sharing base models."""
+    """Evaluate ``Y`` over a sequence of durations, sharing base models.
+
+    With ``batch=True`` (the default) the whole curve is produced by
+    :func:`evaluate_batch` — one solver pass per (model, reward
+    structure).  ``batch=False`` forces the original point-by-point
+    path, kept as a cross-validation escape hatch (``--no-batch`` on the
+    CLI).
+    """
     if solver is None:
         solver = ConstituentSolver(params)
+    if batch:
+        return evaluate_batch(params, phis, solver=solver)
     return [evaluate_index(params, phi, solver=solver) for phi in phis]

@@ -28,10 +28,14 @@ from typing import Callable, Sequence
 
 from repro.gsu.measures import ConstituentSolver
 from repro.gsu.parameters import GSUParameters
-from repro.gsu.performability import PerformabilityEvaluation, evaluate_index
+from repro.gsu.performability import (
+    PerformabilityEvaluation,
+    evaluate_batch,
+    evaluate_index,
+)
 from repro.runtime.cache import ResultCache
 from repro.runtime.records import record_from_evaluation
-from repro.runtime.tasks import EvaluationTask
+from repro.runtime.tasks import EvaluationTask, group_by_params
 
 #: The supported backend names.
 BACKENDS = ("serial", "thread", "process")
@@ -51,7 +55,9 @@ class TaskOutcome:
     record:
         The plain-data evaluation record (see :mod:`repro.runtime.records`).
     seconds:
-        Solver wall time for this point (0.0 when served from cache).
+        Solver wall time attributed to this point: the direct solve time
+        on the point-by-point path, the point's share of its chunk's
+        batched solve on the batched path, 0.0 when served from cache.
     cached:
         Whether the record came from the result cache.
     """
@@ -66,10 +72,27 @@ def _solve_points(
     params: GSUParameters,
     phis: Sequence[float],
     evaluate_fn: EvaluateFn | None = None,
+    batch: bool = True,
 ) -> list[tuple[dict, float]]:
-    """Evaluate one chunk of same-parameter points with a shared solver."""
-    evaluate = evaluate_fn or evaluate_index
+    """Evaluate one chunk of same-parameter points with a shared solver.
+
+    With ``batch=True`` (and no ``evaluate_fn`` override) the whole
+    chunk goes through :func:`~repro.gsu.performability.evaluate_batch`
+    — one solver pass per (model, reward structure) — and each point
+    reports its share of the chunk's wall time.  An ``evaluate_fn``
+    forces the point-by-point path so instrumentation stubs observe one
+    call per point.
+    """
     solver = ConstituentSolver(params)
+    if batch and evaluate_fn is None:
+        start = time.perf_counter()
+        evaluations = evaluate_batch(params, list(phis), solver=solver)
+        per_point = (time.perf_counter() - start) / max(len(evaluations), 1)
+        return [
+            (record_from_evaluation(evaluation), per_point)
+            for evaluation in evaluations
+        ]
+    evaluate = evaluate_fn or evaluate_index
     results: list[tuple[dict, float]] = []
     for phi in phis:
         start = time.perf_counter()
@@ -81,10 +104,10 @@ def _solve_points(
 
 
 def _solve_points_remote(
-    params: GSUParameters, phis: tuple[float, ...]
+    params: GSUParameters, phis: tuple[float, ...], batch: bool = True
 ) -> list[tuple[dict, float]]:
     """Module-level chunk worker for the process backend (picklable)."""
-    return _solve_points(params, phis)
+    return _solve_points(params, phis, batch=batch)
 
 
 def _chunk_length(group_size: int, jobs: int, chunk_size: int | None) -> int:
@@ -105,6 +128,7 @@ def execute_tasks(
     cache: ResultCache | None = None,
     evaluate_fn: EvaluateFn | None = None,
     chunk_size: int | None = None,
+    batch: bool = True,
 ) -> list[TaskOutcome]:
     """Execute tasks and return outcomes in submission order.
 
@@ -123,10 +147,16 @@ def execute_tasks(
     evaluate_fn:
         Evaluation override for instrumentation (e.g. counting stub
         solvers in tests).  Supported on the in-process backends only;
-        the process backend would need to pickle it.
+        the process backend would need to pickle it.  Forces the
+        point-by-point path regardless of ``batch``.
     chunk_size:
         Points per dispatched chunk; default sizes chunks to roughly
         two per worker per curve for load balance.
+    batch:
+        When true (the default), each chunk of cache-missing points is
+        solved in one batched pass (one solver run per model and reward
+        structure) instead of point by point.  Cache keys and record
+        contents are unaffected — only how misses are computed changes.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -150,9 +180,7 @@ def execute_tasks(
 
     # Group pending work by parameter set (insertion order), then split
     # each group into chunks sized for the worker pool.
-    groups: dict[GSUParameters, list[tuple[int, EvaluationTask]]] = {}
-    for position, task in pending:
-        groups.setdefault(task.params, []).append((position, task))
+    groups = group_by_params(pending)
     chunks: list[list[tuple[int, EvaluationTask]]] = []
     for group in groups.values():
         length = _chunk_length(len(group), jobs, chunk_size)
@@ -165,14 +193,19 @@ def execute_tasks(
 
     if backend == "serial" or jobs == 1 or len(chunks) <= 1:
         solved = [
-            _solve_points(*_chunk_args(chunk), evaluate_fn=evaluate_fn)
+            _solve_points(
+                *_chunk_args(chunk), evaluate_fn=evaluate_fn, batch=batch
+            )
             for chunk in chunks
         ]
     elif backend == "thread":
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(
-                    _solve_points, *_chunk_args(chunk), evaluate_fn=evaluate_fn
+                    _solve_points,
+                    *_chunk_args(chunk),
+                    evaluate_fn=evaluate_fn,
+                    batch=batch,
                 )
                 for chunk in chunks
             ]
@@ -180,7 +213,9 @@ def execute_tasks(
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(_solve_points_remote, *_chunk_args(chunk))
+                pool.submit(
+                    _solve_points_remote, *_chunk_args(chunk), batch=batch
+                )
                 for chunk in chunks
             ]
             solved = [future.result() for future in futures]

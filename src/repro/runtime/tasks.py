@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.gsu.parameters import GSUParameters
 from repro.runtime.spec import CampaignSpec, params_to_dict
@@ -106,3 +107,20 @@ def plan_campaign(spec: CampaignSpec) -> tuple[EvaluationTask, ...]:
                 )
             )
     return tuple(tasks)
+
+
+def group_by_params(
+    pending: Sequence[tuple[int, EvaluationTask]],
+) -> dict[GSUParameters, list[tuple[int, EvaluationTask]]]:
+    """Group positioned tasks by parameter set, preserving plan order.
+
+    This is the batched-execution granularity: every group is one curve's
+    worth of *cache-missing* points, which a worker can hand to the
+    batched solver in a single call (one solver pass per model instead of
+    one per point).  Tasks remain individually positioned so the
+    per-point cache keys and record schema are untouched.
+    """
+    groups: dict[GSUParameters, list[tuple[int, EvaluationTask]]] = {}
+    for position, task in pending:
+        groups.setdefault(task.params, []).append((position, task))
+    return groups

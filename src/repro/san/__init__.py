@@ -56,12 +56,17 @@ from repro.san.model import SANModel
 from repro.san.places import Place
 from repro.san.reachability import ReachabilityGraph, explore
 from repro.san.rewards import (
+    DEFAULT_METHOD,
     ImpulseReward,
     PredicateRatePair,
     RewardStructure,
     activity_throughput,
+    instant_and_interval_many,
     instant_of_time,
+    instant_of_time_many,
+    instant_rewards_many,
     interval_of_time,
+    interval_of_time_many,
     steady_state,
     time_averaged,
 )
@@ -97,8 +102,13 @@ __all__ = [
     "explore",
     "graph_to_dict",
     "graph_to_dot",
+    "DEFAULT_METHOD",
+    "instant_and_interval_many",
     "instant_of_time",
+    "instant_of_time_many",
+    "instant_rewards_many",
     "interval_of_time",
+    "interval_of_time_many",
     "is_irreducible",
     "join",
     "model_to_dict",

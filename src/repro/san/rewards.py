@@ -27,15 +27,29 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.ctmc.accumulated import accumulated_reward
+from repro.ctmc.accumulated import (
+    accumulated_grid,
+    accumulated_reward,
+    transient_accumulated_grid,
+)
 from repro.ctmc.steady_state import steady_state_distribution
-from repro.ctmc.transient import transient_distribution
+from repro.ctmc.transient import transient_distribution, transient_grid
 from repro.san.ctmc_builder import CompiledSAN
 from repro.san.errors import RewardSpecificationError
 from repro.san.marking import Marking
 
 #: A predicate over markings.
 MarkingPredicate = Callable[[Marking], bool]
+
+#: The one documented default solver method for transient reward
+#: variables.  ``"auto"`` lets the ctmc layer pick uniformization for
+#: non-stiff problems and the dense/augmented matrix-exponential path for
+#: stiff ones (the paper's models mix 1200/h message rates with 1e-4/h
+#: fault rates over 1e4-hour horizons, so stiffness dispatch matters).
+#: Every transient entry point here and every
+#: :class:`~repro.gsu.measures.ConstituentSolver` measure uses this same
+#: default; spell a method explicitly only to cross-validate backends.
+DEFAULT_METHOD = "auto"
 
 
 @dataclass(frozen=True)
@@ -107,11 +121,24 @@ class RewardStructure:
 # ----------------------------------------------------------------------
 # Reward-variable solutions
 # ----------------------------------------------------------------------
+def _rowwise_dot(pi: np.ndarray, rates: np.ndarray) -> np.ndarray:
+    """Dot each distribution row with a rate vector, one row at a time.
+
+    A single ``pi @ rates`` matrix-vector product lets BLAS pick a
+    reduction order that varies with the matrix shape, so the value at a
+    given time could differ in the last ulp depending on how many grid
+    points ride along.  Row-wise 1-D dots reproduce exactly what the
+    scalar solutions compute, making grid results independent of the
+    grid they were batched with.
+    """
+    return np.array([float(row @ rates) for row in pi])
+
+
 def instant_of_time(
     compiled: CompiledSAN,
     structure: RewardStructure,
     t: float,
-    method: str = "uniformization",
+    method: str = DEFAULT_METHOD,
 ) -> float:
     """Expected instant-of-time reward ``E[r(X_t)]`` at time ``t``."""
     _reject_impulse(structure, "instant-of-time")
@@ -120,11 +147,51 @@ def instant_of_time(
     return float(pi_t @ rates)
 
 
+def instant_of_time_many(
+    compiled: CompiledSAN,
+    structure: RewardStructure,
+    times,
+    method: str = DEFAULT_METHOD,
+) -> np.ndarray:
+    """Expected instant-of-time rewards at every point of a time grid.
+
+    One :func:`~repro.ctmc.transient.transient_grid` solve serves the
+    whole grid (duplicates deduplicated, non-uniform spacing fine).
+    Returns an array aligned with ``times``.
+    """
+    _reject_impulse(structure, "instant-of-time")
+    rates = structure.rate_vector(compiled)
+    pi = transient_grid(compiled.chain, times, method=method)
+    return _rowwise_dot(pi, rates)
+
+
+def instant_rewards_many(
+    compiled: CompiledSAN,
+    structures: Sequence[RewardStructure],
+    times,
+    method: str = DEFAULT_METHOD,
+) -> dict[str, np.ndarray]:
+    """Instant-of-time rewards for several structures over one grid.
+
+    The transient distributions are solved *once* and dotted with each
+    structure's rate vector — this is what lets the GSU batch path pay a
+    single RMGd solve for the three Table 1 instant measures instead of
+    three.  Returns ``{structure.name: per-time array}``.
+    """
+    for structure in structures:
+        _reject_impulse(structure, "instant-of-time")
+    pi = transient_grid(compiled.chain, times, method=method)
+    return {
+        structure.name: _rowwise_dot(pi, structure.rate_vector(compiled))
+        for structure in structures
+    }
+
+
 def interval_of_time(
     compiled: CompiledSAN,
     structure: RewardStructure,
     t: float,
-    method: str = "uniformization",
+    method: str = DEFAULT_METHOD,
 ) -> float:
     """Expected reward accumulated over ``[0, t]``.
 
@@ -141,6 +208,68 @@ def interval_of_time(
             compiled, impulse.activity, t, method=method
         )
     return total
+
+
+def interval_of_time_many(
+    compiled: CompiledSAN,
+    structure: RewardStructure,
+    times,
+    method: str = DEFAULT_METHOD,
+) -> np.ndarray:
+    """Expected accumulated rewards over ``[0, t]`` for a grid of ``t``.
+
+    One :func:`~repro.ctmc.accumulated.accumulated_grid` solve per rate
+    part (plus one per impulse activity) serves the whole grid.  Returns
+    an array aligned with ``times``.
+    """
+    grid = np.asarray(list(times), dtype=np.float64)
+    total = np.zeros(grid.size)
+    if structure.rate_rewards:
+        total = total + accumulated_grid(
+            compiled.chain, structure.rate_vector(compiled), grid, method=method
+        )
+    for impulse in structure.impulse_rewards:
+        total = total + impulse.value * accumulated_grid(
+            compiled.chain,
+            completion_rate_vector(compiled, impulse.activity),
+            grid,
+            method=method,
+        )
+    return total
+
+
+def instant_and_interval_many(
+    compiled: CompiledSAN,
+    instant_structures: Sequence[RewardStructure],
+    interval_structure: RewardStructure,
+    times,
+    method: str = DEFAULT_METHOD,
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Instant rewards for several structures plus one accumulated curve.
+
+    The fused solver
+    (:func:`~repro.ctmc.accumulated.transient_accumulated_grid`) yields
+    the transient distributions and the reward integral from the *same*
+    pass, so a model whose sweep needs both — like ``RMGd`` with its
+    three Table 1 instant measures and one accumulated measure — pays
+    for a single grid solve.  Impulse rewards are not supported here;
+    use :func:`interval_of_time_many` for impulse-bearing structures.
+    Returns ``({structure.name: per-time array}, accumulated array)``.
+    """
+    for structure in instant_structures:
+        _reject_impulse(structure, "instant-of-time")
+    _reject_impulse(structure=interval_structure, solution="fused interval-of-time")
+    pi, accumulated = transient_accumulated_grid(
+        compiled.chain,
+        interval_structure.rate_vector(compiled),
+        times,
+        method=method,
+    )
+    instants = {
+        structure.name: _rowwise_dot(pi, structure.rate_vector(compiled))
+        for structure in instant_structures
+    }
+    return instants, accumulated
 
 
 def completion_rate_vector(

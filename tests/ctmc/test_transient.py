@@ -65,6 +65,7 @@ class TestValidation:
             "uniformization",
             "expm",
             "dense-expm",
+            "spectral",
             "auto",
         }
 

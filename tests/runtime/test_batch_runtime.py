@@ -1,0 +1,116 @@
+"""Batched per-curve execution through the campaign runtime.
+
+The batched path changes *how* cache-missing points are solved — one
+solver pass per curve instead of one per point — but must not change
+anything observable: cache keys, record contents, per-point outcomes,
+or the values a pre-existing point-by-point cache serves.
+"""
+
+import pytest
+
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import RuntimeConfig, run_campaign, use_config
+from repro.runtime.spec import CampaignSpec, CurveSpec
+from repro.runtime.tasks import group_by_params, plan_campaign
+
+
+def small_spec(name="batch-test", phis=(0.0, 4000.0, 10_000.0)):
+    return CampaignSpec(
+        name=name,
+        curves=(
+            CurveSpec(label="base", params=PAPER_TABLE3, phis=tuple(phis)),
+        ),
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+class TestBatchPointEquivalence:
+    def test_batched_and_per_point_runs_are_bitwise_equal(self):
+        spec = small_spec()
+        batched = run_campaign(spec, batch=True)
+        per_point = run_campaign(spec, batch=False)
+        assert (
+            batched.sweeps[0].values == per_point.sweeps[0].values
+        )
+        for b, p in zip(batched.outcomes, per_point.outcomes):
+            assert b.record == p.record
+
+    def test_per_point_cache_serves_batched_rerun_fully(self, cache):
+        # A cache populated before the batched path existed must yield
+        # 100% hits when the same campaign reruns batched.
+        spec = small_spec()
+        cold = run_campaign(spec, cache=cache, batch=False)
+        assert cold.cache_stats.misses == 3
+
+        warm = run_campaign(spec, cache=cache, batch=True)
+        assert warm.cache_stats.hits == 3
+        assert warm.cache_stats.misses == 0
+        assert warm.sweeps[0].values == cold.sweeps[0].values
+
+    def test_batched_cache_serves_per_point_rerun_fully(self, cache):
+        spec = small_spec()
+        cold = run_campaign(spec, cache=cache, batch=True)
+        assert cold.cache_stats.misses == 3
+
+        warm = run_campaign(spec, cache=cache, batch=False)
+        assert warm.cache_stats.hits == 3
+        assert warm.sweeps[0].values == cold.sweeps[0].values
+
+    def test_partial_cache_batches_only_the_misses(self, cache):
+        # Pre-populate two of five points; the batched rerun must solve
+        # exactly the three missing ones and reuse the rest.
+        phis = (0.0, 2500.0, 5000.0, 7500.0, 10_000.0)
+        seed = small_spec(phis=(2500.0, 7500.0))
+        run_campaign(seed, cache=cache, batch=False)
+
+        full = run_campaign(small_spec(phis=phis), cache=cache, batch=True)
+        assert full.cache_stats.hits == 2
+        assert full.cache_stats.misses == 3
+        cached_flags = [o.cached for o in full.outcomes]
+        assert cached_flags == [False, True, False, True, False]
+
+        reference = run_campaign(small_spec(phis=phis), batch=False)
+        assert full.sweeps[0].values == reference.sweeps[0].values
+
+
+class TestConfigPlumbing:
+    def test_config_batch_default_is_on(self):
+        assert RuntimeConfig().batch is True
+
+    def test_config_no_batch_is_honoured(self):
+        spec = small_spec()
+        reference = run_campaign(spec, batch=False)
+        with use_config(RuntimeConfig(batch=False)):
+            configured = run_campaign(spec)
+        assert configured.sweeps[0].values == reference.sweeps[0].values
+
+    def test_explicit_batch_overrides_config(self):
+        spec = small_spec()
+        with use_config(RuntimeConfig(batch=False)):
+            overridden = run_campaign(spec, batch=True)
+        reference = run_campaign(spec, batch=True)
+        assert overridden.sweeps[0].values == reference.sweeps[0].values
+
+
+class TestGroupByParams:
+    def test_groups_preserve_plan_order(self):
+        other = PAPER_TABLE3.with_overrides(mu_new=5e-5)
+        spec = CampaignSpec(
+            name="grouping",
+            curves=(
+                CurveSpec(label="a", params=PAPER_TABLE3, phis=(0.0, 1.0)),
+                CurveSpec(label="b", params=other, phis=(2.0,)),
+                CurveSpec(label="c", params=PAPER_TABLE3, phis=(3.0,)),
+            ),
+        )
+        pending = list(enumerate(plan_campaign(spec)))
+        groups = group_by_params(pending)
+        assert list(groups) == [PAPER_TABLE3, other]
+        phis_first = [task.phi for _, task in groups[PAPER_TABLE3]]
+        assert phis_first == [0.0, 1.0, 3.0]
+        assert [task.phi for _, task in groups[other]] == [2.0]
