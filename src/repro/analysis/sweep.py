@@ -111,6 +111,7 @@ def run_sweep(
     backend: str | None = None,
     cache=None,
     batch: bool | None = None,
+    parametric: bool | None = None,
 ) -> SweepResult:
     """Evaluate one ``Y(phi)`` curve.
 
@@ -136,6 +137,11 @@ def run_sweep(
         Use the batched per-curve solver (default) or the point-by-point
         path (``--no-batch``); ``None`` defers to the runtime config on
         the campaign path.
+    parametric:
+        Re-stamp compiled state-space templates (default) or rebuild
+        models per parameter set (``--no-parametric``); ``None`` defers
+        to the runtime config on the campaign path.  Ignored when a
+        pre-built ``solver`` is supplied (that solver already chose).
     """
     if not label:
         label = (
@@ -170,6 +176,11 @@ def run_sweep(
         ),
     )
     result = run_campaign(
-        spec, backend=backend, jobs=jobs, cache=cache, batch=batch
+        spec,
+        backend=backend,
+        jobs=jobs,
+        cache=cache,
+        batch=batch,
+        parametric=parametric,
     )
     return result.sweeps[0]

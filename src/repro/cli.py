@@ -19,7 +19,7 @@ Model-bound commands accept the Table 3 parameter overrides
 ``--p-ext``, ``--alpha``, ``--beta``).  Batch commands (``sweep``,
 ``optimal``, ``experiment``, ``campaign``) accept the campaign-runtime
 flags (``--jobs``, ``--backend``, ``--cache-dir``, ``--no-cache``,
-``--run-dir``, ``--no-batch``).
+``--run-dir``, ``--no-batch``, ``--no-parametric``).
 """
 
 from __future__ import annotations
@@ -108,6 +108,15 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
             "escape hatch; slower, same results to well under 1e-10)"
         ),
     )
+    group.add_argument(
+        "--no-parametric", action="store_true",
+        help=(
+            "rebuild the four SAN models from scratch for every "
+            "parameter set instead of re-stamping compiled state-space "
+            "templates (cross-validation escape hatch; slower, bitwise-"
+            "identical results)"
+        ),
+    )
 
 
 def _runtime_config_from(args: argparse.Namespace) -> RuntimeConfig:
@@ -122,6 +131,7 @@ def _runtime_config_from(args: argparse.Namespace) -> RuntimeConfig:
         cache_dir=None if args.no_cache else args.cache_dir,
         artifacts_dir=args.run_dir,
         batch=not args.no_batch,
+        parametric=not args.no_parametric,
     )
 
 

@@ -22,6 +22,55 @@ from repro.ctmc.linalg import (
 )
 
 
+def assemble_generator(
+    num_states: int, rates: Mapping[tuple[int, int], float]
+) -> sp.csr_matrix:
+    """Assemble a generator matrix from a ``{(src, dst): rate}`` mapping.
+
+    The single generator-assembly point: :meth:`CTMC.from_rates` and,
+    through it, both the concrete SAN build and the parametric re-stamp
+    path funnel here, so the exit-rate accumulation order (mapping
+    iteration order) and the diagonal fill are identical everywhere —
+    a prerequisite for the re-stamp path's bitwise-equality guarantee.
+
+    Self-loop entries are rejected: they have no effect on a CTMC and
+    almost always indicate a modelling bug.
+    """
+    rows, cols, vals = [], [], []
+    exits = np.zeros(num_states)
+    for (src, dst), rate in rates.items():
+        if src == dst:
+            raise ValueError(f"self-loop rate supplied for state {src}")
+        if rate < 0:
+            raise ValueError(f"negative rate {rate} for {(src, dst)}")
+        if rate == 0:
+            continue
+        rows.append(src)
+        cols.append(dst)
+        vals.append(float(rate))
+        exits[src] += rate
+    for i in range(num_states):
+        if exits[i] > 0:
+            rows.append(i)
+            cols.append(i)
+            vals.append(-exits[i])
+    # The triplets are duplicate-free by construction (unique mapping
+    # keys, one diagonal per row, self-loops rejected above), so the
+    # canonical CSR arrays can be built directly: no values are ever
+    # combined, making this bit-for-bit identical to a COO round-trip
+    # while skipping its duplicate-summing machinery.
+    row_arr = np.asarray(rows, dtype=np.intp)
+    col_arr = np.asarray(cols, dtype=np.intp)
+    val_arr = np.asarray(vals, dtype=np.float64)
+    order = np.lexsort((col_arr, row_arr))
+    indptr = np.zeros(num_states + 1, dtype=np.intp)
+    np.cumsum(np.bincount(row_arr, minlength=num_states), out=indptr[1:])
+    return sp.csr_matrix(
+        (val_arr[order], col_arr[order], indptr),
+        shape=(num_states, num_states),
+    )
+
+
 class CTMC:
     """A finite continuous-time Markov chain.
 
@@ -168,32 +217,48 @@ class CTMC:
     ) -> "CTMC":
         """Build a CTMC from a ``{(src, dst): rate}`` mapping.
 
-        The diagonal is filled automatically so each row sums to zero.
-        Self-loop entries in ``rates`` are rejected: they have no effect
-        on a CTMC and almost always indicate a modelling bug.
+        The diagonal is filled automatically so each row sums to zero
+        (see :func:`assemble_generator`, the shared assembly point).
         """
-        rows, cols, vals = [], [], []
-        exits = np.zeros(num_states)
-        for (src, dst), rate in rates.items():
-            if src == dst:
-                raise ValueError(f"self-loop rate supplied for state {src}")
-            if rate < 0:
-                raise ValueError(f"negative rate {rate} for {(src, dst)}")
-            if rate == 0:
-                continue
-            rows.append(src)
-            cols.append(dst)
-            vals.append(float(rate))
-            exits[src] += rate
-        for i in range(num_states):
-            if exits[i] > 0:
-                rows.append(i)
-                cols.append(i)
-                vals.append(-exits[i])
-        q = sp.csr_matrix(
-            (vals, (rows, cols)), shape=(num_states, num_states)
-        )
+        q = assemble_generator(num_states, rates)
         return cls(q, initial=initial, labels=labels)
+
+    @classmethod
+    def from_assembled(
+        cls,
+        q: sp.csr_matrix,
+        initial,
+        labels: Sequence[Hashable] | None,
+        index: Mapping[Hashable, int] | None,
+        initial_validated: bool = False,
+    ) -> "CTMC":
+        """Wrap an already-validated generator without re-checking it.
+
+        The parametric re-stamp path assembles ``q`` with
+        :func:`assemble_generator` — the same code a validated fresh
+        build runs — so :func:`~repro.ctmc.linalg.validate_generator`
+        (a pure check that never modifies its input) is guaranteed to
+        pass and is skipped.  ``labels`` and ``index`` are adopted
+        as-is and may be shared across instances (callers must treat
+        them as immutable).  The initial distribution goes through
+        :func:`~repro.ctmc.linalg.validate_distribution`, which
+        *transforms* (clips and renormalises), so skipping it would
+        change bits — unless the caller passes
+        ``initial_validated=True``, promising that ``initial`` is the
+        (possibly cached) output of that exact function for these bits;
+        the array is then adopted as-is and must be treated as
+        read-only.
+        """
+        chain = cls.__new__(cls)
+        chain._q = q
+        chain._initial = (
+            initial
+            if initial_validated
+            else validate_distribution(initial, q.shape[0])
+        )
+        chain._labels = labels
+        chain._index = index
+        return chain
 
     @classmethod
     def two_state_failure(cls, failure_rate: float) -> "CTMC":

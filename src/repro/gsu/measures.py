@@ -26,9 +26,6 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Sequence
 
-from repro.gsu.models.rm_gd import build_rm_gd
-from repro.gsu.models.rm_gp import build_rm_gp
-from repro.gsu.models.rm_nd import build_rm_nd
 from repro.gsu.parameters import GSUParameters
 from repro.san.ctmc_builder import CompiledSAN, build_ctmc
 from repro.san.marking import Marking
@@ -154,33 +151,50 @@ class ConstituentSolver:
 
     Base models are compiled lazily and cached; in a ``phi`` sweep the
     same compiled models serve every sweep point.
+
+    With ``parametric=True`` (the default) models come from the
+    process-wide template cache of :mod:`repro.gsu.templates`: the state
+    space is explored once per model structure and each parameter set is
+    a cheap rate re-stamp, bitwise identical to a fresh build.
+    ``parametric=False`` forces fresh ``build_ctmc`` compiles — the
+    cross-validation escape hatch behind ``--no-parametric``.
     """
 
-    def __init__(self, params: GSUParameters):
+    def __init__(self, params: GSUParameters, parametric: bool = True):
         self.params = params
+        self.parametric = bool(parametric)
 
     # ------------------------------------------------------------------
     # Compiled base models
     # ------------------------------------------------------------------
+    def _compiled(self, kind: str) -> CompiledSAN:
+        # Imported lazily so the template machinery stays off the import
+        # path of callers that never compile a model.
+        from repro.gsu import templates
+
+        if self.parametric:
+            return templates.shared_cache().compiled(kind, self.params)
+        return build_ctmc(templates.model_builder(kind)(self.params))
+
     @cached_property
     def rm_gd(self) -> CompiledSAN:
         """``RMGd`` compiled to a CTMC."""
-        return build_ctmc(build_rm_gd(self.params))
+        return self._compiled("RMGd")
 
     @cached_property
     def rm_gp(self) -> CompiledSAN:
         """``RMGp`` compiled to a CTMC."""
-        return build_ctmc(build_rm_gp(self.params))
+        return self._compiled("RMGp")
 
     @cached_property
     def rm_nd_new(self) -> CompiledSAN:
         """``RMNd`` with the first component at ``mu_new``."""
-        return build_ctmc(build_rm_nd(self.params, self.params.mu_new))
+        return self._compiled("RMNd_new")
 
     @cached_property
     def rm_nd_old(self) -> CompiledSAN:
         """``RMNd`` with the first component at ``mu_old``."""
-        return build_ctmc(build_rm_nd(self.params, self.params.mu_old))
+        return self._compiled("RMNd_old")
 
     def models(self) -> dict[str, CompiledSAN]:
         """All compiled base models, keyed for the evaluation context."""

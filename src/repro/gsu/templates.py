@@ -1,0 +1,185 @@
+"""Keyed parametric templates for the four GSU constituent models.
+
+The paper's parameter studies re-solve the same four SANs (``RMGd``,
+``RMGp``, ``RMNd`` at ``mu_new`` and at ``mu_old``) under many parameter
+sets whose state spaces are identical.  This module owns the fast path:
+each model kind is compiled **once per structure class** into a
+:class:`~repro.san.parametric.ParametricSAN` via a symbolic parameter
+set, and every subsequent parameter set is a cheap re-stamp.
+
+The cache is process-wide (:func:`shared_cache`): a sweep worker — or a
+process-pool worker serving many chunks — compiles on its first task and
+re-stamps for the rest.  Falling back to :func:`~repro.san.ctmc_builder.
+build_ctmc` is always safe (re-stamps are bitwise identical to fresh
+builds), and happens automatically for structure classes the symbolic
+path cannot express.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.gsu.models.rm_gd import build_rm_gd
+from repro.gsu.models.rm_gp import build_rm_gp
+from repro.gsu.models.rm_nd import build_rm_nd
+from repro.gsu.parameters import GSUParameters
+from repro.san.ctmc_builder import CompiledSAN, build_ctmc
+from repro.san.parametric import (
+    Param,
+    ParametricError,
+    ParametricSAN,
+    TemplateMismatchError,
+    compile_parametric,
+)
+
+#: The GSUParameters fields, in declaration order.
+PARAM_FIELDS = (
+    "theta",
+    "lam",
+    "mu_new",
+    "mu_old",
+    "coverage",
+    "p_ext",
+    "alpha",
+    "beta",
+)
+
+
+class SymbolicGSUParameters:
+    """A :class:`GSUParameters` stand-in whose fields are symbols.
+
+    Duck-types the attribute access the model builders perform
+    (``params.lam``, ``1.0 - params.p_ext``, ...), producing expression
+    trees instead of floats.  Every field except ``coverage`` is
+    strictly positive by :class:`GSUParameters` validation, so those
+    symbols carry ``assume_positive`` and satisfy builder-side
+    ``rate <= 0`` sanity checks symbolically.
+    """
+
+    def __init__(self):
+        for name in PARAM_FIELDS:
+            setattr(
+                self, name, Param(name, assume_positive=(name != "coverage"))
+            )
+
+
+def param_env(params: GSUParameters) -> dict[str, float]:
+    """The evaluation environment of a concrete parameter set."""
+    return {name: float(getattr(params, name)) for name in PARAM_FIELDS}
+
+
+def structure_signature(params: GSUParameters) -> tuple[bool, ...]:
+    """The structure key of a parameter set.
+
+    Reachability prunes zero-probability cases, so the graph *shape*
+    changes only at the degenerate boundaries of the case-probability
+    expressions: ``p_ext == 1`` removes every internal-message branch,
+    ``coverage == 0`` removes AT detection, ``coverage == 1`` removes AT
+    escape.  Parameter sets with equal signatures share templates, which
+    is what the campaign planner groups by.
+    """
+    return (
+        params.p_ext >= 1.0,
+        params.coverage <= 0.0,
+        params.coverage >= 1.0,
+    )
+
+
+#: kind -> builder taking any parameter duck-type (symbolic or concrete).
+_BUILDERS = {
+    "RMGd": lambda p: build_rm_gd(p),
+    "RMGp": lambda p: build_rm_gp(p),
+    "RMNd_new": lambda p: build_rm_nd(p, p.mu_new),
+    "RMNd_old": lambda p: build_rm_nd(p, p.mu_old),
+}
+
+MODEL_KINDS = tuple(_BUILDERS)
+
+
+def model_builder(kind: str):
+    """The concrete builder for a model kind (also accepts symbolic
+    parameter stand-ins — the builders are parameter-polymorphic)."""
+    return _BUILDERS[kind]
+
+
+@dataclass
+class TemplateCacheStats:
+    """Counters for observing the fast path (tests, benchmarks)."""
+
+    compiles: int = 0
+    restamps: int = 0
+    fallbacks: int = 0
+
+
+@dataclass
+class TemplateCache:
+    """Per-kind lists of compiled templates, one per structure class.
+
+    ``compiled(kind, params)`` returns a ready
+    :class:`~repro.san.ctmc_builder.CompiledSAN`: it re-stamps the first
+    matching template, compiling a new one (keyed by the parameter set's
+    structure class) only when none fits.  Thread-safe; results are
+    bitwise identical to ``build_ctmc(builder(params))``.
+    """
+
+    _templates: dict[str, list[ParametricSAN]] = field(default_factory=dict)
+    _lock: threading.RLock = field(default_factory=threading.RLock)
+    stats: TemplateCacheStats = field(default_factory=TemplateCacheStats)
+
+    def compiled(self, kind: str, params: GSUParameters) -> CompiledSAN:
+        """A compiled model for ``params``, via template re-stamping."""
+        builder = _BUILDERS[kind]
+        env = param_env(params)
+
+        def model_factory():
+            # Deferred to first ``.model`` access: the rate-reward
+            # measures never need the concrete SANModel, so re-stamps
+            # skip its construction entirely.
+            return builder(params)
+
+        for template in self._templates.get(kind, ()):
+            try:
+                result = template.instantiate(env, model_factory=model_factory)
+            except TemplateMismatchError:
+                continue
+            self.stats.restamps += 1
+            return result
+        with self._lock:
+            # Another thread may have compiled this structure class
+            # while we waited for the lock.
+            for template in self._templates.get(kind, ()):
+                try:
+                    result = template.instantiate(env, model_factory=model_factory)
+                except TemplateMismatchError:
+                    continue
+                self.stats.restamps += 1
+                return result
+            try:
+                template = compile_parametric(builder(SymbolicGSUParameters()), env)
+                result = template.instantiate(env, model_factory=model_factory)
+            except ParametricError:
+                # Structure the symbolic path cannot express (or that
+                # mismatches its own anchor): take the concrete path,
+                # which either succeeds or raises the authentic model
+                # error.
+                self.stats.fallbacks += 1
+                return build_ctmc(builder(params))
+            self._templates.setdefault(kind, []).append(template)
+            self.stats.compiles += 1
+            return result
+
+    def clear(self) -> None:
+        """Drop all templates and reset counters (test isolation)."""
+        with self._lock:
+            self._templates.clear()
+            self.stats = TemplateCacheStats()
+
+
+#: The process-wide cache used by the default ConstituentSolver path.
+_SHARED = TemplateCache()
+
+
+def shared_cache() -> TemplateCache:
+    """The process-wide template cache."""
+    return _SHARED

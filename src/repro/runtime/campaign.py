@@ -51,6 +51,11 @@ class RuntimeConfig:
     batch:
         Solve cache-missing chunks with the batched per-curve solver
         (default) or point by point (``--no-batch``).
+    parametric:
+        Obtain chunk models by re-stamping compiled state-space
+        templates and dispatch chunks in structure-key order (default),
+        or rebuild every model from scratch (``--no-parametric``).
+        Bitwise-identical results either way.
     """
 
     backend: str = "serial"
@@ -59,6 +64,7 @@ class RuntimeConfig:
     artifacts_dir: Path | str | None = None
     chunk_size: int | None = None
     batch: bool = True
+    parametric: bool = True
 
     def make_cache(self) -> ResultCache | None:
         """A cache bound to ``cache_dir`` (``None`` when disabled)."""
@@ -173,6 +179,7 @@ def run_campaign(
     chunk_size: int | None = None,
     evaluate_fn: EvaluateFn | None = None,
     batch: bool | None = None,
+    parametric: bool | None = None,
 ) -> CampaignResult:
     """Plan, execute, and archive one campaign.
 
@@ -182,13 +189,16 @@ def run_campaign(
     configuration.  ``batch`` selects the per-curve batched solver for
     cache misses (config default: on) — results agree with the
     point-by-point path to well under 1e-10 and cache keys are
-    identical either way.
+    identical either way.  ``parametric`` selects template re-stamping
+    over per-parameter model rebuilds (config default: on) — results
+    and cache keys are bitwise identical either way.
     """
     config = get_config()
     backend = backend if backend is not None else config.backend
     jobs = jobs if jobs is not None else config.jobs
     chunk_size = chunk_size if chunk_size is not None else config.chunk_size
     batch = batch if batch is not None else config.batch
+    parametric = parametric if parametric is not None else config.parametric
     if artifacts_dir is None:
         artifacts_dir = config.artifacts_dir
     if no_cache:
@@ -212,6 +222,7 @@ def run_campaign(
         evaluate_fn=evaluate_fn,
         chunk_size=chunk_size,
         batch=batch,
+        parametric=parametric,
     )
     sweeps = _assemble_sweeps(spec, outcomes)
     wall_seconds = time.perf_counter() - start

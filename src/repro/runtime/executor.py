@@ -35,7 +35,11 @@ from repro.gsu.performability import (
 )
 from repro.runtime.cache import ResultCache
 from repro.runtime.records import record_from_evaluation
-from repro.runtime.tasks import EvaluationTask, group_by_params
+from repro.runtime.tasks import (
+    EvaluationTask,
+    group_by_params,
+    order_groups_by_structure,
+)
 
 #: The supported backend names.
 BACKENDS = ("serial", "thread", "process")
@@ -73,6 +77,7 @@ def _solve_points(
     phis: Sequence[float],
     evaluate_fn: EvaluateFn | None = None,
     batch: bool = True,
+    parametric: bool = True,
 ) -> list[tuple[dict, float]]:
     """Evaluate one chunk of same-parameter points with a shared solver.
 
@@ -81,9 +86,11 @@ def _solve_points(
     — one solver pass per (model, reward structure) — and each point
     reports its share of the chunk's wall time.  An ``evaluate_fn``
     forces the point-by-point path so instrumentation stubs observe one
-    call per point.
+    call per point.  ``parametric`` selects template re-stamping versus
+    fresh model compilation for this chunk's solver (results are bitwise
+    identical either way).
     """
-    solver = ConstituentSolver(params)
+    solver = ConstituentSolver(params, parametric=parametric)
     if batch and evaluate_fn is None:
         start = time.perf_counter()
         evaluations = evaluate_batch(params, list(phis), solver=solver)
@@ -104,10 +111,18 @@ def _solve_points(
 
 
 def _solve_points_remote(
-    params: GSUParameters, phis: tuple[float, ...], batch: bool = True
+    params: GSUParameters,
+    phis: tuple[float, ...],
+    batch: bool = True,
+    parametric: bool = True,
 ) -> list[tuple[dict, float]]:
-    """Module-level chunk worker for the process backend (picklable)."""
-    return _solve_points(params, phis, batch=batch)
+    """Module-level chunk worker for the process backend (picklable).
+
+    Each worker process holds its own shared template cache, so with
+    structure-ordered chunks it compiles each model structure once and
+    re-stamps for every subsequent chunk it serves.
+    """
+    return _solve_points(params, phis, batch=batch, parametric=parametric)
 
 
 def _chunk_length(group_size: int, jobs: int, chunk_size: int | None) -> int:
@@ -129,6 +144,7 @@ def execute_tasks(
     evaluate_fn: EvaluateFn | None = None,
     chunk_size: int | None = None,
     batch: bool = True,
+    parametric: bool = True,
 ) -> list[TaskOutcome]:
     """Execute tasks and return outcomes in submission order.
 
@@ -157,6 +173,13 @@ def execute_tasks(
         solved in one batched pass (one solver run per model and reward
         structure) instead of point by point.  Cache keys and record
         contents are unaffected — only how misses are computed changes.
+    parametric:
+        When true (the default), chunk solvers obtain their models by
+        re-stamping compiled state-space templates instead of rebuilding
+        them, and chunks are dispatched in structure-key order so each
+        worker compiles every structure at most once.  Results, cache
+        keys, and records are bitwise identical either way
+        (``--no-parametric`` is the cross-validation escape hatch).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -178,9 +201,13 @@ def execute_tasks(
         else:
             pending.append((position, task))
 
-    # Group pending work by parameter set (insertion order), then split
-    # each group into chunks sized for the worker pool.
+    # Group pending work by parameter set, ordered by structure key on
+    # the parametric path (parameter sets sharing a state-space template
+    # dispatch consecutively, so pool workers compile each structure at
+    # most once), then split each group into chunks for the worker pool.
     groups = group_by_params(pending)
+    if parametric:
+        groups = order_groups_by_structure(groups)
     chunks: list[list[tuple[int, EvaluationTask]]] = []
     for group in groups.values():
         length = _chunk_length(len(group), jobs, chunk_size)
@@ -194,7 +221,10 @@ def execute_tasks(
     if backend == "serial" or jobs == 1 or len(chunks) <= 1:
         solved = [
             _solve_points(
-                *_chunk_args(chunk), evaluate_fn=evaluate_fn, batch=batch
+                *_chunk_args(chunk),
+                evaluate_fn=evaluate_fn,
+                batch=batch,
+                parametric=parametric,
             )
             for chunk in chunks
         ]
@@ -206,6 +236,7 @@ def execute_tasks(
                     *_chunk_args(chunk),
                     evaluate_fn=evaluate_fn,
                     batch=batch,
+                    parametric=parametric,
                 )
                 for chunk in chunks
             ]
@@ -214,7 +245,10 @@ def execute_tasks(
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(
-                    _solve_points_remote, *_chunk_args(chunk), batch=batch
+                    _solve_points_remote,
+                    *_chunk_args(chunk),
+                    batch=batch,
+                    parametric=parametric,
                 )
                 for chunk in chunks
             ]

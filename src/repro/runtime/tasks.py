@@ -124,3 +124,27 @@ def group_by_params(
     for position, task in pending:
         groups.setdefault(task.params, []).append((position, task))
     return groups
+
+
+def order_groups_by_structure(
+    groups: dict[GSUParameters, list[tuple[int, EvaluationTask]]],
+) -> dict[GSUParameters, list[tuple[int, EvaluationTask]]]:
+    """Order parameter groups by their state-space structure key.
+
+    Parameter sets whose structure keys match share compiled state-space
+    templates (see :func:`repro.gsu.templates.structure_signature`), so
+    the parametric execution path dispatches them consecutively: a pool
+    worker then compiles each structure at most once and re-stamps for
+    every subsequent chunk it serves.  The sort is stable — groups with
+    equal keys keep their plan order — and only *dispatch* order
+    changes; outcomes are always reassembled in plan order.
+    """
+    from repro.gsu.templates import structure_signature
+
+    signatures = {params: structure_signature(params) for params in groups}
+    return dict(
+        sorted(
+            groups.items(),
+            key=lambda item: signatures[item[0]],
+        )
+    )

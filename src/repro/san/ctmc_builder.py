@@ -10,7 +10,7 @@ correspondence so reward predicates written over markings (UltraSAN's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -20,24 +20,60 @@ from repro.san.model import SANModel
 from repro.san.reachability import DEFAULT_MAX_MARKINGS, ReachabilityGraph, explore
 
 
-@dataclass
 class CompiledSAN:
     """A SAN compiled to a CTMC, with its reachability graph retained.
 
     Attributes
     ----------
     model:
-        The source :class:`~repro.san.model.SANModel`.
+        The source :class:`~repro.san.model.SANModel`.  On the
+        parametric re-stamp path the model is built lazily from
+        ``model_factory`` on first access: the rate-reward measures
+        never touch it, so most re-stamps skip the (cheap but
+        per-instantiation) concrete build entirely.  Activity-addressed
+        rewards (impulse completions, throughputs) resolve it on demand.
     graph:
         The tangible reachability graph.
     chain:
         The resulting CTMC; state ``i`` corresponds to
         ``graph.markings[i]`` and the labels are the markings themselves.
+    reward_cache:
+        Shared per-template memo for reward vectors, keyed by reward
+        structure.  Populated by the parametric fast path (every
+        instantiation of one :class:`~repro.san.parametric.ParametricSAN`
+        shares the same tangible markings, so vectors built from marking
+        predicates and constant rates are identical across instances);
+        ``None`` on directly built models.
     """
 
-    model: SANModel
-    graph: ReachabilityGraph
-    chain: CTMC
+    def __init__(
+        self,
+        model: SANModel | None = None,
+        graph: ReachabilityGraph | None = None,
+        chain: CTMC | None = None,
+        reward_cache: dict | None = None,
+        model_factory: Callable[[], SANModel] | None = None,
+    ):
+        if model is None and model_factory is None:
+            raise ValueError("CompiledSAN requires a model or a model_factory")
+        self._model = model
+        self._model_factory = model_factory
+        self.graph = graph
+        self.chain = chain
+        self.reward_cache = reward_cache
+
+    @property
+    def model(self) -> SANModel:
+        """The source model (built on first access on the re-stamp path)."""
+        if self._model is None:
+            self._model = self._model_factory()
+        return self._model
+
+    def __repr__(self) -> str:
+        name = (
+            self._model.name if self._model is not None else self.graph.model_name
+        )
+        return f"CompiledSAN(model={name!r}, states={self.num_states})"
 
     @property
     def num_states(self) -> int:
@@ -57,6 +93,26 @@ class CompiledSAN:
                 if predicate(marking):
                     rewards[i] += rate
         return rewards
+
+    def cached_reward_vector(self, key, predicate_rate_pairs) -> np.ndarray:
+        """:meth:`reward_vector`, memoised per template when possible.
+
+        ``key`` identifies the reward specification (the reward
+        structure object itself for the module-level GSU measures).  On
+        a parametrically instantiated model the vector is computed once
+        per template and copied out thereafter; on a directly built
+        model this is a plain :meth:`reward_vector` call.  The cache is
+        size-capped so ad-hoc, per-call reward structures cannot grow it
+        without bound.
+        """
+        if self.reward_cache is None:
+            return self.reward_vector(predicate_rate_pairs)
+        cached = self.reward_cache.get(key)
+        if cached is None:
+            cached = self.reward_vector(predicate_rate_pairs)
+            if len(self.reward_cache) < 64:
+                self.reward_cache[key] = cached
+        return cached.copy()
 
     def probability_vector_for(self, predicate) -> np.ndarray:
         """A 0/1 indicator vector over states from a marking predicate."""

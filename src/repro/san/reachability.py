@@ -37,6 +37,39 @@ DEFAULT_MAX_MARKINGS = 500_000
 _PROB_EPS = 1e-15
 
 
+def _csr_from_triplets(n_rows, n_cols, rows, cols, vals) -> sp.csr_matrix:
+    """Canonical CSR from COO triplets with *explicit* duplicate summing.
+
+    Duplicates are combined by a stable ``(row, col)`` lexsort followed
+    by a sequential in-order accumulation (``np.add.at``).  This spells
+    out the floating-point summation order that scipy's COO conversion
+    leaves as an implementation detail — the parametric re-stamp plan
+    (:mod:`repro.san.parametric`) replays exactly this order with
+    precomputed index arrays, which is what keeps re-stamped matrices
+    bitwise identical to freshly eliminated ones.
+    """
+    row_arr = np.asarray(rows, dtype=np.intp)
+    col_arr = np.asarray(cols, dtype=np.intp)
+    val_arr = np.asarray(vals, dtype=np.float64)
+    order = np.lexsort((col_arr, row_arr))
+    r, c, v = row_arr[order], col_arr[order], val_arr[order]
+    if r.size:
+        first = np.empty(r.size, dtype=bool)
+        first[0] = True
+        first[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        group = np.cumsum(first) - 1
+        data = np.zeros(int(group[-1]) + 1)
+        np.add.at(data, group, v)
+        grow, gcol = r[first], c[first]
+    else:
+        data = np.zeros(0)
+        grow, gcol = r, c
+    indptr = np.zeros(n_rows + 1, dtype=np.intp)
+    if grow.size:
+        np.cumsum(np.bincount(grow, minlength=n_rows), out=indptr[1:])
+    return sp.csr_matrix((data, gcol, indptr), shape=(n_rows, n_cols))
+
+
 @dataclass
 class ReachabilityGraph:
     """The tangible reachability graph of a SAN.
@@ -154,13 +187,12 @@ def explore(
         else:
             _expand_tangible(model, marking, idx, classify, queue, t_edges)
 
-    return _eliminate_vanishing(
-        model,
-        initial,
+    return eliminate_vanishing(
+        model.name,
         tangible_list,
         vanishing_list,
-        tangible,
-        vanishing,
+        tangible.get(initial),
+        vanishing.get(initial),
         t_edges,
         v_edges,
     )
@@ -195,22 +227,30 @@ def _expand_vanishing(model, marking, idx, classify, queue, v_edges) -> None:
             v_edges.append((idx, dst_vanishing, dst_idx, pick * prob))
 
 
-def _eliminate_vanishing(
-    model,
-    initial,
-    tangible_list,
-    vanishing_list,
-    tangible,
-    vanishing,
-    t_edges,
-    v_edges,
+def eliminate_vanishing(
+    model_name: str,
+    tangible_list: list[Marking],
+    vanishing_list: list[Marking],
+    initial_tangible: int | None,
+    initial_vanishing: int | None,
+    t_edges: list[tuple[int, bool, int, float]],
+    v_edges: list[tuple[int, bool, int, float]],
 ) -> ReachabilityGraph:
-    """Fold vanishing markings into effective tangible-to-tangible rates."""
+    """Fold vanishing markings into effective tangible-to-tangible rates.
+
+    Operates on plain exploration data — the interned marking lists, the
+    initial marking's (tangible xor vanishing) index, and numeric edge
+    lists — so the concrete path (:func:`explore`) and the parametric
+    re-stamp path (:meth:`~repro.san.parametric.ParametricSAN.instantiate`)
+    share every floating-point operation of elimination and rate
+    accumulation.  That sharing is what makes re-stamped generators
+    bitwise identical to freshly built ones.
+    """
     n_t = len(tangible_list)
     n_v = len(vanishing_list)
     if n_t == 0:
         raise StateSpaceError(
-            f"model {model.name!r} has no tangible markings — every marking "
+            f"model {model_name!r} has no tangible markings — every marking "
             "enables an instantaneous activity"
         )
 
@@ -221,9 +261,9 @@ def _eliminate_vanishing(
                 key = (src, dst)
                 rates[key] = rates.get(key, 0.0) + rate
         init_dist = np.zeros(n_t)
-        init_dist[tangible[initial]] = 1.0
+        init_dist[initial_tangible] = 1.0
         return ReachabilityGraph(
-            model_name=model.name,
+            model_name=model_name,
             markings=tangible_list,
             initial_distribution=init_dist,
             rates=rates,
@@ -244,18 +284,24 @@ def _eliminate_vanishing(
             vt_rows.append(src)
             vt_cols.append(dst)
             vt_vals.append(prob)
-    p_vv = sp.csr_matrix((vv_vals, (vv_rows, vv_cols)), shape=(n_v, n_v))
-    p_vt = sp.csr_matrix((vt_vals, (vt_rows, vt_cols)), shape=(n_v, n_t))
-    system = sp.identity(n_v, format="csc") - p_vv.tocsc()
-    try:
-        # X[v, t] = P(eventually reach tangible t | start at vanishing v)
-        x = spla.spsolve(system, p_vt.tocsc())
-    except Exception as exc:  # singular system: vanishing loop without exit
-        raise StateSpaceError(
-            f"model {model.name!r} has an instantaneous-activity loop that "
-            "never reaches a tangible marking"
-        ) from exc
-    x = sp.csr_matrix(x.reshape(n_v, n_t) if not sp.issparse(x) else x)
+    p_vv = _csr_from_triplets(n_v, n_v, vv_rows, vv_cols, vv_vals)
+    p_vt = _csr_from_triplets(n_v, n_t, vt_rows, vt_cols, vt_vals)
+    if p_vv.nnz == 0:
+        # No vanishing-to-vanishing edges: every vanishing marking
+        # resolves in one step, so X is P_vt itself and the linear solve
+        # (a solve against the identity) can be skipped.
+        x = p_vt
+    else:
+        system = sp.identity(n_v, format="csc") - p_vv.tocsc()
+        try:
+            # X[v, t] = P(eventually reach tangible t | start at vanishing v)
+            x = spla.spsolve(system, p_vt.tocsc())
+        except Exception as exc:  # singular system: vanishing loop without exit
+            raise StateSpaceError(
+                f"model {model_name!r} has an instantaneous-activity loop "
+                "that never reaches a tangible marking"
+            ) from exc
+        x = sp.csr_matrix(x.reshape(n_v, n_t) if not sp.issparse(x) else x)
     # Validate that every vanishing marking resolves with probability ~1.
     resolve_mass = np.asarray(x.sum(axis=1)).ravel()
     if np.any(resolve_mass < 1.0 - 1e-6):
@@ -265,6 +311,11 @@ def _eliminate_vanishing(
             f"to tangible states with probability {resolve_mass[worst]:g} < 1"
         )
 
+    # Rows of X are read straight off the CSR arrays (same entries in
+    # the same stored order as ``getrow``, without per-call matrix
+    # construction — this loop runs once per re-stamp on the fast path).
+    x_indptr, x_indices, x_data = x.indptr, x.indices, x.data
+
     rates = {}
     for src, dst_vanishing, dst, rate in t_edges:
         if not dst_vanishing:
@@ -272,23 +323,22 @@ def _eliminate_vanishing(
                 key = (src, dst)
                 rates[key] = rates.get(key, 0.0) + rate
             continue
-        row = x.getrow(dst)
-        for t_idx, prob in zip(row.indices, row.data):
+        for pos in range(x_indptr[dst], x_indptr[dst + 1]):
+            t_idx, prob = x_indices[pos], x_data[pos]
             if src != t_idx and prob > _PROB_EPS:
                 key = (src, int(t_idx))
                 rates[key] = rates.get(key, 0.0) + rate * prob
 
     init_dist = np.zeros(n_t)
-    if initial in tangible:
-        init_dist[tangible[initial]] = 1.0
+    if initial_tangible is not None:
+        init_dist[initial_tangible] = 1.0
     else:
-        row = x.getrow(vanishing[initial])
-        for t_idx, prob in zip(row.indices, row.data):
-            init_dist[int(t_idx)] = prob
+        for pos in range(x_indptr[initial_vanishing], x_indptr[initial_vanishing + 1]):
+            init_dist[int(x_indices[pos])] = x_data[pos]
         init_dist /= init_dist.sum()
 
     return ReachabilityGraph(
-        model_name=model.name,
+        model_name=model_name,
         markings=tangible_list,
         initial_distribution=init_dist,
         rates=rates,

@@ -112,9 +112,15 @@ class RewardStructure:
         )
 
     def rate_vector(self, compiled: CompiledSAN) -> np.ndarray:
-        """Per-state reward-rate vector over the compiled state space."""
-        return compiled.reward_vector(
-            [(pair.predicate, pair.rate) for pair in self.rate_rewards]
+        """Per-state reward-rate vector over the compiled state space.
+
+        On parametrically instantiated models the vector is served from
+        the template's reward cache (keyed by this structure object):
+        predicates and rates only read the marking, so the vector is the
+        same for every instantiation of one state-space template.
+        """
+        return compiled.cached_reward_vector(
+            self, [(pair.predicate, pair.rate) for pair in self.rate_rewards]
         )
 
 

@@ -167,7 +167,7 @@ class TestGSUHybrid:
         assert low <= analytic <= high
 
     def test_hybrid_simulated_constituents_have_uncertainty(self):
-        from repro.gsu.hybrid import SIMULATED_CONSTITUENTS, hybrid_evaluate
+        from repro.gsu.hybrid import hybrid_evaluate
         from repro.gsu.validation import SCALED_VALIDATION_PARAMS
 
         hybrid = hybrid_evaluate(

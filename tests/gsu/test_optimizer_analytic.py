@@ -10,7 +10,6 @@ from repro.gsu.analytic import (
     overhead_p1new,
     overhead_reset_fraction,
     performability_index_approx,
-    probability_no_error_gop,
     survival_recovered,
     survival_unprotected,
     undetected_failure_probability,

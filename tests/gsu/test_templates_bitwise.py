@@ -1,0 +1,107 @@
+"""Bitwise-equality properties of the parametric template fast path.
+
+The contract of :mod:`repro.gsu.templates` is not "numerically close":
+a re-stamped template must reproduce ``build_ctmc(builder(params))``
+**bit for bit** — generator arrays, initial distribution, ordered rate
+mapping, and every reward vector the measures layer derives.  Hypothesis
+perturbs the Table 3 operating point across several orders of magnitude
+per field (including the degenerate ``coverage`` and ``p_ext``
+boundaries, which change the reachable structure) and checks the
+contract for all four compiled model kinds: ``RMGd``, ``RMGp``, and
+``RMNd`` at both ``mu_new`` and ``mu_old``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gsu.measures import (
+    RS_A1_GOP,
+    RS_INT_H,
+    RS_INT_HF,
+    RS_INT_TAU_H,
+    RS_ND_ALIVE,
+    RS_OVERHEAD_1,
+    RS_OVERHEAD_2,
+)
+from repro.gsu.parameters import GSUParameters
+from repro.gsu.templates import (
+    MODEL_KINDS,
+    TemplateCache,
+    model_builder,
+)
+from repro.san.ctmc_builder import build_ctmc
+
+#: Reward structures exercised per model kind — the exact vectors the
+#: nine constituent measures put through the solvers.
+_KIND_STRUCTURES = {
+    "RMGd": (RS_INT_H, RS_INT_TAU_H, RS_INT_HF, RS_A1_GOP),
+    "RMGp": (RS_OVERHEAD_1, RS_OVERHEAD_2),
+    "RMNd_new": (RS_ND_ALIVE,),
+    "RMNd_old": (RS_ND_ALIVE,),
+}
+
+#: One shared cache across examples: the first example per structure
+#: class compiles, every later example takes the re-stamp path — which
+#: is exactly the path whose bitwise fidelity is under test.
+_CACHE = TemplateCache()
+
+
+@st.composite
+def table3_perturbations(draw):
+    """Valid parameter sets spanning wide perturbations of Table 3."""
+    lam = draw(st.floats(100.0, 5_000.0))
+    return GSUParameters(
+        theta=draw(st.floats(1_000.0, 20_000.0)),
+        lam=lam,
+        # mu_new must stay below lam; the cap keeps draws valid.
+        mu_new=draw(st.floats(1e-6, 1e-2)),
+        mu_old=draw(st.floats(1e-9, 1e-4)),
+        coverage=draw(
+            st.one_of(
+                st.sampled_from([0.0, 1.0]),
+                st.floats(0.0, 1.0),
+            )
+        ),
+        p_ext=draw(
+            st.one_of(st.just(1.0), st.floats(0.01, 1.0))
+        ),
+        alpha=draw(st.floats(100.0, 10_000.0)),
+        beta=draw(st.floats(100.0, 10_000.0)),
+    )
+
+
+@given(params=table3_perturbations())
+@settings(max_examples=60, deadline=None)
+def test_restamp_matches_fresh_build_bitwise(params):
+    for kind in MODEL_KINDS:
+        fast = _CACHE.compiled(kind, params)
+        fresh = build_ctmc(model_builder(kind)(params))
+
+        q_fast, q_fresh = fast.chain.generator, fresh.chain.generator
+        assert np.array_equal(q_fast.indptr, q_fresh.indptr)
+        assert np.array_equal(q_fast.indices, q_fresh.indices)
+        assert q_fast.data.tobytes() == q_fresh.data.tobytes()
+
+        assert (
+            fast.chain.initial_distribution.tobytes()
+            == fresh.chain.initial_distribution.tobytes()
+        )
+        assert fast.graph.markings == fresh.graph.markings
+        # The rate mapping must agree in iteration *order* too: the
+        # generator assembly accumulates exit rates in that order.
+        assert list(fast.graph.rates.items()) == list(fresh.graph.rates.items())
+
+        for structure in _KIND_STRUCTURES[kind]:
+            fast_vec = structure.rate_vector(fast)
+            fresh_vec = structure.rate_vector(fresh)
+            assert fast_vec.tobytes() == fresh_vec.tobytes()
+
+
+def test_shared_cache_took_the_fast_path():
+    """Run after the property: the cache must have re-stamped, not
+    fallen back to concrete builds."""
+    stats = _CACHE.stats
+    assert stats.compiles >= len(MODEL_KINDS)
+    assert stats.restamps > stats.compiles
+    assert stats.fallbacks == 0

@@ -76,8 +76,6 @@ class TestModeTransitions:
         protocol = MDCDProtocol(engine, params, 20.0, RandomStreams(5))
         protocol.start()
         engine.run(until=params.theta)
-        messages_at_failure = protocol.counts.messages
-        engine2_now = engine.now
         assert protocol.mode is SystemMode.FAILED
         # No active mission processes remain.
         assert protocol.active_mission_processes() == []

@@ -1,0 +1,118 @@
+"""Runtime plumbing of the parametric fast path.
+
+Two guarantees beyond raw speed:
+
+* **Configuration** — ``parametric`` defaults to on, is overridable per
+  call and per installed :class:`RuntimeConfig`, and the CLI's
+  ``--no-parametric`` reaches the campaign runtime.
+* **Cache compatibility** — the content-addressed result cache is
+  path-*independent*: entries written by any combination of
+  ``--no-parametric`` / ``--no-batch`` serve every other combination at
+  a 100% hit rate with bit-identical curves, because re-stamped models
+  are bitwise equal to rebuilt ones and cache keys never encode the
+  execution path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import RuntimeConfig, run_campaign, use_config
+from repro.runtime.spec import CampaignSpec, CurveSpec
+
+
+def _small_campaign() -> CampaignSpec:
+    theta = PAPER_TABLE3.theta
+    curves = []
+    for coverage in (0.9, 0.95):
+        params = dataclasses.replace(PAPER_TABLE3, coverage=coverage)
+        curves.append(
+            CurveSpec(
+                label=f"c={coverage}",
+                params=params,
+                phis=(theta / 4, theta / 2),
+            )
+        )
+    return CampaignSpec(name="parametric-audit", curves=tuple(curves))
+
+
+class TestConfiguration:
+    def test_parametric_defaults_on(self):
+        assert RuntimeConfig().parametric is True
+
+    def test_installed_config_controls_path(self):
+        spec = _small_campaign()
+        with use_config(RuntimeConfig(parametric=False)):
+            slow = run_campaign(spec)
+        fast = run_campaign(spec)  # default config: parametric on
+        for fast_sweep, slow_sweep in zip(fast.sweeps, slow.sweeps):
+            assert fast_sweep.values == slow_sweep.values
+
+    def test_explicit_argument_beats_config(self):
+        spec = _small_campaign()
+        with use_config(RuntimeConfig(parametric=False)):
+            result = run_campaign(spec, parametric=True)
+        assert result.sweeps  # executed through the explicit fast path
+
+
+@pytest.mark.parametrize(
+    ("writer", "reader"),
+    [
+        # (parametric, batch) of the pass that populates the cache vs
+        # the pass that must be served entirely from it.
+        ((False, False), (True, True)),
+        ((True, True), (False, False)),
+    ],
+)
+def test_cache_entries_cross_execution_paths(tmp_path, writer, reader):
+    spec = _small_campaign()
+    cache = ResultCache(root=tmp_path / "cache")
+
+    w_parametric, w_batch = writer
+    cold = run_campaign(
+        spec, cache=cache, parametric=w_parametric, batch=w_batch
+    )
+    assert cold.cache_stats.misses == spec.num_points
+
+    r_parametric, r_batch = reader
+    warm = run_campaign(
+        spec, cache=cache, parametric=r_parametric, batch=r_batch
+    )
+    assert warm.tasks_computed == 0
+    assert warm.cache_stats.hit_rate == 1.0
+    for warm_sweep, cold_sweep in zip(warm.sweeps, cold.sweeps):
+        assert warm_sweep.phis == cold_sweep.phis
+        assert warm_sweep.values == cold_sweep.values
+
+
+def test_cli_no_parametric_reaches_runtime(tmp_path, monkeypatch, capsys):
+    """``repro campaign --no-parametric`` must configure the runtime."""
+    import repro.cli as cli
+    import repro.runtime.campaign as campaign_mod
+
+    seen = {}
+    real_run_campaign = campaign_mod.run_campaign
+
+    def spy(spec, **kwargs):
+        # The CLI installs its RuntimeConfig around the call, so the
+        # flag arrives via the active configuration.
+        seen["parametric"] = campaign_mod.get_config().parametric
+        return real_run_campaign(spec, **kwargs)
+
+    monkeypatch.setattr(cli, "run_campaign", spy)
+    cli.main(
+        [
+            "campaign",
+            "FIG9",
+            "--step",
+            "10000",
+            "--no-chart",
+            "--no-parametric",
+            "--run-dir",
+            str(tmp_path / "runs"),
+        ]
+    )
+    capsys.readouterr()
+    assert seen.get("parametric") is False

@@ -5,7 +5,7 @@ import pytest
 
 from repro.san.activities import Case, InstantaneousActivity, TimedActivity
 from repro.san.errors import StateSpaceError
-from repro.san.gates import InputGate, OutputGate
+from repro.san.gates import OutputGate
 from repro.san.marking import Marking
 from repro.san.model import SANModel
 from repro.san.places import Place

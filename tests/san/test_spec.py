@@ -6,7 +6,6 @@ from repro.san.errors import RewardSpecificationError
 from repro.san.marking import Marking
 from repro.san.spec import (
     SpecSyntaxError,
-    parse_expression,
     parse_predicate,
     parse_update,
     reward_structure_from_spec,
@@ -137,7 +136,7 @@ class TestRewardStructureFromSpec:
         assert not pair.predicate(Marking(detected=0, failure=0))
 
     def test_matches_programmatic_solution(self):
-        from repro.gsu.measures import RS_INT_TAU_H, ConstituentSolver
+        from repro.gsu.measures import ConstituentSolver
         from repro.gsu.parameters import PAPER_TABLE3
         from repro.san.rewards import interval_of_time
 
