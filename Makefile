@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test campaign-smoke bench examples reports experiments clean
+.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke bench examples reports experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,6 +20,22 @@ lint:
 
 test: lint campaign-smoke
 	$(PYTHON) -m pytest tests/
+
+# Tier-1: everything except minutes-scale simulation tests (marker: slow).
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x -q
+
+# The slow tier on its own (nightly CI runs this plus verify-smoke).
+test-slow:
+	$(PYTHON) -m pytest tests/ -m slow -q
+
+# Simulation-vs-analytic conformance smoke: nine constituent measures on
+# scaled parameters through the campaign runtime (see docs/verification.md).
+verify-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro verify --profile scaled \
+		--cache-dir "$$tmp/cache" --run-dir "$$tmp/runs" && \
+	echo "verify-smoke: OK"
 
 # End-to-end smoke test of the campaign runtime: a tiny two-point-per-curve
 # campaign through the process backend, cached into a temp dir; the warm

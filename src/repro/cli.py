@@ -8,6 +8,7 @@ Exposes the reproduction's main entry points without writing Python::
     python -m repro experiment FIG9 --jobs 4 --cache-dir ~/.repro-cache
     python -m repro campaign FIG9 --jobs 4 --run-dir runs/
     python -m repro campaign --spec my_campaign.json --backend process
+    python -m repro verify --profile table3 --jobs 4 --run-dir runs/
     python -m repro validate --phi 10 --replications 300
     python -m repro hybrid --phi 10 --replications 300
     python -m repro measure rmgd --predicate "MARK(detected)==1" --at 7000
@@ -197,6 +198,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--no-chart", action="store_true")
     _add_runtime_flags(campaign)
+
+    verify = sub.add_parser(
+        "verify",
+        help="conformance-check the analytic solution against trajectory "
+             "simulation (nine constituent measures, composed E[W_phi] "
+             "and Y, metamorphic invariants)",
+    )
+    verify.add_argument(
+        "--profile",
+        default="scaled",
+        help="verification profile: table3 (paper parameters) or "
+             "scaled (fast dynamics; default)",
+    )
+    verify.add_argument(
+        "--phis", default=None, metavar="P1,P2,...",
+        help="override the profile's phi grid (comma-separated)",
+    )
+    verify.add_argument(
+        "--replications", type=int, default=None,
+        help="override the profile's replications per model",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=None,
+        help="override the profile's root seed",
+    )
+    verify.add_argument(
+        "--confidence", type=float, default=None,
+        help="override the verdict confidence level (profile default 0.99)",
+    )
+    _add_runtime_flags(verify)
 
     validate = sub.add_parser(
         "validate",
@@ -407,6 +438,43 @@ def _cmd_campaign(args) -> int:
     return status
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import resolve_profile, run_verify, summarize_report
+
+    phis = None
+    if args.phis is not None:
+        try:
+            phis = [float(p) for p in args.phis.split(",") if p.strip()]
+        except ValueError:
+            print(f"error: bad --phis {args.phis!r}", file=sys.stderr)
+            return 2
+    try:
+        profile = resolve_profile(
+            args.profile,
+            phis=phis,
+            replications=args.replications,
+            seed=args.seed,
+            confidence=args.confidence,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = _runtime_config_from(args)
+    with use_config(config):
+        report = run_verify(profile)
+    print(summarize_report(report))
+    if report.cache_stats is not None:
+        stats = report.cache_stats
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.corrupt} corrupt, {stats.writes} writes"
+        )
+    if report.artifacts is not None:
+        print(f"manifest: {report.artifacts.manifest_path}")
+        print(f"verdicts: {report.artifacts.verdicts_path}")
+    return 0 if report.passed else 1
+
+
 def _cmd_validate(args) -> int:
     params = _params_from(args, SCALED_VALIDATION_PARAMS)
     report = validate_constituents(
@@ -556,6 +624,7 @@ _COMMANDS = {
     "optimal": _cmd_optimal,
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
+    "verify": _cmd_verify,
     "validate": _cmd_validate,
     "hybrid": _cmd_hybrid,
     "measure": _cmd_measure,

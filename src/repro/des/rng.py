@@ -41,6 +41,30 @@ class RandomStreams:
             self._streams[name] = np.random.default_rng(child)
         return self._streams[name]
 
+    def replication(self, name: str, replication_id: int) -> np.random.Generator:
+        """A fresh generator for one replication of component ``name``.
+
+        Extends the named-stream spawn key with the replication id, so
+        distinct ``(name, replication_id)`` pairs yield statistically
+        independent streams — the contract parallel replication blocks
+        rely on: block *i* on one worker and block *j* on another never
+        share draws, and the assignment of blocks to workers cannot
+        change the numbers.  Generators are not cached; each call
+        returns a fresh one positioned at the start of its stream.
+        """
+        if replication_id < 0:
+            raise ValueError(
+                f"replication_id must be non-negative, got {replication_id}"
+            )
+        digest = np.frombuffer(
+            name.encode("utf-8").ljust(16, b"\0")[:16], dtype=np.uint32
+        )
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=tuple(int(d) for d in digest) + (int(replication_id),),
+        )
+        return np.random.default_rng(child)
+
     def exponential(self, name: str, rate: float) -> float:
         """One exponential variate with the given ``rate`` from ``name``."""
         if rate <= 0:

@@ -37,6 +37,7 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.records import record_from_evaluation
 from repro.runtime.tasks import (
     EvaluationTask,
+    VerificationTask,
     group_by_params,
     order_groups_by_structure,
 )
@@ -66,7 +67,7 @@ class TaskOutcome:
         Whether the record came from the result cache.
     """
 
-    task: EvaluationTask
+    task: EvaluationTask | VerificationTask
     record: dict
     seconds: float
     cached: bool
@@ -261,5 +262,83 @@ def execute_tasks(
             outcomes[position] = TaskOutcome(
                 task=task, record=record, seconds=seconds, cached=False
             )
+
+    return [outcomes[position] for position in range(len(tasks))]
+
+
+def _simulate_verify_block(task: VerificationTask) -> tuple[dict, float]:
+    """Module-level block worker for verification tasks (picklable).
+
+    The import is deferred so the evaluation-only runtime path never
+    pays for (or depends on) the simulation machinery.
+    """
+    from repro.verify.estimators import simulate_block
+
+    start = time.perf_counter()
+    record = simulate_block(
+        task.params,
+        task.model_key,
+        task.phis,
+        task.replications,
+        task.seed,
+        task.block,
+        steady_horizon=task.steady_horizon,
+        steady_warmup=task.steady_warmup,
+    )
+    return record, time.perf_counter() - start
+
+
+def execute_verify_tasks(
+    tasks: Sequence[VerificationTask],
+    backend: str = "serial",
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[TaskOutcome]:
+    """Execute verification blocks and return outcomes in submission order.
+
+    Blocks are already the scheduling granularity (one replication batch
+    of one base model), so there is no chunking layer: each cache-missing
+    block dispatches as one unit of work to the selected backend.  The
+    same content-addressed cache serves hits — a block's key covers its
+    seed and block index, so cached samples are bit-identical to a fresh
+    simulation.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    outcomes: dict[int, TaskOutcome] = {}
+    pending: list[tuple[int, VerificationTask]] = []
+    for position, task in enumerate(tasks):
+        record = cache.get(task) if cache is not None else None
+        if record is not None:
+            outcomes[position] = TaskOutcome(
+                task=task, record=record, seconds=0.0, cached=True
+            )
+        else:
+            pending.append((position, task))
+
+    if backend == "serial" or jobs == 1 or len(pending) <= 1:
+        solved = [_simulate_verify_block(task) for _, task in pending]
+    elif backend == "thread":
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_simulate_verify_block, task) for _, task in pending
+            ]
+            solved = [future.result() for future in futures]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_simulate_verify_block, task) for _, task in pending
+            ]
+            solved = [future.result() for future in futures]
+
+    for (position, task), (record, seconds) in zip(pending, solved):
+        if cache is not None:
+            cache.put(task, record)
+        outcomes[position] = TaskOutcome(
+            task=task, record=record, seconds=seconds, cached=False
+        )
 
     return [outcomes[position] for position in range(len(tasks))]

@@ -23,6 +23,12 @@ REQUIRED_KEYS = frozenset(
 #: Keys of the nested worth triple.
 WORTH_KEYS = frozenset({"ideal", "unguarded", "guarded"})
 
+#: Kind tag of verification-block records (conformance simulation).
+VERIFY_BLOCK_KIND = "verify.block"
+
+#: Keys of each moment-summary entry inside a verification block.
+VERIFY_SAMPLE_KEYS = frozenset({"t", "count", "mean", "m2"})
+
 
 def record_from_evaluation(evaluation: PerformabilityEvaluation) -> dict:
     """Flatten an evaluation into a plain-data record."""
@@ -41,10 +47,41 @@ def record_from_evaluation(evaluation: PerformabilityEvaluation) -> dict:
     }
 
 
+def validate_verify_block(record: Mapping) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid verification block.
+
+    A block record carries mergeable moment summaries, not an
+    evaluation — ``{"kind": "verify.block", "model": ..., "samples":
+    {estimand: [{"t", "count", "mean", "m2"}, ...]}}``.
+    """
+    for key in ("model", "samples"):
+        if key not in record:
+            raise ValueError(f"verify block missing key: {key!r}")
+    samples = record["samples"]
+    if not isinstance(samples, Mapping):
+        raise ValueError("verify block samples must be a mapping")
+    for name, entries in samples.items():
+        if not isinstance(entries, (list, tuple)):
+            raise ValueError(f"verify block estimand {name!r} must be a list")
+        for entry in entries:
+            if not isinstance(entry, Mapping) or VERIFY_SAMPLE_KEYS - set(entry):
+                raise ValueError(
+                    f"verify block estimand {name!r} entry malformed"
+                )
+
+
 def validate_record(record: Mapping) -> None:
-    """Raise ``ValueError`` unless ``record`` has the full record shape."""
+    """Raise ``ValueError`` unless ``record`` has a known record shape.
+
+    Dispatches on the optional ``kind`` tag: untagged records are
+    ``Y(phi)`` evaluations; ``verify.block`` records are conformance
+    simulation blocks (see :func:`validate_verify_block`).
+    """
     if not isinstance(record, Mapping):
         raise ValueError(f"record must be a mapping, got {type(record).__name__}")
+    if record.get("kind") == VERIFY_BLOCK_KIND:
+        validate_verify_block(record)
+        return
     missing = REQUIRED_KEYS - set(record)
     if missing:
         raise ValueError(f"record missing keys: {sorted(missing)}")

@@ -83,6 +83,88 @@ class EvaluationTask:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Measure namespace of verification-block tasks — distinct from
+#: ``performability.Y`` so conformance blocks can never collide with
+#: evaluation records in a shared cache.
+_VERIFY_MEASURE = "verify.block"
+
+
+@dataclass(frozen=True)
+class VerificationTask:
+    """One planned conformance-simulation block.
+
+    The schedulable/cacheable unit of ``repro verify``: a batch of
+    independent replications of one base model.  Everything that
+    determines the block's samples is in the key payload — parameters,
+    model, observation grid, replication count, *seed and block index*
+    (the RNG stream), and the steady-state window — so a cache hit is
+    guaranteed to reproduce the exact samples a fresh simulation would
+    produce.
+
+    Attributes
+    ----------
+    index:
+        Position in the verification plan (reassembly order only).
+    model_key:
+        ``RMGd`` / ``RMGp`` / ``RMNd_new`` / ``RMNd_old``.
+    kind:
+        ``transient`` (checkpointed trajectory pass) or ``steady``
+        (time-averaged window).
+    params:
+        The parameter set under verification.
+    phis:
+        The profile's phi grid (observation times derive from it).
+    replications:
+        Replications in this block.
+    block:
+        Block index — selects the RNG substream.
+    seed:
+        Root seed of the verification campaign.
+    steady_horizon / steady_warmup:
+        Observation window for ``steady`` blocks (``None`` otherwise).
+    """
+
+    index: int
+    model_key: str
+    kind: str
+    params: GSUParameters
+    phis: tuple[float, ...]
+    replications: int
+    block: int
+    seed: int
+    steady_horizon: float | None = None
+    steady_warmup: float | None = None
+
+    def key_payload(
+        self, schema_version: int = CACHE_KEY_SCHEMA_VERSION
+    ) -> dict:
+        """The canonical content-address payload (inputs only)."""
+        return {
+            "schema": schema_version,
+            "measure": _VERIFY_MEASURE,
+            "model": self.model_key,
+            "kind": self.kind,
+            "params": params_to_dict(self.params),
+            "phis": [float(phi) for phi in self.phis],
+            "replications": int(self.replications),
+            "block": int(self.block),
+            "seed": int(self.seed),
+            "steady": {
+                "horizon": self.steady_horizon,
+                "warmup": self.steady_warmup,
+            },
+        }
+
+    def cache_key(self, schema_version: int = CACHE_KEY_SCHEMA_VERSION) -> str:
+        """SHA-256 content address of this block's inputs."""
+        payload = json.dumps(
+            self.key_payload(schema_version),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def plan_campaign(spec: CampaignSpec) -> tuple[EvaluationTask, ...]:
     """Expand a campaign spec into its ordered evaluation tasks.
 

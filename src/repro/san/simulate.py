@@ -80,6 +80,13 @@ class SANSimulator:
             raise SANError(f"horizon must be non-negative, got {horizon}")
         clock = 0.0
         marking = self._resolve_vanishing(self.model.initial_marking())
+        if horizon == 0.0:
+            # Degenerate observation window: the initial tangible marking
+            # is occupied at the horizon with zero dwell, so instant-of-
+            # time estimators at t=0 see a marking and accumulated
+            # estimators accrue nothing.
+            yield (0.0, marking, 0.0)
+            return
         events = 0
         while clock < horizon:
             events += 1

@@ -1,0 +1,63 @@
+"""Conformance verification: simulation vs the analytic solution.
+
+The subsystem estimates each of the paper's nine constituent measures by
+trajectory simulation of the base models, checks that the analytic
+reward solutions fall inside the simulated confidence intervals, and
+composes the constituents up to ``E[W_phi]`` and ``Y(phi)`` with
+delta-method error propagation.  Cross-solver oracles and metamorphic
+invariants round out the evidence.  Entry point:
+:func:`repro.verify.runner.run_verify` (CLI: ``repro verify``).
+"""
+
+from repro.verify.conformance import (
+    DEFAULT_VERIFY_SEED,
+    VERIFY_PROFILES,
+    ComposedVerdict,
+    MeasureVerdict,
+    VerifyProfile,
+    rare_event_bound,
+    resolve_profile,
+)
+from repro.verify.estimators import (
+    MEASURE_SPECS,
+    MODEL_KEYS,
+    VERIFY_BLOCK_KIND,
+    MeasureSpec,
+    MomentSummary,
+    merge_block_records,
+    simulate_block,
+)
+from repro.verify.invariants import InvariantCheck, check_all
+from repro.verify.runner import (
+    ConformanceReport,
+    VerifyArtifacts,
+    plan_verify_tasks,
+    run_verify,
+    summarize_report,
+    write_verify_artifacts,
+)
+
+__all__ = [
+    "DEFAULT_VERIFY_SEED",
+    "VERIFY_PROFILES",
+    "VERIFY_BLOCK_KIND",
+    "MEASURE_SPECS",
+    "MODEL_KEYS",
+    "ComposedVerdict",
+    "ConformanceReport",
+    "InvariantCheck",
+    "MeasureSpec",
+    "MeasureVerdict",
+    "MomentSummary",
+    "VerifyArtifacts",
+    "VerifyProfile",
+    "check_all",
+    "merge_block_records",
+    "plan_verify_tasks",
+    "rare_event_bound",
+    "resolve_profile",
+    "run_verify",
+    "simulate_block",
+    "summarize_report",
+    "write_verify_artifacts",
+]

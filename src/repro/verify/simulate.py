@@ -1,0 +1,329 @@
+"""Vectorized CTMC trajectory simulation — the statistical oracle engine.
+
+The conformance subsystem needs simulated estimates of reward measures
+that are *independent* of the analytic solvers it is checking.  This
+module therefore touches nothing from :mod:`repro.ctmc.transient` /
+``accumulated`` / ``steady_state``: it reads only the generator's
+off-diagonal rates and simulates the jump process directly (exponential
+sojourns, embedded-chain jumps).
+
+All replications advance in lockstep as NumPy arrays — one fancy-indexed
+step per jump epoch across the whole replication batch — which makes the
+paper's Table 3 scale (thousands of jumps per hour of ``RMGd`` mission
+time) tractable in seconds-to-minutes rather than hours.  Checkpoint
+recording is amortised: a per-replication column pointer plus one
+``searchsorted`` per epoch means exactly ``replications x checkpoints``
+scalar recording events over a whole run, no matter how many jump epochs
+it takes.  Three estimator shapes are supported:
+
+* :func:`simulate_transient` — instant-of-time states *and*
+  interval-of-time reward integrals at a grid of checkpoints, one pass;
+* :func:`simulate_time_average` — steady-state estimates via independent
+  replications of a time-averaged window ``[warmup, horizon]``;
+* :func:`long_run_batch_means` — steady-state estimate from one long
+  run split into contiguous batch windows (batch-means method).
+
+Determinism: every function takes an explicit ``numpy.random.Generator``
+and consumes randomness in a fixed order, so a (seed, replication-count)
+pair always reproduces the same samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.ctmc.chain import CTMC
+from repro.des.stats import ConfidenceInterval, replication_interval
+
+#: Dense-matrix guard: the embedded jump chain is materialised as a
+#: dense ``(n, n)`` cumulative-probability table, so refuse chains far
+#: beyond the GSU models' size (RMGd has 42 states).
+SIM_DENSE_STATE_LIMIT = 4096
+
+#: Safety valve against runaway simulations (e.g. a horizon implying
+#: billions of jumps): the step loop raises after this many lockstep
+#: epochs rather than spinning forever.
+MAX_LOCKSTEP_EPOCHS = 100_000_000
+
+#: Exponential/uniform variates drawn per RNG call, per replication.
+#: Chunking amortises the Generator call overhead across epochs.
+RNG_CHUNK = 256
+
+
+@dataclass(frozen=True)
+class TransientSample:
+    """Simulated per-replication outputs at each checkpoint.
+
+    Attributes
+    ----------
+    checkpoints:
+        The (sorted, unique) checkpoint times that were recorded.
+    states:
+        ``(replications, len(checkpoints))`` int array — the state each
+        replication occupied at each checkpoint.
+    integrals:
+        ``{name: (replications, len(checkpoints)) float array}`` — the
+        accumulated reward integral of each named reward vector over
+        ``[0, checkpoint]``.
+    """
+
+    checkpoints: tuple[float, ...]
+    states: np.ndarray
+    integrals: dict[str, np.ndarray]
+
+    def indicator_samples(self, reward: np.ndarray, checkpoint: float) -> np.ndarray:
+        """Per-replication instant-of-time reward at ``checkpoint``."""
+        column = self.checkpoints.index(float(checkpoint))
+        return np.asarray(reward, dtype=np.float64)[self.states[:, column]]
+
+    def integral_samples(self, name: str, checkpoint: float) -> np.ndarray:
+        """Per-replication accumulated reward over ``[0, checkpoint]``."""
+        column = self.checkpoints.index(float(checkpoint))
+        return self.integrals[name][:, column]
+
+
+def _embedded_tables(chain: CTMC):
+    """Inverse exit rates and cumulative embedded-jump probabilities."""
+    n = chain.num_states
+    if n > SIM_DENSE_STATE_LIMIT:
+        raise ValueError(
+            f"chain has {n} states; the trajectory simulator materialises "
+            f"a dense jump table and is limited to {SIM_DENSE_STATE_LIMIT}"
+        )
+    q = np.asarray(chain.generator.todense(), dtype=np.float64)
+    exit_rates = np.clip(-np.diag(q).copy(), 0.0, None)
+    with np.errstate(divide="ignore"):
+        inv_exit = np.where(exit_rates > 0.0, 1.0 / exit_rates, np.inf)
+    jump = q.copy()
+    np.fill_diagonal(jump, 0.0)
+    # Absorbing rows divide by 1 and stay all-zero (off-diagonals of a
+    # zero-exit row are zero), so no invalid-divide handling is needed.
+    probs = jump / np.where(exit_rates > 0.0, exit_rates, 1.0)[:, None]
+    cumulative = np.cumsum(probs, axis=1)
+    # Upper fence: a uniform draw can never fall past the row total
+    # through floating-point rounding of the cumulative sum.
+    cumulative[:, -1] = np.inf
+    return inv_exit, cumulative
+
+
+def _initial_states(chain: CTMC, replications: int, rng: np.random.Generator):
+    pi0 = np.asarray(chain.initial_distribution, dtype=np.float64)
+    support = np.flatnonzero(pi0 > 0.0)
+    if len(support) == 1:
+        return np.full(replications, int(support[0]), dtype=np.intp)
+    return rng.choice(chain.num_states, size=replications, p=pi0).astype(np.intp)
+
+
+def simulate_transient(
+    chain: CTMC,
+    checkpoints,
+    replications: int,
+    rng: np.random.Generator,
+    reward_vectors: Mapping[str, np.ndarray] | None = None,
+) -> TransientSample:
+    """Simulate ``replications`` trajectories past the last checkpoint.
+
+    Records, for every replication, the state occupied at each
+    checkpoint (instant-of-time estimands) and the accumulated integral
+    of every vector in ``reward_vectors`` over ``[0, checkpoint]``
+    (interval-of-time estimands).  One lockstep pass serves every
+    checkpoint and every reward vector simultaneously.
+
+    A checkpoint is recorded in the first epoch whose sojourn reaches
+    past it; because a replication's columns therefore fill strictly in
+    time order, a per-replication column pointer plus one
+    ``searchsorted`` per epoch finds all crossings without scanning the
+    checkpoint grid.
+    """
+    grid = sorted({float(c) for c in checkpoints})
+    if not grid:
+        raise ValueError("no checkpoints supplied")
+    if min(grid) < 0.0:
+        raise ValueError(f"checkpoints must be non-negative, got {min(grid)}")
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    rewards = {
+        name: np.asarray(vector, dtype=np.float64)
+        for name, vector in (reward_vectors or {}).items()
+    }
+
+    inv_exit, cumulative = _embedded_tables(chain)
+    grid_arr = np.asarray(grid)
+    horizon = grid[-1]
+    num_checkpoints = len(grid)
+
+    states = _initial_states(chain, replications, rng)
+    clock = np.zeros(replications)
+    col_ptr = np.zeros(replications, dtype=np.intp)
+    states_at = np.zeros((replications, num_checkpoints), dtype=np.intp)
+    accumulated = {name: np.zeros(replications) for name in rewards}
+    integrals_at = {
+        name: np.zeros((replications, num_checkpoints)) for name in rewards
+    }
+    reward_items = list(rewards.items())
+
+    pending = replications * num_checkpoints
+    chunk_exp = chunk_uni = None
+    cursor = RNG_CHUNK  # force a draw on the first epoch
+    for _ in range(MAX_LOCKSTEP_EPOCHS):
+        if pending == 0:
+            break
+        if cursor >= RNG_CHUNK:
+            chunk_exp = rng.standard_exponential((RNG_CHUNK, replications))
+            chunk_uni = rng.random((RNG_CHUNK, replications))
+            cursor = 0
+        dwell = chunk_exp[cursor] * inv_exit[states]
+        next_clock = clock + dwell
+
+        # Checkpoint crossings: ``passed[r]`` counts grid points strictly
+        # below ``next_clock[r]``; columns ``col_ptr[r]..passed[r]-1``
+        # are crossed by this sojourn and record the *current* state.
+        passed = np.searchsorted(grid_arr, next_clock, side="left")
+        hit = passed > col_ptr
+        if hit.any():
+            for r in np.flatnonzero(hit):
+                state = states[r]
+                start = clock[r]
+                for k in range(col_ptr[r], passed[r]):
+                    states_at[r, k] = state
+                    for name, vector in reward_items:
+                        integrals_at[name][r, k] = (
+                            accumulated[name][r]
+                            + vector[state] * (grid_arr[k] - start)
+                        )
+                pending -= passed[r] - col_ptr[r]
+                col_ptr[r] = passed[r]
+
+        # Accrue reward over the sojourn, clipped to the horizon.  Fully
+        # recorded replications keep accruing harmlessly — their
+        # integrals were captured at crossing time.
+        if reward_items:
+            segment = np.minimum(next_clock, horizon) - np.minimum(clock, horizon)
+            for name, vector in reward_items:
+                accumulated[name] += vector[states] * segment
+
+        jumping = next_clock < horizon
+        if jumping.any():
+            rows = cumulative[states[jumping]]
+            draws = chunk_uni[cursor][jumping]
+            states[jumping] = np.argmax(rows > draws[:, None], axis=1)
+        clock = next_clock
+        cursor += 1
+    else:  # pragma: no cover - defensive: absurdly long horizons
+        raise RuntimeError(
+            f"lockstep simulation exceeded {MAX_LOCKSTEP_EPOCHS} epochs"
+        )
+
+    return TransientSample(
+        checkpoints=tuple(grid),
+        states=states_at,
+        integrals=integrals_at,
+    )
+
+
+def simulate_time_average(
+    chain: CTMC,
+    reward_vectors: Mapping[str, np.ndarray],
+    horizon: float,
+    warmup: float,
+    replications: int,
+    rng: np.random.Generator,
+) -> dict[str, np.ndarray]:
+    """Per-replication time averages over ``[warmup, horizon]``.
+
+    The steady-state estimator: each replication's sample is the time
+    average of the reward signal after a warmup transient is discarded.
+    Returns ``{name: (replications,) array}``.
+    """
+    if not 0.0 <= warmup < horizon:
+        raise ValueError(
+            f"need 0 <= warmup < horizon, got warmup={warmup}, horizon={horizon}"
+        )
+    rewards = {
+        name: np.asarray(vector, dtype=np.float64)
+        for name, vector in reward_vectors.items()
+    }
+    if not rewards:
+        raise ValueError("no reward vectors supplied")
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    inv_exit, cumulative = _embedded_tables(chain)
+
+    states = _initial_states(chain, replications, rng)
+    clock = np.zeros(replications)
+    integrals = {name: np.zeros(replications) for name in rewards}
+    reward_items = list(rewards.items())
+    chunk_exp = chunk_uni = None
+    cursor = RNG_CHUNK
+    for _ in range(MAX_LOCKSTEP_EPOCHS):
+        if not (clock < horizon).any():
+            break
+        if cursor >= RNG_CHUNK:
+            chunk_exp = rng.standard_exponential((RNG_CHUNK, replications))
+            chunk_uni = rng.random((RNG_CHUNK, replications))
+            cursor = 0
+        dwell = chunk_exp[cursor] * inv_exit[states]
+        next_clock = clock + dwell
+
+        # Overlap of this sojourn with the observation window.
+        segment = np.minimum(next_clock, horizon) - np.minimum(
+            np.maximum(clock, warmup), horizon
+        )
+        np.clip(segment, 0.0, None, out=segment)
+        for name, vector in reward_items:
+            integrals[name] += vector[states] * segment
+
+        jumping = next_clock < horizon
+        if jumping.any():
+            rows = cumulative[states[jumping]]
+            draws = chunk_uni[cursor][jumping]
+            states[jumping] = np.argmax(rows > draws[:, None], axis=1)
+        clock = next_clock
+        cursor += 1
+    else:  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"lockstep simulation exceeded {MAX_LOCKSTEP_EPOCHS} epochs"
+        )
+
+    window = horizon - warmup
+    return {name: integral / window for name, integral in integrals.items()}
+
+
+def long_run_batch_means(
+    chain: CTMC,
+    reward_vector: np.ndarray,
+    horizon: float,
+    warmup: float,
+    num_batches: int,
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Batch-means steady-state interval from one long trajectory.
+
+    The window ``[warmup, horizon]`` is split into ``num_batches``
+    contiguous batches; each batch's time-averaged reward is one
+    (approximately independent) observation.  Reuses the transient
+    engine: batch boundaries are just checkpoints of the accumulated
+    reward integral.
+    """
+    if num_batches < 2:
+        raise ValueError("need at least two batches")
+    if not 0.0 <= warmup < horizon:
+        raise ValueError(
+            f"need 0 <= warmup < horizon, got warmup={warmup}, horizon={horizon}"
+        )
+    boundaries = np.linspace(warmup, horizon, num_batches + 1)
+    sample = simulate_transient(
+        chain,
+        boundaries,
+        replications=1,
+        rng=rng,
+        reward_vectors={"signal": reward_vector},
+    )
+    integral = sample.integrals["signal"][0]
+    span = (horizon - warmup) / num_batches
+    means = np.diff(integral) / span
+    return replication_interval(means, confidence=confidence)

@@ -151,6 +151,7 @@ class TestHybridPipeline:
 
 
 class TestGSUHybrid:
+    @pytest.mark.slow
     def test_hybrid_y_consistent_with_analytic(self):
         from repro.gsu.hybrid import hybrid_evaluate
         from repro.gsu.measures import ConstituentSolver

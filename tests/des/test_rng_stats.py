@@ -57,6 +57,65 @@ class TestRandomStreams:
         assert np.mean(draws) == pytest.approx(0.1, abs=0.02)
 
 
+class TestReplicationStreams:
+    """The independence contract parallel replication blocks rely on."""
+
+    def test_reproducible_from_seed(self):
+        a = RandomStreams(42).replication("sim", 3).random(5)
+        b = RandomStreams(42).replication("sim", 3).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ids_yield_distinct_streams(self):
+        streams = RandomStreams(42)
+        draws = [streams.replication("sim", i).random(5) for i in range(8)]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.allclose(draws[i], draws[j]), (i, j)
+
+    def test_names_yield_distinct_streams(self):
+        streams = RandomStreams(42)
+        a = streams.replication("verify.RMGd", 0).random(5)
+        b = streams.replication("verify.RMGp", 0).random(5)
+        assert not np.allclose(a, b)
+
+    def test_distinct_from_plain_stream(self):
+        streams = RandomStreams(42)
+        plain = streams.stream("sim").random(5)
+        rep = RandomStreams(42).replication("sim", 0).random(5)
+        assert not np.allclose(plain, rep)
+
+    def test_fresh_generator_each_call(self):
+        # Not cached: each call restarts the stream from its origin, so
+        # a consumer cannot perturb later callers.
+        streams = RandomStreams(42)
+        first = streams.replication("sim", 1).random(5)
+        streams.replication("sim", 1).random(1000)  # burn a cached copy?
+        again = streams.replication("sim", 1).random(5)
+        np.testing.assert_array_equal(first, again)
+
+    def test_worker_assignment_invariance(self):
+        # Draws depend only on (seed, name, id) — never on which other
+        # replications ran first on the same RandomStreams instance.
+        lone = RandomStreams(9).replication("sim", 5).random(4)
+        busy = RandomStreams(9)
+        for i in range(5):
+            busy.replication("sim", i).random(100)
+        np.testing.assert_array_equal(busy.replication("sim", 5).random(4), lone)
+
+    def test_pairwise_correlation_is_negligible(self):
+        streams = RandomStreams(123)
+        matrix = np.stack(
+            [streams.replication("sim", i).random(4000) for i in range(6)]
+        )
+        corr = np.corrcoef(matrix)
+        off_diag = corr[~np.eye(6, dtype=bool)]
+        assert np.max(np.abs(off_diag)) < 0.05
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(1).replication("sim", -1)
+
+
 class TestOnlineStatistics:
     def test_matches_numpy(self):
         rng = np.random.default_rng(0)

@@ -60,6 +60,7 @@ class TestFullPipeline:
         assert y < 1.05
 
 
+@pytest.mark.slow
 class TestSimulationAgreement:
     def test_constituents_validated_against_protocol(self):
         report = validate_constituents(

@@ -8,6 +8,7 @@ key-schema version.
 
 import dataclasses
 import json
+import logging
 
 import pytest
 
@@ -113,6 +114,22 @@ class TestCorruption:
         healed = run_campaign(spec, cache=cache)
         assert healed.cache_stats.hits == 1
         assert healed.cache_stats.corrupt == 0
+
+    def test_corrupt_entry_logs_a_warning(self, cache, caplog):
+        spec, task, path = self._one_entry(cache)
+        path.write_text("{ not json")
+        misses_before = cache.stats.misses
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.cache"):
+            assert cache.get(task) is None
+        messages = [r.getMessage() for r in caplog.records]
+        assert any(
+            "unusable" in m and "recomputing" in m and str(path) in m
+            for m in messages
+        ), messages
+        # Corruption is also a miss: both counters move together.
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == misses_before + 1
+        assert cache.stats.hits == 0
 
     def test_record_with_missing_fields_is_corrupt(self, cache):
         spec, task, path = self._one_entry(cache)

@@ -65,6 +65,63 @@ class TestTrajectories:
             list(sim.run_trajectory(1.0))
 
 
+class TestHorizonZero:
+    """Degenerate observation window: t = 0 must still yield a marking."""
+
+    def test_horizon_zero_yields_initial_marking(self, simple_san):
+        sim = SANSimulator(simple_san, seed=12)
+        entries = list(sim.run_trajectory(0.0))
+        assert len(entries) == 1
+        t, marking, dwell = entries[0]
+        assert t == 0.0
+        assert dwell == 0.0
+        assert marking["a"] == 1
+
+    def test_instant_estimate_at_zero_sees_initial_marking(self, simple_san, in_a):
+        sim = SANSimulator(simple_san, seed=13)
+        estimate = sim.estimate_instant_of_time(in_a, 0.0, replications=50)
+        assert estimate.mean == 1.0
+        assert estimate.std_error == 0.0
+
+    def test_accumulated_estimate_at_zero_is_zero(self, simple_san, in_a):
+        sim = SANSimulator(simple_san, seed=14)
+        estimate = sim.estimate_accumulated(in_a, 0.0, replications=50)
+        assert estimate.mean == 0.0
+
+
+class TestIntervalAccrual:
+    """Interval-of-time accrual must include the final partial sojourn."""
+
+    def test_total_accrual_equals_horizon_exactly(self, simple_san):
+        # A reward of 1 in every marking integrates to exactly the
+        # horizon on every trajectory — any dropped (or double-counted)
+        # sojourn segment, in particular the final partial one, shows up
+        # as nonzero variance or a biased mean.
+        always = RewardStructure.from_pairs(
+            "one", [(lambda m: True, 1.0)]
+        )
+        sim = SANSimulator(simple_san, seed=15)
+        estimate = sim.estimate_accumulated(always, 7.3, replications=20)
+        assert estimate.mean == pytest.approx(7.3, rel=1e-12)
+        assert estimate.std_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_accumulated_uptime_matches_analytic_two_state(self, absorbing_san):
+        # working -> failed at rate 0.1; accumulated up-time over [0, T]
+        # is (1 - exp(-0.1 T)) / 0.1.  Most trajectories never jump
+        # inside the window, so dropping the final partial sojourn would
+        # bias the estimate low by a factor of ~3 — this pins the
+        # regression against an independent closed form.
+        up = RewardStructure.from_pairs(
+            "up", [(lambda m: m["working"] == 1, 1.0)]
+        )
+        horizon = 5.0
+        analytic = (1.0 - np.exp(-0.1 * horizon)) / 0.1
+        sim = SANSimulator(absorbing_san, seed=16)
+        estimate = sim.estimate_accumulated(up, horizon, replications=4000)
+        low, high = estimate.confidence_interval(z=3.29)  # ~99.9%
+        assert low <= analytic <= high
+
+
 class TestEstimators:
     def test_instant_estimate_matches_numerical(self, simple_san, in_a):
         compiled = build_ctmc(simple_san)

@@ -132,6 +132,39 @@ class TestCampaign:
             assert camp_sweep.values == exp_sweep.values  # beats 1e-12
 
 
+class TestVerify:
+    def test_scaled_smoke_with_artifacts(self, capsys, tmp_path):
+        argv = [
+            "verify", "--profile", "scaled", "--replications", "64",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--run-dir", str(tmp_path / "runs"),
+        ]
+        assert main(argv) == 0  # the pinned profile seed conforms
+        out = capsys.readouterr().out
+        assert "overall: PASS" in out
+        assert "verdicts:" in out
+        runs = list((tmp_path / "runs").iterdir())
+        assert len(runs) == 1
+        verdicts = json.loads((runs[0] / "verdicts.json").read_text())
+        assert verdicts["passed"] is True
+
+        # Warm rerun reuses every simulated block.
+        assert main(argv) == 0
+        assert "0 misses" in capsys.readouterr().out
+
+    def test_phi_grid_override(self, capsys):
+        assert main([
+            "verify", "--profile", "scaled", "--phis", "4,9",
+            "--replications", "48", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overall: PASS" in out
+
+    def test_unknown_profile_errors_cleanly(self, capsys):
+        assert main(["verify", "--profile", "nope"]) == 2
+        assert "unknown verify profile" in capsys.readouterr().err
+
+
 class TestValidateAndHybrid:
     def test_validate_scaled(self, capsys):
         status = main(

@@ -34,7 +34,20 @@ def _run(script: str) -> subprocess.CompletedProcess:
     )
 
 
-@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+#: examples that simulate at scale (many replications or long horizons);
+#: they run in the slow tier so tier-1 stays fast.
+SLOW_EXAMPLES = {"hybrid_evaluation.py", "protocol_trace.py", "validation_study.py"}
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        pytest.param(name, marks=pytest.mark.slow)
+        if name in SLOW_EXAMPLES
+        else name
+        for name in sorted(EXPECTED_OUTPUT)
+    ],
+)
 def test_example_runs_cleanly(script):
     result = _run(script)
     assert result.returncode == 0, result.stderr[-2000:]

@@ -1,0 +1,198 @@
+"""Tests for moment summaries, the measure map, and simulation blocks."""
+
+import numpy as np
+import pytest
+
+from repro.des.stats import replication_interval
+from repro.verify.estimators import (
+    MEASURE_SPECS,
+    MODEL_KEYS,
+    VERIFY_BLOCK_KIND,
+    MomentSummary,
+    block_rng,
+    checkpoints_for,
+    merge_block_records,
+    simulate_block,
+)
+
+
+class TestMomentSummary:
+    def test_matches_numpy(self):
+        data = np.random.default_rng(0).normal(2.0, 1.5, 300)
+        summary = MomentSummary.from_samples(data)
+        assert summary.count == 300
+        assert summary.mean == pytest.approx(float(np.mean(data)))
+        assert summary.m2 / (summary.count - 1) == pytest.approx(
+            float(np.var(data, ddof=1))
+        )
+
+    def test_merge_equals_pooled(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=80), rng.normal(loc=3.0, size=120)
+        merged = MomentSummary.from_samples(a).merge(MomentSummary.from_samples(b))
+        pooled = MomentSummary.from_samples(np.concatenate([a, b]))
+        assert merged.count == pooled.count
+        assert merged.mean == pytest.approx(pooled.mean, rel=1e-12)
+        assert merged.m2 == pytest.approx(pooled.m2, rel=1e-10)
+
+    def test_merge_is_order_independent(self):
+        rng = np.random.default_rng(2)
+        parts = [MomentSummary.from_samples(rng.normal(size=50)) for _ in range(4)]
+        forward = parts[0].merge(parts[1]).merge(parts[2]).merge(parts[3])
+        nested = parts[0].merge(parts[1]).merge(parts[2].merge(parts[3]))
+        assert forward.count == nested.count
+        assert forward.mean == pytest.approx(nested.mean, rel=1e-12)
+        assert forward.m2 == pytest.approx(nested.m2, rel=1e-10)
+
+    def test_interval_matches_replication_interval(self):
+        data = np.random.default_rng(3).normal(5.0, 2.0, 40)
+        ours = MomentSummary.from_samples(data).interval(0.99)
+        reference = replication_interval(data, confidence=0.99)
+        assert ours.mean == pytest.approx(reference.mean, rel=1e-12)
+        assert ours.half_width == pytest.approx(reference.half_width, rel=1e-9)
+
+    def test_single_sample_infinite_width(self):
+        ci = MomentSummary.from_samples([4.0]).interval()
+        assert np.isinf(ci.half_width)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MomentSummary.from_samples([])
+
+    def test_dict_roundtrip(self):
+        summary = MomentSummary(count=7, mean=1.25, m2=0.5)
+        assert MomentSummary.from_dict(summary.to_dict()) == summary
+
+
+class TestMeasureSpecs:
+    def test_nine_measures_mapped(self):
+        assert len(MEASURE_SPECS) == 9
+        assert {spec.name for spec in MEASURE_SPECS} == {
+            "p_nd_theta",
+            "p_gd_phi_a1",
+            "p_nd_theta_minus_phi",
+            "rho1",
+            "rho2",
+            "int_h",
+            "int_tau_h",
+            "int_hf",
+            "int_f",
+        }
+        assert {spec.model_key for spec in MEASURE_SPECS} <= set(MODEL_KEYS)
+
+    def test_observation_times(self):
+        by_name = {spec.name: spec for spec in MEASURE_SPECS}
+        assert by_name["p_gd_phi_a1"].observation_time(5.0, 20.0) == 5.0
+        assert by_name["p_nd_theta"].observation_time(5.0, 20.0) == 20.0
+        assert by_name["int_f"].observation_time(5.0, 20.0) == 15.0
+        assert by_name["rho1"].observation_time(5.0, 20.0) is None
+
+    def test_complement_transform(self):
+        by_name = {spec.name: spec for spec in MEASURE_SPECS}
+        assert by_name["rho1"].transform(0.02) == pytest.approx(0.98)
+        assert by_name["int_h"].transform(0.25) == 0.25
+
+    def test_checkpoints_for(self):
+        phis = (2.0, 5.0)
+        assert checkpoints_for("RMGd", phis, 20.0) == (2.0, 5.0)
+        # Survival checkpoints: theta and every theta - phi.
+        assert checkpoints_for("RMNd_new", phis, 20.0) == (15.0, 18.0, 20.0)
+        assert checkpoints_for("RMNd_old", phis, 20.0) == (15.0, 18.0)
+        assert checkpoints_for("RMGp", phis, 20.0) == ()
+
+
+class TestBlockRNG:
+    def test_deterministic(self):
+        a = block_rng(11, "RMGd", 0).random(4)
+        b = block_rng(11, "RMGd", 0).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_blocks_and_models_distinct(self):
+        base = block_rng(11, "RMGd", 0).random(4)
+        assert not np.allclose(base, block_rng(11, "RMGd", 1).random(4))
+        assert not np.allclose(base, block_rng(11, "RMGp", 0).random(4))
+        assert not np.allclose(base, block_rng(12, "RMGd", 0).random(4))
+
+
+class TestSimulateBlock:
+    def test_transient_block_record_shape(self, scaled_params):
+        record = simulate_block(
+            scaled_params, "RMGd", (2.0, 5.0), 16, seed=99, block=0
+        )
+        assert record["kind"] == VERIFY_BLOCK_KIND
+        assert record["model"] == "RMGd"
+        assert set(record["samples"]) == {
+            "int_h",
+            "int_hf",
+            "p_gd_phi_a1",
+            "int_tau_h",
+        }
+        for entries in record["samples"].values():
+            assert [entry["t"] for entry in entries] == [2.0, 5.0]
+            for entry in entries:
+                assert entry["count"] == 16
+
+    def test_survival_block_record_shape(self, scaled_params):
+        record = simulate_block(
+            scaled_params, "RMNd_new", (2.0,), 8, seed=99, block=0
+        )
+        assert set(record["samples"]) == {"survival"}
+        assert [e["t"] for e in record["samples"]["survival"]] == [18.0, 20.0]
+
+    def test_steady_block_record_shape(self, scaled_params):
+        record = simulate_block(
+            scaled_params,
+            "RMGp",
+            (2.0,),
+            8,
+            seed=99,
+            block=0,
+            steady_horizon=2.0,
+            steady_warmup=0.2,
+        )
+        assert set(record["samples"]) == {"overhead1", "overhead2"}
+        entry = record["samples"]["overhead1"][0]
+        assert entry["t"] is None
+        # Forward progress dominates: the overhead fraction is small.
+        assert 0.0 <= entry["mean"] < 0.2
+
+    def test_steady_block_requires_window(self, scaled_params):
+        with pytest.raises(ValueError):
+            simulate_block(scaled_params, "RMGp", (2.0,), 8, seed=1, block=0)
+
+    def test_unknown_model_rejected(self, scaled_params):
+        with pytest.raises(ValueError):
+            simulate_block(scaled_params, "RMX", (2.0,), 8, seed=1, block=0)
+
+    def test_blocks_reproducible_and_distinct(self, scaled_params):
+        first = simulate_block(scaled_params, "RMNd_new", (5.0,), 8, 7, 0)
+        again = simulate_block(scaled_params, "RMNd_new", (5.0,), 8, 7, 0)
+        other = simulate_block(scaled_params, "RMNd_new", (5.0,), 8, 7, 1)
+        assert first == again
+        assert first != other
+
+
+class TestMergeBlocks:
+    def test_pooled_counts_and_means(self, scaled_params):
+        blocks = [
+            simulate_block(scaled_params, "RMNd_new", (5.0,), 8, 7, block)
+            for block in range(3)
+        ]
+        merged = merge_block_records(blocks)
+        summary = merged[("RMNd_new", "survival", 20.0)]
+        assert summary.count == 24
+        entries = [b["samples"]["survival"][-1] for b in blocks]
+        pooled = sum(e["count"] * e["mean"] for e in entries) / 24
+        assert summary.mean == pytest.approx(pooled, rel=1e-12)
+
+    def test_distinct_models_kept_apart(self, scaled_params):
+        merged = merge_block_records(
+            [
+                simulate_block(scaled_params, "RMNd_new", (5.0,), 4, 7, 0),
+                simulate_block(scaled_params, "RMNd_old", (5.0,), 4, 7, 0),
+            ]
+        )
+        assert ("RMNd_new", "survival", 20.0) in merged
+        assert ("RMNd_old", "survival", 15.0) in merged
+        # RMNd_old never records at theta (only theta - phi).
+        assert ("RMNd_old", "survival", 20.0) not in merged

@@ -1,0 +1,182 @@
+"""Tests for the vectorized trajectory simulator (the oracle engine)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC
+from repro.des.stats import replication_interval
+from repro.verify.simulate import (
+    SIM_DENSE_STATE_LIMIT,
+    long_run_batch_means,
+    simulate_time_average,
+    simulate_transient,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestTransient:
+    def test_survival_matches_closed_form(self, two_state_chain):
+        # up -> down at rate 0.5: P(up at t) = exp(-0.5 t).
+        times = (0.5, 1.0, 2.0)
+        sample = simulate_transient(two_state_chain, times, 4000, rng(1))
+        up = np.array([1.0, 0.0])
+        for t in times:
+            ci = replication_interval(
+                sample.indicator_samples(up, t), confidence=0.999
+            )
+            assert ci.contains(math.exp(-0.5 * t)), t
+
+    def test_integral_matches_closed_form(self, two_state_chain):
+        # Accumulated up-time over [0, t] is (1 - exp(-0.5 t)) / 0.5.
+        up = np.array([1.0, 0.0])
+        sample = simulate_transient(
+            two_state_chain, (1.0, 3.0), 4000, rng(2), reward_vectors={"up": up}
+        )
+        for t in (1.0, 3.0):
+            analytic = (1.0 - math.exp(-0.5 * t)) / 0.5
+            ci = replication_interval(
+                sample.integral_samples("up", t), confidence=0.999
+            )
+            assert ci.contains(analytic), t
+
+    def test_birth_death_instant_reward(self, birth_death_chain):
+        # Long horizon: the occupancy approaches the M/M/1/3 stationary
+        # distribution regardless of the start state.
+        empty = np.array([1.0, 0.0, 0.0, 0.0])
+        sample = simulate_transient(birth_death_chain, (80.0,), 3000, rng(3))
+        ci = replication_interval(
+            sample.indicator_samples(empty, 80.0), confidence=0.999
+        )
+        rho = 2.0 / 3.0
+        stationary0 = 1.0 / sum(rho**k for k in range(4))
+        assert ci.contains(stationary0)
+
+    def test_checkpoints_sorted_and_deduplicated(self, two_state_chain):
+        sample = simulate_transient(
+            two_state_chain, (2.0, 1.0, 2.0, 0.5), 10, rng(4)
+        )
+        assert sample.checkpoints == (0.5, 1.0, 2.0)
+        assert sample.states.shape == (10, 3)
+
+    def test_checkpoint_at_zero_records_initial_state(self, two_state_chain):
+        sample = simulate_transient(
+            two_state_chain,
+            (0.0, 1.0),
+            50,
+            rng(5),
+            reward_vectors={"up": np.array([1.0, 0.0])},
+        )
+        assert (sample.states[:, 0] == 0).all()
+        assert (sample.integral_samples("up", 0.0) == 0.0).all()
+
+    def test_zero_only_grid_is_exact(self, two_state_chain):
+        sample = simulate_transient(two_state_chain, (0.0,), 25, rng(6))
+        assert (sample.states[:, 0] == 0).all()
+
+    def test_absorbing_chain_terminates(self, two_state_chain):
+        # The down state is absorbing (infinite dwell); the lockstep
+        # loop must still record every checkpoint and stop.
+        sample = simulate_transient(two_state_chain, (50.0, 100.0), 200, rng(7))
+        assert sample.states.shape == (200, 2)
+        # Essentially every replication has failed by t=100 (P ~ 2e-22).
+        assert (sample.states[:, 1] == 1).all()
+
+    def test_deterministic_given_seed(self, birth_death_chain):
+        first = simulate_transient(
+            birth_death_chain,
+            (1.0, 2.0),
+            64,
+            rng(8),
+            reward_vectors={"empty": np.array([1.0, 0.0, 0.0, 0.0])},
+        )
+        second = simulate_transient(
+            birth_death_chain,
+            (1.0, 2.0),
+            64,
+            rng(8),
+            reward_vectors={"empty": np.array([1.0, 0.0, 0.0, 0.0])},
+        )
+        np.testing.assert_array_equal(first.states, second.states)
+        np.testing.assert_array_equal(
+            first.integrals["empty"], second.integrals["empty"]
+        )
+
+    def test_validation_errors(self, two_state_chain):
+        with pytest.raises(ValueError):
+            simulate_transient(two_state_chain, (), 10, rng())
+        with pytest.raises(ValueError):
+            simulate_transient(two_state_chain, (-1.0,), 10, rng())
+        with pytest.raises(ValueError):
+            simulate_transient(two_state_chain, (1.0,), 0, rng())
+
+    def test_state_limit_enforced(self):
+        big = CTMC.from_rates(SIM_DENSE_STATE_LIMIT + 1, {(0, 1): 1.0})
+        with pytest.raises(ValueError, match="dense"):
+            simulate_transient(big, (1.0,), 2, rng())
+
+
+class TestTimeAverage:
+    def test_matches_stationary_distribution(
+        self, birth_death_chain, mm13_stationary
+    ):
+        empty = np.array([1.0, 0.0, 0.0, 0.0])
+        averages = simulate_time_average(
+            birth_death_chain,
+            {"empty": empty},
+            horizon=200.0,
+            warmup=20.0,
+            replications=60,
+            rng=rng(9),
+        )
+        ci = replication_interval(averages["empty"], confidence=0.999)
+        assert ci.contains(float(mm13_stationary[0]))
+
+    def test_multiple_rewards_one_pass(self, birth_death_chain, mm13_stationary):
+        vectors = {
+            "empty": np.array([1.0, 0.0, 0.0, 0.0]),
+            "full": np.array([0.0, 0.0, 0.0, 1.0]),
+        }
+        averages = simulate_time_average(
+            birth_death_chain, vectors, 150.0, 15.0, 60, rng(10)
+        )
+        assert set(averages) == {"empty", "full"}
+        ci = replication_interval(averages["full"], confidence=0.999)
+        assert ci.contains(float(mm13_stationary[3]))
+
+    def test_validation_errors(self, birth_death_chain):
+        vec = {"x": np.zeros(4)}
+        with pytest.raises(ValueError):
+            simulate_time_average(birth_death_chain, vec, 5.0, 10.0, 4, rng())
+        with pytest.raises(ValueError):
+            simulate_time_average(birth_death_chain, {}, 10.0, 1.0, 4, rng())
+        with pytest.raises(ValueError):
+            simulate_time_average(birth_death_chain, vec, 10.0, 1.0, 0, rng())
+
+
+class TestBatchMeans:
+    def test_contains_stationary_reward(self, birth_death_chain, mm13_stationary):
+        queue_length = np.array([0.0, 1.0, 2.0, 3.0])
+        ci = long_run_batch_means(
+            birth_death_chain,
+            queue_length,
+            horizon=3000.0,
+            warmup=100.0,
+            num_batches=30,
+            rng=rng(11),
+            confidence=0.999,
+        )
+        analytic = float(mm13_stationary @ queue_length)
+        assert ci.contains(analytic)
+        assert ci.samples == 30
+
+    def test_validation_errors(self, birth_death_chain):
+        vec = np.zeros(4)
+        with pytest.raises(ValueError):
+            long_run_batch_means(birth_death_chain, vec, 10.0, 1.0, 1, rng())
+        with pytest.raises(ValueError):
+            long_run_batch_means(birth_death_chain, vec, 1.0, 5.0, 10, rng())
