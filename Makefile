@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke bench examples reports experiments clean
+.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke bench examples reports experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,7 +18,7 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff)"; \
 	fi
 
-test: lint campaign-smoke
+test: lint campaign-smoke serve-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tier-1: everything except minutes-scale simulation tests (marker: slow).
@@ -50,6 +50,14 @@ campaign-smoke:
 		--cache-dir "$$tmp/cache" --run-dir "$$tmp/runs" \
 		| grep -q "hit rate 100%" && \
 	echo "campaign-smoke: OK (warm rerun fully cached)"
+
+# End-to-end smoke of the serving layer: boot an in-process server on an
+# ephemeral port, drive a closed-loop load through every endpoint via the
+# load generator's self-test mode, and tear it down cleanly.
+serve-smoke:
+	@PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.serve.loadgen --selftest \
+		--requests 20 --concurrency 4 --step 2500 && \
+	echo "serve-smoke: OK"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

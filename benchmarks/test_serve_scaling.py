@@ -1,0 +1,170 @@
+"""Cold-vs-warm benchmark of the performability serving layer.
+
+The serving claim: once the template cache is warm and the Table 3
+curve is resident in the memory tier, an interactive ``POST /evaluate``
+answers from the tiered cache at a small fraction of the cost of the
+first (cold) request, which pays symbolic template compilation plus a
+full batched grid solve.
+
+The benchmark boots the real server (real sockets, ephemeral port,
+``warm=False`` so nothing is precompiled), measures
+
+* the **cold** single-request latency on the Table 3 workload (the
+  paper's 11-point ``phi`` grid),
+* the **warm** unloaded latency (closed loop, one worker) once the
+  grid is cache-resident — the number the speedup gate compares,
+* warm closed-loop **throughput** under concurrency, and
+* an **open-loop** pass at a fixed arrival rate (queueing visible),
+
+and writes the numbers to ``benchmarks/reports/BENCH_serve.json``.
+
+``SERVE_BENCH_PROFILE=reduced`` (the CI setting) shrinks the load and
+only *logs* the speedup; the full profile asserts warm p50 is at least
+:data:`SERVE_BENCH_SPEEDUP` times better than the cold request.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import REPORTS_DIR, publish_report
+from repro.analysis.tables import format_table
+from repro.gsu.templates import shared_cache
+from repro.serve.loadgen import LoadProfile, request_once, run_load
+from repro.serve.service import ServeConfig, start_in_thread
+
+#: Required cold-request / warm-p50 ratio (full profile only).
+SERVE_BENCH_SPEEDUP = 10.0
+
+#: The Table 3 workload: the paper's default 1000-step phi grid.
+WORKLOAD = {"step": 1000.0}
+
+
+def _profile() -> str:
+    return os.environ.get("SERVE_BENCH_PROFILE", "full")
+
+
+def test_serve_cold_vs_warm_latency():
+    reduced = _profile() == "reduced"
+    closed_requests = 40 if reduced else 200
+    open_requests = 20 if reduced else 100
+    open_rate = 50.0 if reduced else 200.0
+
+    # Genuinely cold: no precompiled templates, empty tiers.
+    shared_cache().clear()
+    handle = start_in_thread(ServeConfig(port=0, jobs=2, warm=False))
+    try:
+        host, port = handle.address
+        status, cold_seconds, _ = request_once(
+            host, port, "/evaluate", "POST", WORKLOAD, timeout=300
+        )
+        assert status == 200
+
+        # Unloaded warm latency: one closed-loop worker, so p50 is the
+        # per-request service time, not queueing delay under pressure.
+        warm = run_load(
+            host,
+            port,
+            LoadProfile(
+                mode="closed",
+                requests=closed_requests,
+                concurrency=1,
+                body=WORKLOAD,
+            ),
+        )
+        assert warm.errors == 0
+        assert warm.ok == warm.requests
+
+        # Warm throughput under concurrency (latency here includes
+        # queueing — reported, not gated).
+        loaded = run_load(
+            host,
+            port,
+            LoadProfile(
+                mode="closed",
+                requests=closed_requests,
+                concurrency=4,
+                body=WORKLOAD,
+            ),
+        )
+        assert loaded.errors == 0
+        assert loaded.ok == loaded.requests
+
+        open_loop = run_load(
+            host,
+            port,
+            LoadProfile(
+                mode="open",
+                requests=open_requests,
+                rate=open_rate,
+                body=WORKLOAD,
+            ),
+        )
+        assert open_loop.errors == 0
+
+        _, _, metrics = request_once(host, port, "/metrics")
+    finally:
+        handle.stop()
+
+    cold_ms = cold_seconds * 1000.0
+    warm_p50_ms = warm.percentile_ms(0.50)
+    speedup = cold_ms / warm_p50_ms if warm_p50_ms else float("inf")
+
+    memory_tier = metrics["cache"]["memory"]
+    payload = {
+        "benchmark": "BENCH_serve",
+        "description": (
+            "cold single-request latency vs warm unloaded p50 on the "
+            "Table 3 workload (paper's 1000-step phi grid) through the "
+            "asyncio serving layer's tiered cache"
+        ),
+        "profile": _profile(),
+        "workload": WORKLOAD,
+        "cold": {"latency_ms": cold_ms},
+        "warm_unloaded": warm.to_dict(),
+        "warm_loaded": loaded.to_dict(),
+        "open_loop": open_loop.to_dict(),
+        "cache": {
+            "memory_hits": memory_tier["hits"],
+            "memory_hit_rate": memory_tier["hit_rate"],
+        },
+        "solver": metrics["solver"],
+        "speedup": speedup,
+        "required_speedup": SERVE_BENCH_SPEEDUP,
+        "gated": not reduced,
+    }
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    report = format_table(
+        ["path", "latency ms", "throughput req/s"],
+        [
+            ["cold first request", cold_ms, 1000.0 / cold_ms],
+            ["warm unloaded p50", warm_p50_ms, warm.throughput_rps],
+            ["warm unloaded p99", warm.percentile_ms(0.99), warm.throughput_rps],
+            [
+                "warm 4-way closed p50",
+                loaded.percentile_ms(0.50),
+                loaded.throughput_rps,
+            ],
+            [
+                "open loop p50",
+                open_loop.percentile_ms(0.50),
+                open_loop.throughput_rps,
+            ],
+        ],
+        title=(
+            f"serving layer ({_profile()} profile): warm p50 is "
+            f"{speedup:.1f}x better than the cold request"
+        ),
+    )
+    publish_report("BENCH_serve", report)
+
+    # The warm traffic must have been answered by the memory tier (the
+    # 11-point grid was solved once; everything after is cache hits).
+    assert memory_tier["hits"] >= (warm.requests + loaded.requests - 1) * 11
+    if reduced:
+        print(f"reduced profile: speedup {speedup:.1f}x logged, not gated")
+    else:
+        assert speedup >= SERVE_BENCH_SPEEDUP

@@ -8,6 +8,7 @@ Exposes the reproduction's main entry points without writing Python::
     python -m repro experiment FIG9 --jobs 4 --cache-dir ~/.repro-cache
     python -m repro campaign FIG9 --jobs 4 --run-dir runs/
     python -m repro campaign --spec my_campaign.json --backend process
+    python -m repro serve --port 8351 --jobs 4 --cache-dir ~/.repro-cache
     python -m repro verify --profile table3 --jobs 4 --run-dir runs/
     python -m repro validate --phi 10 --replications 300
     python -m repro hybrid --phi 10 --replications 300
@@ -28,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
@@ -79,10 +81,40 @@ def _params_from(args: argparse.Namespace, base: GSUParameters) -> GSUParameters
     return base.with_overrides(**overrides) if overrides else base
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1, rejected with a clear message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _cache_dir_arg(text: str) -> str:
+    """Argparse type: a cache directory whose parent exists.
+
+    The cache directory itself is created lazily, but a nonexistent
+    *parent* is almost always a typo — rejecting it here gives a clear
+    argparse error instead of a traceback from deep inside the executor
+    on the first cache write.
+    """
+    path = Path(text).expanduser()
+    parent = path if path.is_dir() else path.parent
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"cache directory parent {parent} does not exist"
+        )
+    return str(path)
+
+
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("campaign runtime")
     group.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs", type=_positive_int, default=1,
         help="worker count for parallel execution (default 1)",
     )
     group.add_argument(
@@ -90,8 +122,14 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         help="execution backend (default: serial, or process when --jobs > 1)",
     )
     group.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
+        "--cache-dir", type=_cache_dir_arg, default=None, metavar="DIR",
         help="content-addressed result cache directory",
+    )
+    group.add_argument(
+        "--memory-cache", type=_positive_int, default=None, metavar="ENTRIES",
+        help="put an in-memory LRU tier of this many entries in front "
+             "of the result cache (manifests then report per-tier hit "
+             "rates; default: off)",
     )
     group.add_argument(
         "--no-cache", action="store_true",
@@ -126,6 +164,7 @@ def _runtime_config_from(args: argparse.Namespace) -> RuntimeConfig:
     backend = args.backend
     if backend is None:
         backend = "process" if args.jobs > 1 else "serial"
+    memory_cache = getattr(args, "memory_cache", None)
     return RuntimeConfig(
         backend=backend,
         jobs=args.jobs,
@@ -133,6 +172,7 @@ def _runtime_config_from(args: argparse.Namespace) -> RuntimeConfig:
         artifacts_dir=args.run_dir,
         batch=not args.no_batch,
         parametric=not args.no_parametric,
+        memory_cache=0 if args.no_cache or memory_cache is None else memory_cache,
     )
 
 
@@ -198,6 +238,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--no-chart", action="store_true")
     _add_runtime_flags(campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the performability service: an asyncio HTTP server "
+             "answering Y(phi) (/evaluate) and optimal-phi (/optimal) "
+             "queries at interactive latency, with request coalescing, "
+             "a tiered result cache and /healthz + /metrics endpoints",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8351,
+        help="bind port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--jobs", type=_positive_int, default=2,
+        help="solver worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--cache-dir", type=_cache_dir_arg, default=None, metavar="DIR",
+        help="on-disk result cache shared with the CLI campaign paths",
+    )
+    serve.add_argument(
+        "--memory-cache", type=_positive_int, default=4096, metavar="ENTRIES",
+        help="in-memory LRU tier capacity (default 4096)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=_positive_int, default=1024,
+        help="max registered-and-unsolved points before requests are "
+             "rejected with 429 (default 1024)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="coalescing window before a batch dispatches (default 2ms)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint sent with 429 responses (default 1)",
+    )
+    serve.add_argument(
+        "--no-warm", action="store_true",
+        help="skip pre-compiling the SAN template cache at startup",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="grace period for in-flight requests on shutdown (default 10)",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -432,10 +518,65 @@ def _cmd_campaign(args) -> int:
                     f"{stats.corrupt} corrupt, {stats.writes} writes "
                     f"(hit rate {stats.hit_rate:.0%})"
                 )
+                if result.cache_tier_stats is not None:
+                    for tier, tier_stats in result.cache_tier_stats.items():
+                        print(
+                            f"  {tier} tier: {tier_stats.hits} hits, "
+                            f"{tier_stats.misses} misses, "
+                            f"{tier_stats.evictions} evictions "
+                            f"(hit rate {tier_stats.hit_rate:.0%})"
+                        )
             if result.artifacts is not None:
                 print(f"manifest: {result.artifacts.manifest_path}")
             print()
     return status
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.service import PerformabilityService, ServeConfig
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            memory_cache=args.memory_cache,
+            queue_limit=args.queue_limit,
+            batch_window=args.batch_window,
+            retry_after=args.retry_after,
+            warm=not args.no_warm,
+            drain_timeout=args.drain_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    service = PerformabilityService(config)
+
+    def _announce(svc: PerformabilityService) -> None:
+        warm = (
+            f"templates warm in {svc.warm_seconds:.2f}s"
+            if svc.warm_seconds is not None
+            else "cold start (--no-warm)"
+        )
+        print(
+            f"repro serve listening on http://{config.host}:{svc.port} "
+            f"({config.jobs} workers, {warm}); Ctrl-C or SIGTERM drains"
+        )
+
+    try:
+        asyncio.run(service.serve(on_ready=_announce))
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(f"error: cannot bind {config.host}:{config.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print("repro serve: drained and stopped")
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -624,6 +765,7 @@ _COMMANDS = {
     "optimal": _cmd_optimal,
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "verify": _cmd_verify,
     "validate": _cmd_validate,
     "hybrid": _cmd_hybrid,

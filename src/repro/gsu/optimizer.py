@@ -135,6 +135,37 @@ def find_optimal_phi(
     )
 
 
+def refine_optimum(
+    params: GSUParameters,
+    lo: float,
+    hi: float,
+    tolerance: float = 10.0,
+    solver: ConstituentSolver | None = None,
+) -> tuple[float, float]:
+    """Golden-section refinement of ``Y`` on the bracket ``[lo, hi]``.
+
+    The sequential tail of an optimal-``phi`` search, factored out so
+    callers that already evaluated a coarse grid elsewhere (e.g. the
+    serving layer, which grids through its coalescing cache path) can
+    refine between the grid optimum's neighbours without re-solving the
+    grid.  Returns ``(phi, Y(phi))`` at the bracket's midpoint once it
+    narrows below ``tolerance`` hours.
+    """
+    if not 0.0 <= lo < hi <= params.theta:
+        raise ValueError(
+            f"refinement bracket [{lo}, {hi}] must be increasing within "
+            f"[0, theta={params.theta}]"
+        )
+    if solver is None:
+        solver = ConstituentSolver(params)
+    return _golden_section(
+        lambda phi: evaluate_index(params, phi, solver=solver).value,
+        lo,
+        hi,
+        tolerance,
+    )
+
+
 def _golden_section(objective, lo: float, hi: float, tolerance: float):
     """Golden-section maximisation of a unimodal function on [lo, hi]."""
     a, b = lo, hi

@@ -24,7 +24,12 @@ artifacts.  The layer every batch workload in the repo routes through:
 """
 
 from repro.runtime.artifacts import RunArtifacts, code_version
-from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.cache import (
+    CacheStats,
+    MemoryLRUCache,
+    ResultCache,
+    TieredResultCache,
+)
 from repro.runtime.campaign import (
     CampaignResult,
     RuntimeConfig,
@@ -55,7 +60,9 @@ __all__ = [
     "CampaignSpec",
     "CurveSpec",
     "EvaluationTask",
+    "MemoryLRUCache",
     "ResultCache",
+    "TieredResultCache",
     "RunArtifacts",
     "RuntimeConfig",
     "TaskOutcome",

@@ -89,16 +89,33 @@ def write_run_artifacts(
     wall_seconds: float,
     cache: ResultCache | None = None,
     run_stats: "CacheStats | None" = None,
+    run_tier_stats: "dict[str, CacheStats] | None" = None,
 ) -> RunArtifacts:
     """Write the manifest and results files for one campaign run.
 
     ``run_stats`` holds this run's cache counters; when omitted, the
-    cache instance's lifetime counters are recorded instead.
+    cache instance's lifetime counters are recorded instead.  With a
+    tiered cache, ``run_tier_stats`` adds the per-tier (memory vs.
+    disk) breakdown under ``cache.tiers``.
     """
     run_dir = _unique_run_dir(Path(root), spec.name)
     run_dir.mkdir(parents=True, exist_ok=False)
 
     solver_seconds = sum(outcome.seconds for outcome in outcomes)
+    cache_entry = {
+        "enabled": cache is not None,
+        "dir": (
+            str(cache.root)
+            if cache is not None and cache.root is not None
+            else None
+        ),
+        "schema_version": cache.schema_version if cache is not None else None,
+        **((run_stats or cache.stats).to_dict() if cache is not None else {}),
+    }
+    if run_tier_stats is not None:
+        cache_entry["tiers"] = {
+            name: stats.to_dict() for name, stats in run_tier_stats.items()
+        }
     manifest = {
         "manifest_version": MANIFEST_VERSION,
         "campaign": spec.to_dict(),
@@ -108,16 +125,7 @@ def write_run_artifacts(
         "jobs": jobs,
         "wall_seconds": wall_seconds,
         "solver_seconds": solver_seconds,
-        "cache": {
-            "enabled": cache is not None,
-            "dir": str(cache.root) if cache is not None else None,
-            "schema_version": cache.schema_version if cache is not None else None,
-            **(
-                (run_stats or cache.stats).to_dict()
-                if cache is not None
-                else {}
-            ),
-        },
+        "cache": cache_entry,
         "tasks": [
             {
                 "index": outcome.task.index,

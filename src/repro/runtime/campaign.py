@@ -22,7 +22,12 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
 from repro.runtime.artifacts import RunArtifacts, write_run_artifacts
-from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.cache import (
+    CacheStats,
+    MemoryLRUCache,
+    ResultCache,
+    TieredResultCache,
+)
 from repro.runtime.executor import EvaluateFn, TaskOutcome, execute_tasks
 from repro.runtime.records import evaluation_from_record
 from repro.runtime.spec import CampaignSpec
@@ -56,6 +61,10 @@ class RuntimeConfig:
         templates and dispatch chunks in structure-key order (default),
         or rebuild every model from scratch (``--no-parametric``).
         Bitwise-identical results either way.
+    memory_cache:
+        Entry capacity of an in-memory LRU tier placed in front of the
+        on-disk cache (``0`` disables the tier).  With a tier enabled,
+        run manifests report memory- and disk-tier hit rates separately.
     """
 
     backend: str = "serial"
@@ -65,12 +74,25 @@ class RuntimeConfig:
     chunk_size: int | None = None
     batch: bool = True
     parametric: bool = True
+    memory_cache: int = 0
 
-    def make_cache(self) -> ResultCache | None:
-        """A cache bound to ``cache_dir`` (``None`` when disabled)."""
-        if self.cache_dir is None:
-            return None
-        return ResultCache(root=Path(self.cache_dir))
+    def make_cache(self) -> ResultCache | TieredResultCache | None:
+        """A cache matching the config (``None`` when fully disabled).
+
+        ``cache_dir`` alone gives the plain on-disk store;
+        ``memory_cache > 0`` fronts it with (or, without a directory,
+        replaces it by) an in-memory LRU tier.
+        """
+        disk = (
+            ResultCache(root=Path(self.cache_dir))
+            if self.cache_dir is not None
+            else None
+        )
+        if self.memory_cache > 0:
+            return TieredResultCache(
+                MemoryLRUCache(max_entries=self.memory_cache), disk
+            )
+        return disk
 
 
 #: The process-wide default configuration (serial, uncached).
@@ -115,10 +137,14 @@ class CampaignResult:
         Per-task execution records, in plan order.
     cache_stats:
         Cache counters for this run (``None`` when caching was off).
+        With a tiered cache these are the combined per-lookup counters.
     wall_seconds:
         End-to-end wall time of the run.
     artifacts:
         Manifest locations (``None`` when artifacts were off).
+    cache_tier_stats:
+        Per-tier (``memory`` / ``disk``) counters for this run; ``None``
+        unless a tiered cache served it.
     """
 
     spec: CampaignSpec
@@ -127,6 +153,7 @@ class CampaignResult:
     cache_stats: CacheStats | None
     wall_seconds: float
     artifacts: RunArtifacts | None
+    cache_tier_stats: dict[str, CacheStats] | None = None
 
     @property
     def solver_seconds(self) -> float:
@@ -212,6 +239,11 @@ def run_campaign(
     stats_before = (
         replace(cache.stats) if cache is not None else None
     )
+    tiers_before = (
+        {name: replace(stats) for name, stats in cache.tier_stats().items()}
+        if isinstance(cache, TieredResultCache)
+        else None
+    )
     start = time.perf_counter()
     tasks = plan_campaign(spec)
     outcomes = execute_tasks(
@@ -230,13 +262,14 @@ def run_campaign(
     # Per-run stats: the delta over this run, so a cache shared across
     # campaigns reports each run's own hits and misses.
     run_stats = None
+    run_tier_stats = None
     if cache is not None:
-        run_stats = CacheStats(
-            hits=cache.stats.hits - stats_before.hits,
-            misses=cache.stats.misses - stats_before.misses,
-            corrupt=cache.stats.corrupt - stats_before.corrupt,
-            writes=cache.stats.writes - stats_before.writes,
-        )
+        run_stats = cache.stats.delta(stats_before)
+        if tiers_before is not None:
+            run_tier_stats = {
+                name: stats.delta(tiers_before[name])
+                for name, stats in cache.tier_stats().items()
+            }
 
     artifacts = None
     if artifacts_dir is not None:
@@ -250,6 +283,7 @@ def run_campaign(
             wall_seconds=wall_seconds,
             cache=cache,
             run_stats=run_stats,
+            run_tier_stats=run_tier_stats,
         )
 
     return CampaignResult(
@@ -259,4 +293,5 @@ def run_campaign(
         cache_stats=run_stats,
         wall_seconds=wall_seconds,
         artifacts=artifacts,
+        cache_tier_stats=run_tier_stats,
     )

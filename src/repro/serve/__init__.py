@@ -1,0 +1,67 @@
+"""Performability-as-a-service: the async serving layer.
+
+A long-running, stdlib-only asyncio HTTP service that answers ``Y(phi)``
+and optimal-``phi`` queries at interactive latency by putting the
+campaign engine's fast paths behind a request pipeline:
+
+* :mod:`~repro.serve.http` — a minimal HTTP/1.1 layer over asyncio
+  streams (request parsing with hard limits, JSON responses).
+* :mod:`~repro.serve.batcher` — request coalescing: concurrent demands
+  for one point share a future; per-parameter-set pending points merge
+  into single batched grid solves; bounded-queue admission control.
+* :mod:`~repro.serve.service` — the endpoints (``POST /evaluate``,
+  ``POST /optimal``, ``GET /healthz``, ``GET /metrics``), the tiered
+  result cache, the warm worker pool, and graceful drain.
+* :mod:`~repro.serve.metrics` — p50/p99 latency windows, queue gauges,
+  solver/coalescing counters.
+* :mod:`~repro.serve.loadgen` — closed- and open-loop synthetic
+  traffic for smoke tests and the cold-vs-warm benchmark.
+
+Entry points: ``repro serve`` (CLI), :func:`start_in_thread`
+(embedding), ``python -m repro.serve.loadgen --selftest`` (smoke).
+"""
+
+from repro.serve.batcher import (
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_QUEUE_LIMIT,
+    CoalescingBatcher,
+    OverloadedError,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import (
+    PerformabilityService,
+    ServeConfig,
+    ServerHandle,
+    default_solve_fn,
+    start_in_thread,
+)
+
+_LOADGEN_EXPORTS = ("LoadProfile", "LoadReport", "request_once", "run_load")
+
+
+def __getattr__(name):
+    # Lazy: importing loadgen here eagerly would shadow
+    # ``python -m repro.serve.loadgen`` (runpy's double-import warning).
+    if name in _LOADGEN_EXPORTS:
+        from repro.serve import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CoalescingBatcher",
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_QUEUE_LIMIT",
+    "LoadProfile",
+    "LoadReport",
+    "OverloadedError",
+    "PerformabilityService",
+    "ServeConfig",
+    "ServerHandle",
+    "ServiceMetrics",
+    "default_solve_fn",
+    "request_once",
+    "run_load",
+    "start_in_thread",
+]

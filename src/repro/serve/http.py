@@ -1,0 +1,190 @@
+"""A minimal HTTP/1.1 layer over ``asyncio`` streams.
+
+Deliberately tiny and stdlib-only: the serving layer needs exactly
+enough HTTP to speak JSON over loopback and behind simple proxies —
+request-line + header parsing with hard limits, ``Content-Length``
+bodies, and plain (non-chunked) responses.  Connections are one request
+per connection (``Connection: close``), which keeps the state machine
+trivial and makes graceful drain a matter of counting open requests.
+
+Malformed input never raises out of the parser uncontrolled: every
+protocol violation maps to an :class:`HttpError` carrying the status
+code the handler loop should answer with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+#: Hard limit on the request line and on any single header line.
+MAX_LINE_BYTES = 8192
+
+#: Hard limit on the number of request headers.
+MAX_HEADERS = 64
+
+#: Hard limit on request bodies (JSON parameter payloads are tiny).
+MAX_BODY_BYTES = 1 << 20
+
+#: Reason phrases for the statuses the service emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level rejection with the HTTP status to answer with."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request.
+
+    Attributes
+    ----------
+    method / target / version:
+        The request line, split.  ``target`` is the raw path (the
+        service routes on exact paths, no query strings needed).
+    headers:
+        Header mapping with lower-cased names; duplicate names keep the
+        last value (none of the headers the service reads repeat).
+    body:
+        The raw body bytes (empty when no ``Content-Length``).
+    """
+
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body decoded as JSON (``HttpError`` 400 on failure)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """One CRLF (or LF) terminated line within the size limit."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            # Peer closed without sending a line (e.g. a TCP health
+            # probe); the handler loop drops these silently.
+            raise ConnectionResetError("connection closed") from exc
+        line = exc.partial
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "header line exceeds limit") from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(400, "header line exceeds limit")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest:
+    """Parse one request from the stream.
+
+    Raises :class:`HttpError` on any protocol violation; raises
+    ``asyncio.IncompleteReadError`` only via the mapped 400.  An
+    immediately-closed connection (no bytes at all) raises
+    ``ConnectionResetError`` so the handler loop can drop it silently.
+    """
+    request_line = await _read_line(reader)
+    if not request_line:
+        # Either a bare CRLF before the request line (tolerated by
+        # RFC 9112) or a closed connection; try exactly one more line.
+        request_line = await _read_line(reader)
+        if not request_line:
+            raise ConnectionResetError("no request line")
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {request_line[:80]!r}")
+    method, target, version = (part.decode("latin-1") for part in parts)
+    if not version.startswith("HTTP/1."):
+        raise HttpError(505, f"unsupported protocol version {version!r}")
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "too many request headers")
+        name, sep, value = line.partition(b":")
+        if not sep or not name:
+            raise HttpError(400, f"malformed header line: {line[:80]!r}")
+        headers[name.decode("latin-1").strip().lower()] = value.decode(
+            "latin-1"
+        ).strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_text!r}") from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length_text!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "connection closed mid-body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return HttpRequest(
+        method=method, target=target, version=version, headers=headers, body=body
+    )
+
+
+def render_response(
+    status: int,
+    payload,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one JSON response (status line + headers + body)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload,
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Write one JSON response and flush it."""
+    writer.write(render_response(status, payload, extra_headers))
+    await writer.drain()

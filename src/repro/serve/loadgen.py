@@ -1,0 +1,341 @@
+"""Synthetic traffic for the performability service.
+
+Two arrival disciplines, both stdlib-only (``http.client`` over
+threads):
+
+*closed-loop*
+    ``concurrency`` workers issue requests back-to-back; offered load
+    tracks service capacity.  The latency distribution measures the
+    service under sustainable pressure — this is the mode the warm
+    benchmark uses.
+*open-loop*
+    Arrivals fire at a fixed ``rate`` regardless of completions (each
+    request on its own thread), so queueing delay and backpressure
+    (``429``) become visible when the rate exceeds capacity.
+
+``python -m repro.serve.loadgen --selftest`` spins up an in-process
+server on an ephemeral port, drives a small closed-loop load through
+every endpoint, and exits non-zero on any failure — the ``make
+serve-smoke`` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.metrics import quantile
+
+#: Per-request socket timeout (seconds).
+REQUEST_TIMEOUT = 60.0
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One synthetic-traffic workload.
+
+    Attributes
+    ----------
+    mode:
+        ``closed`` or ``open``.
+    requests:
+        Total requests to issue.
+    concurrency:
+        Closed-loop worker count (ignored in open-loop mode).
+    rate:
+        Open-loop arrival rate, requests/second (ignored in closed
+        mode).
+    endpoint / method / body:
+        The request every arrival sends.  ``body=None`` sends a bare
+        ``GET``-style request.
+    """
+
+    mode: str = "closed"
+    requests: int = 100
+    concurrency: int = 4
+    rate: float = 50.0
+    endpoint: str = "/evaluate"
+    method: str = "POST"
+    body: dict | None = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    mode: str
+    requests: int
+    duration_seconds: float
+    statuses: dict[int, int]
+    latencies_seconds: list[float]
+    errors: int = 0
+
+    @property
+    def ok(self) -> int:
+        return self.statuses.get(200, 0)
+
+    @property
+    def rejected(self) -> int:
+        return self.statuses.get(429, 0)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.duration_seconds if self.duration_seconds else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        return quantile(sorted(self.latencies_seconds), q) * 1000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "duration_seconds": self.duration_seconds,
+            "throughput_rps": self.throughput_rps,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "errors": self.errors,
+            "latency_ms": {
+                "p50": self.percentile_ms(0.50),
+                "p90": self.percentile_ms(0.90),
+                "p99": self.percentile_ms(0.99),
+                "mean": (
+                    sum(self.latencies_seconds)
+                    / len(self.latencies_seconds)
+                    * 1000.0
+                    if self.latencies_seconds
+                    else 0.0
+                ),
+            },
+        }
+
+    def summary(self) -> str:
+        latency = self.to_dict()["latency_ms"]
+        return (
+            f"{self.mode}-loop: {self.requests} requests in "
+            f"{self.duration_seconds:.2f}s ({self.throughput_rps:.1f} req/s), "
+            f"{self.ok} ok / {self.rejected} rejected / {self.errors} errors, "
+            f"p50 {latency['p50']:.2f}ms p99 {latency['p99']:.2f}ms"
+        )
+
+
+def request_once(
+    host: str,
+    port: int,
+    endpoint: str = "/healthz",
+    method: str = "GET",
+    body: dict | None = None,
+    timeout: float = REQUEST_TIMEOUT,
+) -> tuple[int, float, dict | None]:
+    """One HTTP request; returns (status, latency seconds, JSON payload)."""
+    payload = (
+        json.dumps(body).encode("utf-8") if body is not None else None
+    )
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    start = time.perf_counter()
+    try:
+        connection.request(
+            method,
+            endpoint,
+            body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = connection.getresponse()
+        data = response.read()
+        latency = time.perf_counter() - start
+        try:
+            decoded = json.loads(data) if data else None
+        except ValueError:
+            decoded = None
+        return response.status, latency, decoded
+    finally:
+        connection.close()
+
+
+def run_load(host: str, port: int, profile: LoadProfile) -> LoadReport:
+    """Drive one workload against a running server and measure it."""
+    statuses: dict[int, int] = {}
+    latencies: list[float] = []
+    errors = 0
+    lock = threading.Lock()
+
+    def _fire() -> None:
+        nonlocal errors
+        try:
+            status, latency, _ = request_once(
+                host,
+                port,
+                endpoint=profile.endpoint,
+                method=profile.method,
+                body=profile.body,
+            )
+        except OSError:
+            with lock:
+                errors += 1
+            return
+        with lock:
+            statuses[status] = statuses.get(status, 0) + 1
+            latencies.append(latency)
+
+    start = time.perf_counter()
+    if profile.mode == "closed":
+        remaining = profile.requests
+        claim_lock = threading.Lock()
+
+        def _worker() -> None:
+            nonlocal remaining
+            while True:
+                with claim_lock:
+                    if remaining <= 0:
+                        return
+                    remaining -= 1
+                _fire()
+
+        workers = [
+            threading.Thread(target=_worker, daemon=True)
+            for _ in range(min(profile.concurrency, profile.requests))
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+    else:
+        interval = 1.0 / profile.rate
+        threads = []
+        for i in range(profile.requests):
+            target_time = start + i * interval
+            delay = target_time - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            thread = threading.Thread(target=_fire, daemon=True)
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+    duration = time.perf_counter() - start
+
+    return LoadReport(
+        mode=profile.mode,
+        requests=profile.requests,
+        duration_seconds=duration,
+        statuses=statuses,
+        latencies_seconds=latencies,
+        errors=errors,
+    )
+
+
+def _selftest(args: argparse.Namespace) -> int:
+    """Boot an in-process server, exercise every endpoint, tear down."""
+    from repro.serve.service import ServeConfig, start_in_thread
+
+    handle = start_in_thread(
+        ServeConfig(port=0, jobs=args.concurrency, queue_limit=args.queue_limit)
+    )
+    host, port = handle.address
+    status = 0
+    try:
+        for endpoint in ("/healthz", "/metrics"):
+            code, _, _ = request_once(host, port, endpoint=endpoint)
+            if code != 200:
+                print(f"selftest: GET {endpoint} -> {code}", file=sys.stderr)
+                status = 1
+        profile = LoadProfile(
+            mode=args.mode,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            rate=args.rate,
+            body={"step": args.step},
+        )
+        report = run_load(host, port, profile)
+        print(report.summary())
+        code, _, optimal = request_once(
+            host, port, endpoint="/optimal", method="POST",
+            body={"step": args.step},
+        )
+        if code != 200 or optimal is None or "phi" not in optimal:
+            print(f"selftest: POST /optimal -> {code}", file=sys.stderr)
+            status = 1
+        else:
+            print(
+                f"optimal phi = {optimal['phi']:g} with Y = {optimal['y']:.6f}"
+            )
+        if report.ok != report.requests or report.errors:
+            print(
+                f"selftest: expected {report.requests} ok responses, got "
+                f"{report.ok} ok / {report.errors} errors",
+                file=sys.stderr,
+            )
+            status = 1
+    finally:
+        handle.stop()
+    print("selftest:", "OK" if status == 0 else "FAILED")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="synthetic traffic generator for the performability service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8351)
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="start an in-process server on an ephemeral port, drive a "
+             "small load through every endpoint, and exit non-zero on "
+             "any failure",
+    )
+    parser.add_argument("--mode", choices=["closed", "open"], default="closed")
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=50.0)
+    parser.add_argument("--endpoint", default="/evaluate")
+    parser.add_argument(
+        "--step", type=float, default=2500.0,
+        help="phi-grid spacing of the generated /evaluate bodies",
+    )
+    parser.add_argument("--queue-limit", type=int, default=1024)
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the JSON load report to a file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return _selftest(args)
+
+    profile = LoadProfile(
+        mode=args.mode,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        endpoint=args.endpoint,
+        body={"step": args.step} if args.endpoint != "/healthz" else None,
+        method="POST" if args.endpoint in ("/evaluate", "/optimal") else "GET",
+    )
+    report = run_load(args.host, args.port, profile)
+    print(report.summary())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if report.errors == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Service observability: latency quantiles, counters, queue gauges.
+
+Everything here is plain in-process bookkeeping designed to be cheap on
+the request path (append to a bounded deque, bump an int) and rendered
+on demand by ``GET /metrics``.  Latencies are kept per endpoint in a
+sliding window so p50/p99 reflect recent behaviour rather than the
+whole process lifetime.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Latency samples retained per endpoint (sliding window).
+LATENCY_WINDOW = 4096
+
+
+def quantile(sorted_samples: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an ascending sample list."""
+    if not sorted_samples:
+        return 0.0
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    position = q * (len(sorted_samples) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_samples[lower]
+    weight = position - lower
+    return sorted_samples[lower] * (1.0 - weight) + sorted_samples[upper] * weight
+
+
+class LatencyRecorder:
+    """Sliding-window latency accumulator for one endpoint."""
+
+    def __init__(self, window: int = LATENCY_WINDOW):
+        self._samples: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one request's wall time."""
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total_seconds += seconds
+
+    def summary(self) -> dict:
+        """Count, mean, and p50/p99 (milliseconds) over the window."""
+        with self._lock:
+            ordered = sorted(self._samples)
+            count = self.count
+            total = self.total_seconds
+        return {
+            "count": count,
+            "mean_ms": (total / count) * 1000.0 if count else 0.0,
+            "p50_ms": quantile(ordered, 0.50) * 1000.0,
+            "p99_ms": quantile(ordered, 0.99) * 1000.0,
+            "window": len(ordered),
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """All counters the service exposes through ``GET /metrics``.
+
+    The request handlers mutate this from the event loop; the worker
+    pool mutates the solver counters from its threads — every mutation
+    is a single int add or a locked deque append, so no further
+    synchronization is needed for consistency that matters here.
+    """
+
+    started_at: float = field(default_factory=time.monotonic)
+    latency: dict[str, LatencyRecorder] = field(default_factory=dict)
+    requests_total: int = 0
+    responses_by_status: dict[int, int] = field(default_factory=dict)
+    rejected_total: int = 0
+    protocol_errors: int = 0
+    solve_batches: int = 0
+    points_solved: int = 0
+    points_coalesced: int = 0
+
+    def recorder(self, endpoint: str) -> LatencyRecorder:
+        """The (lazily created) latency recorder of one endpoint."""
+        if endpoint not in self.latency:
+            self.latency[endpoint] = LatencyRecorder()
+        return self.latency[endpoint]
+
+    def observe_response(self, status: int) -> None:
+        """Count one response by status code."""
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1
+        )
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def to_dict(self) -> dict:
+        """The ``GET /metrics`` rendering (queue/cache data added by
+        the service, which owns those objects)."""
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "requests_total": self.requests_total,
+            "responses_by_status": {
+                str(status): count
+                for status, count in sorted(self.responses_by_status.items())
+            },
+            "rejected_total": self.rejected_total,
+            "protocol_errors": self.protocol_errors,
+            "latency": {
+                endpoint: recorder.summary()
+                for endpoint, recorder in sorted(self.latency.items())
+            },
+            "solver": {
+                "batches": self.solve_batches,
+                "points_solved": self.points_solved,
+                "points_coalesced": self.points_coalesced,
+            },
+        }

@@ -1,0 +1,582 @@
+"""The performability service: asyncio HTTP over the campaign runtime.
+
+One :class:`PerformabilityService` owns the whole request path:
+
+1. **Validate + canonicalize** — JSON bodies become
+   :class:`~repro.gsu.parameters.GSUParameters` (Table 3 base point
+   plus overrides) and ``phi`` grids, rejected with ``400`` on any
+   malformed field before touching a solver.
+2. **Tiered cache probe** — every point is content-addressed exactly
+   like the campaign runtime's tasks and probed against the shared
+   in-memory LRU tier in front of the on-disk
+   :class:`~repro.runtime.cache.ResultCache`, so CLI campaigns and the
+   service interoperate at 100% cache hits.
+3. **Coalesce + batch** — misses route through the
+   :class:`~repro.serve.batcher.CoalescingBatcher`: concurrent demands
+   for the same point share one future, and each parameter set's
+   pending points are solved in a single batched grid solve on the
+   warm worker pool (template re-stamping, one solver pass per model).
+4. **Respond with provenance** — every answer carries per-point cache
+   sources and request latency; ``GET /metrics`` exposes p50/p99
+   latency, queue depth, per-tier cache hit rates, and template
+   compile/re-stamp counts.
+
+Overload answers ``429`` with ``Retry-After``; ``SIGTERM``/``SIGINT``
+drain gracefully: the listener closes, in-flight requests finish (up to
+``drain_timeout``), then the worker pool shuts down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.optimizer import refine_optimum
+from repro.gsu.parameters import PAPER_TABLE3, GSUParameters
+from repro.gsu.performability import evaluate_batch
+from repro.runtime.cache import (
+    DEFAULT_MEMORY_ENTRIES,
+    MemoryLRUCache,
+    ResultCache,
+    TieredResultCache,
+)
+from repro.runtime.records import record_from_evaluation
+from repro.runtime.spec import _PARAM_FIELDS, default_grid
+from repro.runtime.tasks import EvaluationTask
+from repro.serve.batcher import (
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_QUEUE_LIMIT,
+    CoalescingBatcher,
+    OverloadedError,
+    SolveFn,
+)
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    read_request,
+    write_response,
+)
+from repro.serve.metrics import ServiceMetrics
+
+#: Bound on points per request (a full Table 3 curve is 11 points; this
+#: allows dense grids while keeping one request's work bounded).
+MAX_GRID_POINTS = 4096
+
+#: Seconds allowed for reading one request off the socket.
+READ_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` configures.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address; port ``0`` asks the OS for an ephemeral port
+        (the bound port is reported once the server is up).
+    jobs:
+        Worker threads in the solve pool.
+    cache_dir:
+        On-disk result-cache directory shared with the CLI paths
+        (``None`` = memory tier only).
+    memory_cache:
+        Entry capacity of the in-memory LRU tier (always present in
+        the service).
+    queue_limit / retry_after:
+        Backpressure bound on registered-and-unsolved points, and the
+        ``Retry-After`` hint (seconds) sent with ``429``.
+    batch_window:
+        Coalescing window (seconds) before a leader claims its batch.
+    warm:
+        Pre-compile the template cache before accepting connections.
+    drain_timeout:
+        Seconds to wait for in-flight requests on shutdown.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8351
+    jobs: int = 2
+    cache_dir: Path | str | None = None
+    memory_cache: int = DEFAULT_MEMORY_ENTRIES
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    retry_after: float = 1.0
+    batch_window: float = DEFAULT_BATCH_WINDOW
+    warm: bool = True
+    drain_timeout: float = 10.0
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.memory_cache < 1:
+            raise ValueError(
+                f"memory_cache must be >= 1, got {self.memory_cache}"
+            )
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+
+
+def default_solve_fn(params: GSUParameters, phis: list[float]) -> list[dict]:
+    """The production batch solver: one batched grid solve per call.
+
+    Identical to what the campaign runtime's batched path computes for
+    the same ``(params, phi)`` inputs — records are interchangeable
+    under the shared content-addressed cache keys.
+    """
+    solver = ConstituentSolver(params)
+    return [
+        record_from_evaluation(evaluation)
+        for evaluation in evaluate_batch(params, phis, solver=solver)
+    ]
+
+
+class PerformabilityService:
+    """The HTTP service; one instance per server process.
+
+    ``solve_fn`` is injectable for tests (gate-controlled stubs that
+    make overload and coalescing deterministic); production uses
+    :func:`default_solve_fn`.
+    """
+
+    def __init__(self, config: ServeConfig, solve_fn: SolveFn | None = None):
+        self.config = config
+        self.metrics = ServiceMetrics()
+        disk = (
+            ResultCache(root=Path(config.cache_dir))
+            if config.cache_dir is not None
+            else None
+        )
+        self.cache = TieredResultCache(
+            MemoryLRUCache(max_entries=config.memory_cache), disk
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=config.jobs, thread_name_prefix="serve-solver"
+        )
+        self.batcher = CoalescingBatcher(
+            solve_fn=solve_fn or default_solve_fn,
+            executor=self.executor,
+            queue_limit=config.queue_limit,
+            batch_window=config.batch_window,
+            retry_after=config.retry_after,
+            metrics=self.metrics,
+        )
+        self.port: int | None = None
+        self.warm_seconds: float | None = None
+        self._draining = False
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._stop = asyncio.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # ------------------------------------------------------------------
+    # Request validation / canonicalization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_params(body: dict) -> GSUParameters:
+        """Table 3 base point plus validated overrides → canonical set."""
+        overrides = body.get("params", {})
+        if not isinstance(overrides, dict):
+            raise HttpError(400, "'params' must be an object of overrides")
+        unknown = set(overrides) - set(_PARAM_FIELDS)
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown parameter fields: {sorted(unknown)} "
+                f"(known: {sorted(_PARAM_FIELDS)})",
+            )
+        try:
+            values = {name: float(value) for name, value in overrides.items()}
+            return PAPER_TABLE3.with_overrides(**values)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid parameters: {exc}") from exc
+
+    @staticmethod
+    def _parse_phis(body: dict, params: GSUParameters) -> list[float]:
+        """The request's ``phi`` grid: explicit list or ``step`` spacing."""
+        phis = body.get("phis")
+        step = body.get("step")
+        if phis is not None and step is not None:
+            raise HttpError(400, "give either 'phis' or 'step', not both")
+        if phis is None:
+            try:
+                grid_step = float(step) if step is not None else 1000.0
+                grid = default_grid(params.theta, step=grid_step)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"invalid step: {exc}") from exc
+        else:
+            if not isinstance(phis, list) or not phis:
+                raise HttpError(400, "'phis' must be a non-empty array")
+            grid = phis
+        if len(grid) > MAX_GRID_POINTS:
+            raise HttpError(
+                400, f"grid of {len(grid)} points exceeds {MAX_GRID_POINTS}"
+            )
+        validated = []
+        for phi in grid:
+            try:
+                validated.append(params.validate_phi(float(phi)))
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"invalid phi: {exc}") from exc
+        return validated
+
+    def _tasks_for(
+        self, params: GSUParameters, phis: list[float]
+    ) -> list[EvaluationTask]:
+        """Runtime-identical tasks, so cache keys match the CLI paths."""
+        return [
+            EvaluationTask(
+                index=i,
+                curve_index=0,
+                point_index=i,
+                label="serve",
+                params=params,
+                phi=phi,
+            )
+            for i, phi in enumerate(phis)
+        ]
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers
+    # ------------------------------------------------------------------
+    async def handle_evaluate(self, body: dict) -> dict:
+        """``POST /evaluate`` — ``Y(phi)`` for a parameter set + grid."""
+        params = self._parse_params(body)
+        phis = self._parse_phis(body, params)
+        start = time.perf_counter()
+        served = await self.batcher.evaluate(
+            params, self._tasks_for(params, phis), self.cache
+        )
+        solve_seconds = time.perf_counter() - start
+        sources: dict[str, int] = {}
+        for _, source in served:
+            sources[source] = sources.get(source, 0) + 1
+        return {
+            "params": {name: getattr(params, name) for name in _PARAM_FIELDS},
+            "points": [
+                {
+                    "phi": record["phi"],
+                    "y": record["value"],
+                    "source": source,
+                    "record": record,
+                }
+                for record, source in served
+            ],
+            "provenance": {
+                "sources": sources,
+                "solve_ms": solve_seconds * 1000.0,
+                "queue_depth": self.batcher.queue_depth,
+            },
+        }
+
+    async def handle_optimal(self, body: dict) -> dict:
+        """``POST /optimal`` — grid search (cached/coalesced) + refinement."""
+        params = self._parse_params(body)
+        try:
+            step = float(body.get("step", 1000.0))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid step: {exc}") from exc
+        if step <= 0:
+            raise HttpError(400, f"step must be positive, got {step:g}")
+        refine = bool(body.get("refine", False))
+        phis = self._parse_phis({"step": step}, params)
+        served = await self.batcher.evaluate(
+            params, self._tasks_for(params, phis), self.cache
+        )
+        records = [record for record, _ in served]
+        best_idx = max(
+            range(len(records)), key=lambda i: records[i]["value"]
+        )
+        best_phi = records[best_idx]["phi"]
+        best_y = records[best_idx]["value"]
+        refined = False
+        if refine and 0 < best_idx < len(records) - 1:
+            loop = asyncio.get_running_loop()
+            refined_phi, refined_y = await loop.run_in_executor(
+                self.executor,
+                refine_optimum,
+                params,
+                records[best_idx - 1]["phi"],
+                records[best_idx + 1]["phi"],
+            )
+            if refined_y > best_y:
+                best_phi, best_y, refined = refined_phi, refined_y, True
+        sources: dict[str, int] = {}
+        for _, source in served:
+            sources[source] = sources.get(source, 0) + 1
+        return {
+            "params": {name: getattr(params, name) for name in _PARAM_FIELDS},
+            "phi": best_phi,
+            "y": best_y,
+            "beneficial": best_y > 1.0,
+            "refined": refined,
+            "grid": {
+                "phis": [record["phi"] for record in records],
+                "values": [record["value"] for record in records],
+            },
+            "provenance": {
+                "sources": sources,
+                "queue_depth": self.batcher.queue_depth,
+            },
+        }
+
+    def healthz_payload(self) -> dict:
+        """``GET /healthz`` body."""
+        from repro.gsu.templates import shared_cache
+
+        return {
+            "status": "draining" if self._draining else "ok",
+            "warm": shared_cache().stats.compiles > 0
+            or shared_cache().stats.restamps > 0,
+            "uptime_seconds": self.metrics.uptime_seconds,
+        }
+
+    def metrics_payload(self) -> dict:
+        """``GET /metrics`` body."""
+        from repro.gsu.templates import shared_cache
+
+        payload = self.metrics.to_dict()
+        payload["queue"] = {
+            "depth": self.batcher.queue_depth,
+            "limit": self.config.queue_limit,
+        }
+        payload["cache"] = {
+            name: stats.to_dict()
+            for name, stats in self.cache.tier_stats().items()
+        }
+        template_stats = shared_cache().stats
+        payload["templates"] = {
+            "compiles": template_stats.compiles,
+            "restamps": template_stats.restamps,
+            "fallbacks": template_stats.fallbacks,
+        }
+        payload["warm_seconds"] = self.warm_seconds
+        payload["draining"] = self._draining
+        return payload
+
+    # ------------------------------------------------------------------
+    # HTTP dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: HttpRequest) -> tuple[int, dict, dict]:
+        """Route one request; returns (status, payload, extra headers)."""
+        route = (request.method, request.target)
+        if route == ("GET", "/healthz"):
+            return 200, self.healthz_payload(), {}
+        if route == ("GET", "/metrics"):
+            return 200, self.metrics_payload(), {}
+        if route in (("POST", "/evaluate"), ("POST", "/optimal")):
+            body = request.json()
+            if not isinstance(body, dict):
+                raise HttpError(400, "request body must be a JSON object")
+            handler = (
+                self.handle_evaluate
+                if request.target == "/evaluate"
+                else self.handle_optimal
+            )
+            endpoint = request.target.lstrip("/")
+            start = time.perf_counter()
+            try:
+                payload = await handler(body)
+            except OverloadedError as exc:
+                return (
+                    429,
+                    {
+                        "error": "overloaded",
+                        "detail": str(exc),
+                        "queue_depth": exc.depth,
+                        "queue_limit": exc.limit,
+                    },
+                    {"Retry-After": f"{max(1, round(exc.retry_after))}"},
+                )
+            self.metrics.recorder(endpoint).observe(
+                time.perf_counter() - start
+            )
+            return 200, payload, {}
+        if request.target in ("/healthz", "/metrics", "/evaluate", "/optimal"):
+            raise HttpError(
+                405, f"{request.method} not supported on {request.target}"
+            )
+        raise HttpError(404, f"unknown path {request.target!r}")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._active_requests += 1
+        self._idle.clear()
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader), timeout=READ_TIMEOUT
+                )
+            except ConnectionResetError:
+                return
+            except asyncio.TimeoutError:
+                self.metrics.protocol_errors += 1
+                await write_response(
+                    writer, 408, {"error": "request read timed out"}
+                )
+                self.metrics.observe_response(408)
+                return
+            except HttpError as exc:
+                self.metrics.protocol_errors += 1
+                await write_response(writer, exc.status, {"error": exc.detail})
+                self.metrics.observe_response(exc.status)
+                return
+
+            self.metrics.requests_total += 1
+            if self._draining:
+                await write_response(
+                    writer,
+                    503,
+                    {"error": "server is draining"},
+                    {"Retry-After": "1"},
+                )
+                self.metrics.observe_response(503)
+                return
+            try:
+                status, payload, headers = await self._dispatch(request)
+            except HttpError as exc:
+                status, payload, headers = exc.status, {"error": exc.detail}, {}
+            except Exception as exc:  # noqa: BLE001 - last-resort boundary
+                status, payload, headers = (
+                    500,
+                    {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                    {},
+                )
+            await write_response(writer, status, payload, headers)
+            self.metrics.observe_response(status)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _warm(self) -> None:
+        from repro.gsu.templates import warm_templates
+
+        start = time.perf_counter()
+        warm_templates((PAPER_TABLE3,))
+        self.warm_seconds = time.perf_counter() - start
+
+    def request_stop(self) -> None:
+        """Begin graceful shutdown (thread-safe)."""
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def serve(self, on_ready=None) -> None:
+        """Run the server until :meth:`request_stop` (or SIGTERM/SIGINT).
+
+        ``on_ready`` is called (with this service) once the socket is
+        bound and, when configured, the template cache is warm — the
+        hook :func:`start_in_thread` and the load generator use to wait
+        for readiness.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._idle.set()
+        if self.config.warm:
+            await self._loop.run_in_executor(self.executor, self._warm)
+        server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+
+        installed_signals = []
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self._stop.set)
+                    installed_signals.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+
+        try:
+            if on_ready is not None:
+                on_ready(self)
+            await self._stop.wait()
+            # Graceful drain: stop accepting, let in-flight work finish.
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            if self._active_requests > 0:
+                try:
+                    await asyncio.wait_for(
+                        self._idle.wait(), timeout=self.config.drain_timeout
+                    )
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            for signum in installed_signals:
+                self._loop.remove_signal_handler(signum)
+            self.executor.shutdown(wait=True, cancel_futures=True)
+
+
+class ServerHandle:
+    """A service running on a background thread (tests, loadgen, bench)."""
+
+    def __init__(self, service: PerformabilityService, thread: threading.Thread):
+        self.service = service
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        assert self.service.port is not None
+        return self.service.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.service.config.host, self.port)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and join the server thread."""
+        self.service.request_stop()
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("server thread failed to stop in time")
+
+
+def start_in_thread(
+    config: ServeConfig | None = None,
+    solve_fn: SolveFn | None = None,
+    ready_timeout: float = 60.0,
+) -> ServerHandle:
+    """Start a service on a daemon thread and wait until it is ready.
+
+    The embedding entry point: benchmarks, the load generator's
+    self-test mode, and the end-to-end tests all run the real server
+    (real sockets, real event loop) through this.
+    """
+    if config is None:
+        config = ServeConfig(port=0)
+    service = PerformabilityService(config, solve_fn=solve_fn)
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    def _run():
+        try:
+            asyncio.run(service.serve(on_ready=lambda _svc: ready.set()))
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            failure.append(exc)
+            ready.set()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(ready_timeout):
+        raise RuntimeError("server did not become ready in time")
+    if failure:
+        raise RuntimeError(f"server failed to start: {failure[0]!r}")
+    return ServerHandle(service, thread)

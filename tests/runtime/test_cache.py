@@ -14,8 +14,12 @@ import pytest
 
 from repro.gsu.parameters import PAPER_TABLE3
 from repro.gsu.performability import evaluate_index
-from repro.runtime.cache import ResultCache
-from repro.runtime.campaign import run_campaign
+from repro.runtime.cache import (
+    MemoryLRUCache,
+    ResultCache,
+    TieredResultCache,
+)
+from repro.runtime.campaign import RuntimeConfig, run_campaign
 from repro.runtime.spec import CampaignSpec, CurveSpec
 from repro.runtime.tasks import plan_campaign
 
@@ -182,3 +186,158 @@ class TestKeying:
         result = run_campaign(spec, cache=cache, no_cache=True)
         assert result.cache_stats is None
         assert len(cache) == 0
+
+
+class TestMemoryLRUCache:
+    def tasks(self, phis=(0.0, 4000.0, 10_000.0)):
+        return plan_campaign(small_spec(phis=phis))
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryLRUCache(max_entries=0)
+
+    def test_hit_miss_write_counters(self):
+        cache = MemoryLRUCache(max_entries=8)
+        task = self.tasks()[0]
+        assert cache.get(task) is None
+        cache.put(task, {"value": 1.0})
+        assert cache.get(task) == {"value": 1.0}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.evictions == 0
+        assert len(cache) == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = MemoryLRUCache(max_entries=2)
+        first, second, third = self.tasks()
+        cache.put(first, {"value": 1.0})
+        cache.put(second, {"value": 2.0})
+        # Refresh `first` so `second` becomes the LRU entry.
+        assert cache.get(first) is not None
+        cache.put(third, {"value": 3.0})
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(second) is None
+        assert cache.get(first) == {"value": 1.0}
+        assert cache.get(third) == {"value": 3.0}
+
+    def test_explicit_evict_and_clear_count_evictions(self):
+        cache = MemoryLRUCache(max_entries=8)
+        first, second, third = self.tasks()
+        for i, task in enumerate((first, second, third)):
+            cache.put(task, {"value": float(i)})
+        assert cache.evict(cache.key_for(first)) is True
+        assert cache.evict(cache.key_for(first)) is False
+        assert cache.stats.evictions == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.evictions == 3
+
+    def test_stats_to_dict_reports_evictions_and_hit_rate(self):
+        cache = MemoryLRUCache(max_entries=1)
+        first, second, _ = self.tasks()
+        cache.put(first, {"value": 1.0})
+        cache.put(second, {"value": 2.0})
+        assert cache.get(second) is not None
+        rendered = cache.stats.to_dict()
+        assert rendered["evictions"] == 1
+        assert rendered["writes"] == 2
+        assert rendered["hit_rate"] == 1.0
+
+
+def full_record(value=1.0, phi=0.0):
+    """A minimal record satisfying the disk tier's shape validation."""
+    return {
+        "phi": phi,
+        "value": value,
+        "y_s1": value,
+        "y_s2": value,
+        "gamma": 0.5,
+        "worth": {"ideal": 1.0, "unguarded": 1.0, "guarded": 1.0},
+        "constituents": {},
+    }
+
+
+class TestTieredResultCache:
+    def tasks(self, phis=(0.0, 4000.0, 10_000.0)):
+        return plan_campaign(small_spec(phis=phis))
+
+    def test_disk_hit_promoted_into_memory(self, tmp_path):
+        disk = ResultCache(root=tmp_path / "cache")
+        task = self.tasks()[0]
+        disk.put(task, full_record())
+        tiered = TieredResultCache(MemoryLRUCache(max_entries=8), disk)
+        assert tiered.get(task) == full_record()
+        assert tiered.memory.stats.misses == 1
+        assert disk.stats.hits == 1
+        # Second lookup is answered by the memory tier alone.
+        assert tiered.get(task) == full_record()
+        assert tiered.memory.stats.hits == 1
+        assert disk.stats.hits == 1
+
+    def test_put_lands_in_both_tiers(self, tmp_path):
+        disk = ResultCache(root=tmp_path / "cache")
+        tiered = TieredResultCache(MemoryLRUCache(max_entries=8), disk)
+        task = self.tasks()[0]
+        tiered.put(task, full_record())
+        assert len(tiered.memory) == 1
+        assert len(disk) == 1
+        assert disk.get(task) == full_record()
+
+    def test_memory_only_mode(self):
+        tiered = TieredResultCache(MemoryLRUCache(max_entries=8))
+        task = self.tasks()[0]
+        assert tiered.root is None
+        assert tiered.get(task) is None
+        tiered.put(task, {"value": 1.0})
+        assert tiered.get(task) == {"value": 1.0}
+        assert tiered.stats.hits == 1
+        assert tiered.stats.misses == 1
+        assert tiered.tier_stats().keys() == {"memory"}
+
+    def test_combined_stats_count_one_miss_per_lookup(self, tmp_path):
+        disk = ResultCache(root=tmp_path / "cache")
+        tiered = TieredResultCache(MemoryLRUCache(max_entries=8), disk)
+        task = self.tasks()[0]
+        assert tiered.get(task) is None  # misses memory AND disk
+        combined = tiered.stats
+        assert combined.misses == 1
+        assert combined.lookups == 1
+        tiered.put(task, full_record())
+        assert tiered.get(task) == full_record()
+        assert tiered.stats.hits == 1
+        assert tiered.tier_stats().keys() == {"memory", "disk"}
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        disk = ResultCache(root=tmp_path / "cache")
+        with pytest.raises(ValueError):
+            TieredResultCache(
+                MemoryLRUCache(max_entries=8, schema_version=99), disk
+            )
+
+    def test_runtime_config_builds_tiered_cache(self, tmp_path):
+        config = RuntimeConfig(
+            cache_dir=tmp_path / "cache", memory_cache=16
+        )
+        built = config.make_cache()
+        assert isinstance(built, TieredResultCache)
+        assert built.memory.max_entries == 16
+        assert built.root == tmp_path / "cache"
+        memory_only = RuntimeConfig(memory_cache=16).make_cache()
+        assert isinstance(memory_only, TieredResultCache)
+        assert memory_only.root is None
+        assert RuntimeConfig().make_cache() is None
+
+    def test_campaign_warm_rerun_served_by_memory_tier(self, tmp_path):
+        disk = ResultCache(root=tmp_path / "cache")
+        tiered = TieredResultCache(MemoryLRUCache(max_entries=8), disk)
+        spec = small_spec(phis=(0.0, 5000.0))
+        cold = run_campaign(spec, cache=tiered)
+        assert cold.cache_stats.misses == 2
+        assert cold.cache_tier_stats is not None
+        assert cold.cache_tier_stats["memory"].writes == 2
+        warm = run_campaign(spec, cache=tiered)
+        assert warm.cache_stats.hits == 2
+        assert warm.cache_tier_stats["memory"].hits == 2
+        assert warm.cache_tier_stats["disk"].lookups == 0

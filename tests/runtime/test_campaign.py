@@ -166,3 +166,50 @@ class TestResultShape:
         assert [s.label for s in result.sweeps] == ["a", "b"]
         assert result.sweeps[0].phis == [0.0, 5000.0]
         assert result.sweeps[1].phis == [10_000.0]
+
+
+class TestTieredManifest:
+    def test_manifest_reports_per_tier_stats(self, tmp_path):
+        from repro.runtime.cache import MemoryLRUCache, ResultCache, TieredResultCache
+
+        tiered = TieredResultCache(
+            MemoryLRUCache(max_entries=8),
+            ResultCache(root=tmp_path / "cache"),
+        )
+        result = run_campaign(
+            tiny_spec(), cache=tiered, artifacts_dir=tmp_path / "runs"
+        )
+        manifest = json.loads(result.artifacts.manifest_path.read_text())
+        tiers = manifest["cache"]["tiers"]
+        assert set(tiers) == {"memory", "disk"}
+        assert tiers["disk"]["misses"] == 2
+        assert tiers["memory"]["writes"] == 2
+        assert set(tiers["memory"]) >= {
+            "hits", "misses", "evictions", "hit_rate", "writes"
+        }
+        assert result.cache_tier_stats["disk"].misses == 2
+
+    def test_tier_stats_are_per_run_deltas(self, tmp_path):
+        from repro.runtime.cache import MemoryLRUCache, ResultCache, TieredResultCache
+
+        tiered = TieredResultCache(
+            MemoryLRUCache(max_entries=8),
+            ResultCache(root=tmp_path / "cache"),
+        )
+        run_campaign(tiny_spec(), cache=tiered)
+        warm = run_campaign(tiny_spec(), cache=tiered)
+        assert warm.cache_stats.hits == 2
+        assert warm.cache_stats.misses == 0
+        assert warm.cache_tier_stats["memory"].hits == 2
+        assert warm.cache_tier_stats["memory"].writes == 0
+        assert warm.cache_tier_stats["disk"].lookups == 0
+
+    def test_plain_cache_has_no_tier_block(self, tmp_path):
+        result = run_campaign(
+            tiny_spec(),
+            cache_dir=tmp_path / "cache",
+            artifacts_dir=tmp_path / "runs",
+        )
+        manifest = json.loads(result.artifacts.manifest_path.read_text())
+        assert "tiers" not in manifest["cache"]
+        assert result.cache_tier_stats is None

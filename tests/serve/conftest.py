@@ -1,0 +1,27 @@
+"""Shared fixtures for the serving-layer tests.
+
+``serve_server`` is a factory fixture: tests request servers with the
+exact config/solver they need; every started server is drained and
+joined at teardown even when the test fails.
+"""
+
+import pytest
+
+from repro.serve.service import ServeConfig, start_in_thread
+
+
+@pytest.fixture
+def serve_server():
+    handles = []
+
+    def _start(config: ServeConfig | None = None, solve_fn=None):
+        handle = start_in_thread(config=config, solve_fn=solve_fn)
+        handles.append(handle)
+        return handle
+
+    yield _start
+    for handle in handles:
+        try:
+            handle.stop()
+        except RuntimeError:
+            pass

@@ -1,0 +1,149 @@
+"""Backpressure: bounded queue, 429 + Retry-After, post-overload drain."""
+
+import http.client
+import json
+import threading
+
+from repro.serve.loadgen import request_once
+from repro.serve.service import ServeConfig, default_solve_fn
+
+
+def raw_post(host, port, body):
+    """POST returning (status, headers, payload) so headers are visible."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request(
+            "POST",
+            "/evaluate",
+            body=json.dumps(body),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        connection.close()
+
+
+def test_overflow_rejects_with_429_then_drains(serve_server):
+    """A full queue answers 429 + Retry-After; the queue drains after."""
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated_solve(params, phis):
+        started.set()
+        assert release.wait(30), "test never released the solver gate"
+        return default_solve_fn(params, phis)
+
+    handle = serve_server(
+        ServeConfig(
+            port=0, jobs=1, queue_limit=2, warm=False, batch_window=0.0
+        ),
+        solve_fn=gated_solve,
+    )
+    host, port = handle.address
+
+    filler_result = {}
+
+    def fill_queue():
+        filler_result["response"] = request_once(
+            host, port, "/evaluate", "POST",
+            {"phis": [1000.0, 2000.0]}, timeout=120,
+        )
+
+    filler = threading.Thread(target=fill_queue)
+    filler.start()
+    assert started.wait(30), "queue-filling solve never started"
+
+    # Queue holds 2 unsolved points == the limit; one more point must
+    # be rejected before anything is registered.
+    status, headers, payload = raw_post(host, port, {"phis": [3000.0]})
+    assert status == 429
+    assert headers.get("Retry-After") == "1"
+    assert payload["error"] == "overloaded"
+    assert payload["queue_depth"] == 2
+    assert payload["queue_limit"] == 2
+
+    release.set()
+    filler.join(120)
+    assert filler_result["response"][0] == 200
+
+    # Drained: the rejected request now succeeds and the queue is empty.
+    status, _, payload = request_once(
+        host, port, "/evaluate", "POST", {"phis": [3000.0]}
+    )
+    assert status == 200
+    assert payload["points"][0]["source"] == "solved"
+
+    _, _, metrics = request_once(host, port, "/metrics")
+    assert metrics["queue"]["depth"] == 0
+    assert metrics["rejected_total"] == 1
+    assert metrics["responses_by_status"]["429"] == 1
+
+
+def test_request_larger_than_queue_rejected_outright(serve_server):
+    """A single request over the whole bound is rejected, registering
+    nothing — a subsequent in-bound request succeeds immediately."""
+    handle = serve_server(
+        ServeConfig(port=0, jobs=1, queue_limit=2, warm=False),
+        solve_fn=default_solve_fn,
+    )
+    host, port = handle.address
+    status, _, payload = request_once(
+        host, port, "/evaluate", "POST", {"phis": [0.0, 1000.0, 2000.0]}
+    )
+    assert status == 429
+
+    status, _, payload = request_once(
+        host, port, "/evaluate", "POST", {"phis": [0.0, 1000.0]}
+    )
+    assert status == 200
+    _, _, metrics = request_once(host, port, "/metrics")
+    assert metrics["queue"]["depth"] == 0
+
+
+def test_coalesced_points_are_free_under_admission(serve_server):
+    """Points that coalesce onto an in-flight batch don't count against
+    the queue bound — only genuinely new points do."""
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated_solve(params, phis):
+        started.set()
+        assert release.wait(30)
+        return default_solve_fn(params, phis)
+
+    handle = serve_server(
+        ServeConfig(
+            port=0, jobs=1, queue_limit=2, warm=False, batch_window=0.0
+        ),
+        solve_fn=gated_solve,
+    )
+    host, port = handle.address
+
+    results = {}
+
+    def fire(name):
+        results[name] = request_once(
+            host, port, "/evaluate", "POST",
+            {"phis": [1000.0, 2000.0]}, timeout=120,
+        )
+
+    leader = threading.Thread(target=fire, args=("leader",))
+    leader.start()
+    assert started.wait(30)
+
+    # Identical request while the queue is at its bound: every point
+    # coalesces, so it is admitted rather than rejected.
+    follower = threading.Thread(target=fire, args=("follower",))
+    follower.start()
+    follower.join(1.0)
+    assert follower.is_alive()  # waiting on the gated batch, not rejected
+
+    release.set()
+    leader.join(120)
+    follower.join(120)
+    assert results["leader"][0] == 200
+    assert results["follower"][0] == 200
+    sources = {p["source"] for p in results["follower"][2]["points"]}
+    assert sources <= {"coalesced", "cache"}

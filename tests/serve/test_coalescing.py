@@ -1,0 +1,154 @@
+"""The coalescing guarantees: one solver pass, shared cache keys.
+
+The acceptance-critical properties:
+
+* N concurrent identical requests trigger exactly one batched solve
+  (asserted against both the injected solver's call count and the
+  service's solver metrics).
+* Every served value is bitwise-equal to the direct
+  ``ConstituentSolver`` path, and the service's on-disk cache entries
+  are interchangeable with ``run_campaign``'s (100% hits on re-read).
+"""
+
+import threading
+import time
+
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.gsu.performability import evaluate_batch
+from repro.runtime.campaign import run_campaign
+from repro.runtime.spec import CampaignSpec, CurveSpec
+from repro.serve.loadgen import request_once
+from repro.serve.service import ServeConfig, default_solve_fn, start_in_thread
+
+THETA = PAPER_TABLE3.theta
+PHIS = [0.0, THETA / 4, THETA / 2, 3 * THETA / 4, THETA]
+
+
+def test_concurrent_identical_requests_one_solver_pass(serve_server):
+    """N identical in-flight requests produce exactly one batched solve.
+
+    The injected solver blocks on a gate, so every follower request
+    deterministically finds the leader's batch in flight and coalesces
+    onto it — no reliance on scheduling luck.
+    """
+    calls = []
+    started = threading.Event()
+    release = threading.Event()
+
+    def gated_solve(params, phis):
+        calls.append(list(phis))
+        started.set()
+        assert release.wait(30), "test never released the solver gate"
+        return default_solve_fn(params, phis)
+
+    handle = serve_server(
+        ServeConfig(port=0, jobs=2, warm=False), solve_fn=gated_solve
+    )
+    host, port = handle.address
+
+    n = 6
+    results = [None] * n
+
+    def fire(i):
+        results[i] = request_once(
+            host, port, "/evaluate", "POST", {"phis": PHIS}, timeout=120
+        )
+
+    threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
+    for thread in threads:
+        thread.start()
+    assert started.wait(30), "leader's solve never started"
+
+    # Hold the gate until every follower has registered against the
+    # in-flight batch, so the coalesced-point count is deterministic.
+    expected_coalesced = (n - 1) * len(PHIS)
+    deadline = time.monotonic() + 30
+    coalesced = -1
+    while time.monotonic() < deadline:
+        _, _, metrics = request_once(host, port, "/metrics")
+        coalesced = metrics["solver"]["points_coalesced"]
+        if coalesced >= expected_coalesced:
+            break
+        time.sleep(0.02)
+    assert coalesced == expected_coalesced
+    release.set()
+    for thread in threads:
+        thread.join(120)
+
+    assert len(calls) == 1
+    assert sorted(calls[0]) == sorted(PHIS)
+    assert [status for status, _, _ in results] == [200] * n
+    reference = [point["y"] for point in results[0][2]["points"]]
+    for _, _, payload in results[1:]:
+        assert [point["y"] for point in payload["points"]] == reference
+
+    _, _, metrics = request_once(host, port, "/metrics")
+    assert metrics["solver"]["batches"] == 1
+    assert metrics["solver"]["points_solved"] == len(PHIS)
+    assert metrics["solver"]["points_coalesced"] == expected_coalesced
+    assert metrics["queue"]["depth"] == 0
+
+
+def test_served_values_bitwise_equal_and_cache_interop(tmp_path):
+    """Service answers == direct solver, and its disk cache feeds the CLI.
+
+    The service and ``run_campaign`` content-address identical
+    evaluations identically, so a campaign re-running the served points
+    against the same cache directory must hit on every single one.
+    """
+    cache_dir = tmp_path / "cache"
+    handle = start_in_thread(ServeConfig(port=0, jobs=2, cache_dir=cache_dir))
+    try:
+        host, port = handle.address
+        status, _, payload = request_once(
+            host, port, "/evaluate", "POST", {"phis": PHIS}
+        )
+    finally:
+        handle.stop()
+    assert status == 200
+
+    direct = [
+        {"phi": e.phi, "value": e.value}
+        for e in evaluate_batch(
+            PAPER_TABLE3, PHIS, solver=ConstituentSolver(PAPER_TABLE3)
+        )
+    ]
+    served = payload["points"]
+    assert [p["phi"] for p in served] == [d["phi"] for d in direct]
+    assert [p["y"] for p in served] == [d["value"] for d in direct]
+    # The full record survives the JSON round trip bitwise.
+    records = [p["record"] for p in served]
+    assert [r["value"] for r in records] == [d["value"] for d in direct]
+
+    spec = CampaignSpec(
+        name="serve-interop",
+        curves=(
+            CurveSpec(label="base", params=PAPER_TABLE3, phis=tuple(PHIS)),
+        ),
+    )
+    result = run_campaign(spec, cache_dir=cache_dir)
+    assert result.cache_stats is not None
+    assert result.cache_stats.hits == len(PHIS)
+    assert result.cache_stats.misses == 0
+    assert list(result.sweeps[0].values) == [d["value"] for d in direct]
+
+
+def test_distinct_parameter_sets_solve_in_separate_batches(serve_server):
+    """Different parameter sets never share a batch (separate buckets)."""
+    calls = []
+
+    def counting_solve(params, phis):
+        calls.append((params, list(phis)))
+        return default_solve_fn(params, phis)
+
+    handle = serve_server(
+        ServeConfig(port=0, jobs=2, warm=False), solve_fn=counting_solve
+    )
+    host, port = handle.address
+    body_a = {"phis": [THETA / 2]}
+    body_b = {"params": {"coverage": 0.5}, "phis": [THETA / 2]}
+    assert request_once(host, port, "/evaluate", "POST", body_a)[0] == 200
+    assert request_once(host, port, "/evaluate", "POST", body_b)[0] == 200
+    assert len(calls) == 2
+    assert calls[0][0] != calls[1][0]

@@ -1,0 +1,142 @@
+"""Tests for the minimal HTTP/1.1 layer over asyncio streams."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADERS,
+    MAX_LINE_BYTES,
+    HttpError,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes) -> HttpRequest:
+    """Run the parser over a pre-fed stream (no sockets needed)."""
+
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.target == "/healthz"
+        assert request.version == "HTTP/1.1"
+        assert request.headers == {"host": "x"}
+        assert request.body == b""
+
+    def test_post_with_content_length_body(self):
+        body = b'{"step": 2500}'
+        raw = (
+            b"POST /evaluate HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.body == body
+        assert request.json() == {"step": 2500}
+
+    def test_header_names_lowercased_values_stripped(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Thing:   padded  \r\n\r\n")
+        assert request.headers == {"x-thing": "padded"}
+
+    def test_leading_blank_line_tolerated(self):
+        request = parse(b"\r\nGET /healthz HTTP/1.1\r\n\r\n")
+        assert request.target == "/healthz"
+
+    def test_http_1_0_accepted(self):
+        assert parse(b"GET / HTTP/1.0\r\n\r\n").version == "HTTP/1.0"
+
+    def test_empty_stream_raises_connection_reset(self):
+        with pytest.raises(ConnectionResetError):
+            parse(b"")
+
+    @pytest.mark.parametrize(
+        "raw, status",
+        [
+            (b"GARBAGE\r\n\r\n", 400),
+            (b"GET /too many parts HTTP/1.1\r\n\r\n", 400),
+            (b"GET / HTTP/2.0\r\n\r\n", 505),
+            (b"GET / SPDY/3\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", 400),
+            (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400),
+        ],
+    )
+    def test_protocol_violations(self, raw, status):
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == status
+
+    def test_oversized_body_is_413(self):
+        raw = f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw.encode())
+        assert excinfo.value.status == 413
+
+    def test_oversized_header_line_is_400(self):
+        raw = b"GET / HTTP/1.1\r\nX-Big: " + b"a" * MAX_LINE_BYTES + b"\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_too_many_headers_is_400(self):
+        headers = b"".join(
+            f"X-H{i}: v\r\n".encode() for i in range(MAX_HEADERS + 1)
+        )
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert excinfo.value.status == 400
+
+
+class TestRequestJson:
+    def test_empty_body_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            HttpRequest("POST", "/evaluate", "HTTP/1.1").json()
+        assert excinfo.value.status == 400
+
+    def test_malformed_json_is_400(self):
+        request = HttpRequest("POST", "/evaluate", "HTTP/1.1", body=b"{nope")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestRenderResponse:
+    def test_status_line_headers_and_body(self):
+        raw = render_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Content-Type: application/json" in lines
+        assert f"Content-Length: {len(body)}" in lines
+        assert "Connection: close" in lines
+        assert body == b'{"ok": true}\n'
+
+    def test_extra_headers_appended(self):
+        raw = render_response(429, {"error": "overloaded"}, {"Retry-After": "1"})
+        head = raw.partition(b"\r\n\r\n")[0].decode()
+        assert head.startswith("HTTP/1.1 429 Too Many Requests")
+        assert "Retry-After: 1" in head.split("\r\n")
+
+    def test_roundtrips_through_parser(self):
+        # A rendered response body is itself well-formed JSON.
+        raw = render_response(404, {"error": "unknown path"})
+        body = raw.partition(b"\r\n\r\n")[2]
+        import json
+
+        assert json.loads(body) == {"error": "unknown path"}

@@ -275,3 +275,76 @@ class TestSolve:
             "solve", model_file, "--predicate", "MARK(up)==1",
             "--solution", "accumulated",
         ]) == 2
+
+
+class TestRuntimeFlagValidation:
+    def test_jobs_zero_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "FIG9", "--jobs", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_non_integer_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "FIG9", "--jobs", "two"])
+        assert "expected an integer >= 1" in capsys.readouterr().err
+
+    def test_cache_dir_with_missing_parent_rejected(self, capsys, tmp_path):
+        missing = tmp_path / "no" / "such" / "cache"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "FIG9", "--cache-dir", str(missing)]
+            )
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_cache_dir_with_existing_parent_accepted(self, tmp_path):
+        target = tmp_path / "cache"
+        args = build_parser().parse_args(
+            ["campaign", "FIG9", "--cache-dir", str(target)]
+        )
+        assert args.cache_dir == str(target)
+
+    def test_existing_cache_dir_accepted(self, tmp_path):
+        args = build_parser().parse_args(
+            ["campaign", "FIG9", "--cache-dir", str(tmp_path)]
+        )
+        assert args.cache_dir == str(tmp_path)
+
+    def test_memory_cache_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "FIG9", "--memory-cache", "0"]
+            )
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_memory_cache_flows_into_runtime_config(self, capsys, tmp_path):
+        argv = [
+            "campaign", "FIG9", "--step", "5000", "--no-chart",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--memory-cache", "64",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "memory tier:" in out
+        assert "disk tier:" in out
+
+
+class TestServeCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8351
+        assert args.jobs == 2
+        assert args.memory_cache == 4096
+        assert args.queue_limit == 1024
+
+    def test_parser_rejects_bad_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--jobs", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_parser_rejects_bad_cache_dir(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--cache-dir", str(tmp_path / "a" / "b" / "c")]
+            )
+        assert "does not exist" in capsys.readouterr().err
