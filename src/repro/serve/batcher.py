@@ -1,8 +1,10 @@
 """Request coalescing and bounded-queue admission control.
 
 The serving hot path: every ``Y(phi)`` point a request needs is first
-probed against the tiered result cache; the misses become *pending
-points* keyed by their content address.  Concurrent requests needing
+probed against the tiered result cache — the memory tier inline on the
+event loop, the disk tier (file I/O) batched onto the worker pool so
+the loop never blocks on it; the misses become *pending points* keyed
+by their content address.  Concurrent requests needing
 the same point share one pending future (coalescing), and all points
 pending for one parameter set are claimed together and solved as a
 single batched grid solve on the warm worker pool — the PR 2/3 fast
@@ -20,12 +22,15 @@ HTTP layer answers with ``429`` + ``Retry-After``.
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.gsu.parameters import GSUParameters
 from repro.runtime.tasks import EvaluationTask
 from repro.serve.metrics import ServiceMetrics
+
+logger = logging.getLogger(__name__)
 
 #: Default bound on registered-and-unsolved points.
 DEFAULT_QUEUE_LIMIT = 1024
@@ -120,59 +125,133 @@ class CoalescingBatcher:
         loop = asyncio.get_running_loop()
         records: dict[str, dict] = {}
         sources: dict[str, str] = {}
-        awaited: dict[str, asyncio.Future] = {}
-        bucket = self._pending.setdefault(params, {})
-
-        new_points: list[tuple[str, EvaluationTask]] = []
         keys: list[str] = []
+        key_to_task: dict[str, EvaluationTask] = {}
         for task in tasks:
             key = cache.key_for(task)
             keys.append(key)
-            if key in records or key in awaited or any(
-                key == k for k, _ in new_points
-            ):
-                continue
-            record = cache.get(task)
-            if record is not None:
-                records[key] = record
-                sources[key] = "cache"
-                continue
+            key_to_task.setdefault(key, task)
+
+        misses = self._probe_memory(cache, key_to_task, records, sources)
+        if misses:
+            misses = await self._probe_disk(
+                loop, cache, key_to_task, misses, records, sources
+            )
+
+        # Fetch the bucket only now: the disk probe awaits, and any
+        # await can retire this params entry (and let a new bucket take
+        # its place), so a reference taken earlier could be stale.
+        bucket = self._pending.setdefault(params, {})
+        awaited: dict[str, asyncio.Future] = {}
+        new_points: list[tuple[str, EvaluationTask]] = []
+        for key in misses:
             point = bucket.get(key)
             if point is not None:
                 awaited[key] = point.future
                 sources[key] = "coalesced"
                 self.metrics.points_coalesced += 1
             else:
-                new_points.append((key, task))
+                new_points.append((key, key_to_task[key]))
                 sources[key] = "solved"
 
-        if new_points:
-            if self._inflight_points + len(new_points) > self.queue_limit:
-                self.metrics.rejected_total += 1
-                raise OverloadedError(
-                    depth=self._inflight_points,
-                    limit=self.queue_limit,
-                    retry_after=self.retry_after,
-                )
-            for key, task in new_points:
-                point = _PendingPoint(task=task, future=loop.create_future())
-                bucket[key] = point
-                awaited[key] = point.future
-            self._inflight_points += len(new_points)
-            # Let concurrent arrivals register into this batch, then
-            # claim and solve whatever is unclaimed for these params.
-            if self.batch_window > 0:
-                await asyncio.sleep(self.batch_window)
-            else:
-                await asyncio.sleep(0)
-            await self._dispatch(params, cache)
+        try:
+            if new_points:
+                if self._inflight_points + len(new_points) > self.queue_limit:
+                    self.metrics.rejected_total += 1
+                    raise OverloadedError(
+                        depth=self._inflight_points,
+                        limit=self.queue_limit,
+                        retry_after=self.retry_after,
+                    )
+                for key, task in new_points:
+                    point = _PendingPoint(
+                        task=task, future=loop.create_future()
+                    )
+                    bucket[key] = point
+                    awaited[key] = point.future
+                self._inflight_points += len(new_points)
+                # Let concurrent arrivals register into this batch, then
+                # claim and solve whatever is unclaimed for these params.
+                if self.batch_window > 0:
+                    await asyncio.sleep(self.batch_window)
+                else:
+                    await asyncio.sleep(0)
+                await self._dispatch(params, cache)
 
-        for key, future in awaited.items():
-            records[key] = await future
-
-        if not bucket and params in self._pending:
-            self._pending.pop(params, None)
+            for key, future in awaited.items():
+                records[key] = await future
+        finally:
+            # Retire the entry only if it still holds *our* (now empty)
+            # bucket: after the awaits above another request may have
+            # retired it already and a third registered points into a
+            # fresh bucket under the same params — popping on key alone
+            # would discard those points and leave their futures
+            # unresolvable.  Running on every exit also keeps an
+            # OverloadedError from stranding a never-used empty bucket.
+            if self._pending.get(params) is bucket and not bucket:
+                self._pending.pop(params, None)
         return [(records[key], sources[key]) for key in keys]
+
+    def _probe_memory(
+        self,
+        cache,
+        key_to_task: dict[str, EvaluationTask],
+        records: dict[str, dict],
+        sources: dict[str, str],
+    ) -> list[str]:
+        """Probe the inline tier; returns the keys still missing.
+
+        For a tiered cache only the memory tier is touched here — disk
+        probes are file I/O and belong on the executor
+        (:meth:`_probe_disk`).  A cache without tiers is probed whole.
+        """
+        memory = getattr(cache, "memory", None)
+        misses: list[str] = []
+        for key, task in key_to_task.items():
+            record = (
+                memory.get_key(key) if memory is not None else cache.get(task)
+            )
+            if record is None:
+                misses.append(key)
+            else:
+                records[key] = record
+                sources[key] = "cache"
+        return misses
+
+    async def _probe_disk(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        cache,
+        key_to_task: dict[str, EvaluationTask],
+        misses: list[str],
+        records: dict[str, dict],
+        sources: dict[str, str],
+    ) -> list[str]:
+        """Probe the durable tier off-loop; returns the keys still missing.
+
+        A request may probe thousands of points, so the synchronous
+        file reads run as one executor job instead of stalling the
+        event loop.  Hits are promoted into the memory tier, mirroring
+        :meth:`~repro.runtime.cache.TieredResultCache.get`.
+        """
+        disk = getattr(cache, "disk", None)
+        memory = getattr(cache, "memory", None)
+        if disk is None or memory is None:
+            return misses
+        probe_tasks = [key_to_task[key] for key in misses]
+        found = await loop.run_in_executor(
+            self.executor,
+            lambda: [disk.get(task) for task in probe_tasks],
+        )
+        still_missing: list[str] = []
+        for key, record in zip(misses, found):
+            if record is None:
+                still_missing.append(key)
+            else:
+                memory.put_key(key, record)
+                records[key] = record
+                sources[key] = "cache"
+        return still_missing
 
     async def _dispatch(self, params: GSUParameters, cache) -> None:
         """Claim and solve every unclaimed pending point for ``params``.
@@ -208,9 +287,32 @@ class CoalescingBatcher:
                     point.future.set_exception(exc)
             self._inflight_points -= len(batch)
             return
+        memory = getattr(cache, "memory", None)
+        disk = getattr(cache, "disk", None)
         for (key, point), record in zip(batch, solved):
-            cache.put(point.task, record)
+            if memory is not None:
+                memory.put_key(key, record)
+            else:
+                cache.put(point.task, record)
             bucket.pop(key, None)
             if not point.future.done():
                 point.future.set_result(record)
         self._inflight_points -= len(batch)
+        if memory is not None and disk is not None:
+            # Persist off-loop after the futures resolve: waiters never
+            # pay for file I/O, and the event loop never blocks on it.
+            # A failed write costs durability, not correctness — the
+            # records are already served and resident in memory.
+            def _persist():
+                for (_, point), record in zip(batch, solved):
+                    disk.put(point.task, record)
+
+            try:
+                await loop.run_in_executor(self.executor, _persist)
+            except Exception as exc:  # noqa: BLE001 - durability only
+                logger.warning(
+                    "disk tier write failed for %d solved points (%s); "
+                    "records remain served from memory",
+                    len(batch),
+                    exc,
+                )

@@ -22,8 +22,10 @@ One :class:`PerformabilityService` owns the whole request path:
    compile/re-stamp counts.
 
 Overload answers ``429`` with ``Retry-After``; ``SIGTERM``/``SIGINT``
-drain gracefully: the listener closes, in-flight requests finish (up to
-``drain_timeout``), then the worker pool shuts down.
+drain gracefully: new work answers ``503`` while in-flight requests
+finish (up to ``drain_timeout``) and the probe endpoints keep reporting
+``"draining"``, then the listener closes and the worker pool shuts
+down.
 """
 
 from __future__ import annotations
@@ -429,7 +431,14 @@ class PerformabilityService:
                 return
 
             self.metrics.requests_total += 1
-            if self._draining:
+            is_probe = request.method == "GET" and request.target in (
+                "/healthz",
+                "/metrics",
+            )
+            if self._draining and not is_probe:
+                # Probe endpoints keep answering during the drain so an
+                # orchestrator can tell "draining" from "dead"; work
+                # endpoints are turned away immediately.
                 await write_response(
                     writer,
                     503,
@@ -508,10 +517,10 @@ class PerformabilityService:
             if on_ready is not None:
                 on_ready(self)
             await self._stop.wait()
-            # Graceful drain: stop accepting, let in-flight work finish.
+            # Graceful drain: the listener stays open so GET /healthz
+            # and /metrics can report "draining" (new work answers 503)
+            # while in-flight requests finish; then it closes.
             self._draining = True
-            server.close()
-            await server.wait_closed()
             if self._active_requests > 0:
                 try:
                     await asyncio.wait_for(
@@ -519,6 +528,8 @@ class PerformabilityService:
                     )
                 except asyncio.TimeoutError:
                     pass
+            server.close()
+            await server.wait_closed()
         finally:
             for signum in installed_signals:
                 self._loop.remove_signal_handler(signum)

@@ -6,6 +6,8 @@ shutdown test boots its own so it can tear it down mid-test.
 
 import http.client
 import json
+import threading
+import time
 
 import pytest
 
@@ -13,7 +15,11 @@ from repro.gsu.measures import ConstituentSolver
 from repro.gsu.parameters import PAPER_TABLE3
 from repro.gsu.performability import evaluate_batch
 from repro.serve.loadgen import request_once
-from repro.serve.service import ServeConfig, start_in_thread
+from repro.serve.service import (
+    ServeConfig,
+    default_solve_fn,
+    start_in_thread,
+)
 
 THETA = PAPER_TABLE3.theta
 PHIS = [0.0, THETA / 4, THETA / 2, 3 * THETA / 4, THETA]
@@ -226,4 +232,59 @@ class TestShutdown:
         handle.service.request_stop()
         handle.service.request_stop()
         handle.stop()
+        assert not handle.thread.is_alive()
+
+    def test_healthz_reports_draining_while_work_is_refused(self):
+        """During a graceful drain, probe endpoints answer while work
+        endpoints get 503 — an orchestrator can tell a draining
+        instance from a dead one."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_solve(params, phis):
+            started.set()
+            assert release.wait(30), "test never released the solver gate"
+            return default_solve_fn(params, phis)
+
+        handle = start_in_thread(
+            ServeConfig(port=0, jobs=1, warm=False), solve_fn=gated_solve
+        )
+        host, port = handle.address
+        result = {}
+
+        def fire():
+            result["response"] = request_once(
+                host, port, "/evaluate", "POST", {"phis": [1000.0]},
+                timeout=120,
+            )
+
+        inflight = threading.Thread(target=fire)
+        inflight.start()
+        try:
+            assert started.wait(30), "in-flight solve never started"
+            handle.service.request_stop()
+
+            payload = None
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                status, _, payload = request_once(host, port, "/healthz")
+                assert status == 200
+                if payload["status"] == "draining":
+                    break
+                time.sleep(0.02)
+            assert payload is not None and payload["status"] == "draining"
+
+            status, _, metrics = request_once(host, port, "/metrics")
+            assert status == 200
+            assert metrics["draining"] is True
+
+            status, _, payload = request_once(
+                host, port, "/evaluate", "POST", {"phis": [2000.0]}
+            )
+            assert status == 503
+        finally:
+            release.set()
+            inflight.join(120)
+        assert result["response"][0] == 200
+        handle.thread.join(30)
         assert not handle.thread.is_alive()
