@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke bench examples reports experiments clean
+.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke scaling-smoke scaling-full bench examples reports experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,7 +18,7 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff)"; \
 	fi
 
-test: lint campaign-smoke serve-smoke
+test: lint campaign-smoke serve-smoke scaling-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tier-1: everything except minutes-scale simulation tests (marker: slow).
@@ -58,6 +58,21 @@ serve-smoke:
 	@PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.serve.loadgen --selftest \
 		--requests 20 --concurrency 4 --step 2500 && \
 	echo "serve-smoke: OK"
+
+# Fleet scaling benchmark, reduced profile (seconds-scale): sparse
+# solvers vs the lumped reference on small fleets; writes
+# benchmarks/reports/BENCH_scaling_smoke.json.
+scaling-smoke:
+	@FLEET_BENCH_PROFILE=smoke PYTHONPATH=src:$$PYTHONPATH \
+		$(PYTHON) -m pytest benchmarks/test_fleet_scaling.py \
+		-m "not slow" -q && \
+	echo "scaling-smoke: OK"
+
+# The full sweep (1e3..2.6e5 flat states, plus the 1e6 slow tier);
+# writes benchmarks/reports/BENCH_scaling.json.
+scaling-full:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest \
+		benchmarks/test_fleet_scaling.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

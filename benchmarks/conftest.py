@@ -13,6 +13,8 @@ benchmark:
 from __future__ import annotations
 
 import pathlib
+import resource
+import sys
 
 import pytest
 
@@ -45,6 +47,25 @@ def assert_claims(outcome: ExperimentOutcome) -> None:
     failing = [c for c in outcome.claims if not c.passed]
     assert not failing, "paper claims failed: " + "; ".join(
         f"{c.claim} ({c.detail})" for c in failing
+    )
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident-set size so far, in bytes.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; stdlib-only, so
+    the benchmarks need no psutil dependency.  The value is the OS
+    high-water mark — monotone over the process lifetime — so per-case
+    readings in a sweep report "peak so far", not per-case deltas.
+    """
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return raw if sys.platform == "darwin" else raw * 1024
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Report the run's peak RSS after every benchmark session."""
+    terminalreporter.write_line(
+        f"peak RSS: {peak_rss_bytes() / 2**20:.1f} MiB"
     )
 
 

@@ -36,6 +36,7 @@ from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.analysis.plotting import ascii_curves
 from repro.analysis.sweep import run_sweep
 from repro.analysis.tables import optimum_table, sweep_table
+from repro.gsu.fleet import FLEET_MODES, FleetParameters
 from repro.gsu.hybrid import hybrid_evaluate
 from repro.gsu.measures import ConstituentSolver
 from repro.gsu.models.rm_gd import build_rm_gd
@@ -238,6 +239,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--no-chart", action="store_true")
     _add_runtime_flags(campaign)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="evaluate fleet Y(phi): N replicated MDCD processes with a "
+             "shared repair facility",
+    )
+    fleet.add_argument(
+        "--phis", default=None, metavar="P1,P2,...",
+        help="comma-separated phi grid (default: 11 points over [0, theta])",
+    )
+    fleet.add_argument(
+        "--step", type=float, default=None,
+        help="phi grid step over [0, theta] (alternative to --phis)",
+    )
+    fleet.add_argument(
+        "--processes", type=_positive_int, default=9, metavar="N",
+        help="fleet size N; the flat product space is 4**N (default 9)",
+    )
+    fleet.add_argument(
+        "--repair-servers", type=_positive_int, default=2, metavar="S",
+        help="concurrent repairs the shared facility sustains (default 2)",
+    )
+    fleet.add_argument(
+        "--repair-rate", type=float, default=2.0, metavar="RATE",
+        help="per-server repair completion rate per hour (default 2.0)",
+    )
+    fleet.add_argument(
+        "--mode", choices=FLEET_MODES, default="auto",
+        help="state-space representation: 'lumped' is the exact "
+             "C(N+3,3)-state symmetry quotient, 'flat' the full 4**N "
+             "product chain (auto = lumped)",
+    )
+    fleet.add_argument(
+        "--json", action="store_true",
+        help="emit the result records as JSON instead of a table",
+    )
+    _add_parameter_flags(fleet)
+    _add_runtime_flags(fleet)
 
     serve = sub.add_parser(
         "serve",
@@ -532,6 +571,89 @@ def _cmd_campaign(args) -> int:
     return status
 
 
+def _cmd_fleet(args) -> int:
+    import time
+
+    from repro.runtime.executor import execute_fleet_tasks
+    from repro.runtime.tasks import plan_fleet_tasks
+
+    if args.phis is not None and args.step is not None:
+        print("error: give at most one of --phis and --step", file=sys.stderr)
+        return 2
+    base = _params_from(args, PAPER_TABLE3)
+    try:
+        params = FleetParameters.from_gsu(
+            base,
+            n_processes=args.processes,
+            repair_servers=args.repair_servers,
+            repair_rate=args.repair_rate,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.phis is not None:
+        try:
+            phis = [float(p) for p in args.phis.split(",") if p.strip()]
+        except ValueError:
+            print(f"error: bad --phis {args.phis!r}", file=sys.stderr)
+            return 2
+    elif args.step is not None:
+        if args.step <= 0:
+            print(f"error: --step must be positive, got {args.step}",
+                  file=sys.stderr)
+            return 2
+        phis, phi = [], 0.0
+        while phi < params.theta:
+            phis.append(phi)
+            phi += args.step
+        phis.append(params.theta)
+    else:
+        phis = [i * params.theta / 10 for i in range(11)]
+
+    mode = "lumped" if args.mode == "auto" else args.mode
+    config = _runtime_config_from(args)
+    cache = config.make_cache()
+    try:
+        tasks = plan_fleet_tasks(params, phis, mode=mode)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    outcomes = execute_fleet_tasks(
+        tasks, backend=config.backend, jobs=config.jobs, cache=cache
+    )
+    wall = time.perf_counter() - start
+
+    if args.json:
+        print(json.dumps([o.record for o in outcomes], indent=2))
+        return 0
+    states = outcomes[0].record["states"] if outcomes else 0
+    print(
+        f"Fleet of {params.n_processes} MDCD processes, "
+        f"{params.repair_servers} repair server(s) "
+        f"({mode}: {states} states)"
+    )
+    print(f"{'phi':>10}  {'Y(phi)':>10}  {'op.time':>12}")
+    for outcome in outcomes:
+        record = outcome.record
+        print(
+            f"{record['phi']:>10g}  {record['Y']:>10.6f}  "
+            f"{record['operational_time']:>12.4f}"
+        )
+    solved = sum(1 for o in outcomes if not o.cached)
+    print(
+        f"{len(outcomes)} points ({solved} solved) on {config.backend} "
+        f"backend, jobs={config.jobs}, wall {wall:.2f}s"
+    )
+    stats = getattr(cache, "stats", None)
+    if stats is not None:
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.corrupt} corrupt, {stats.writes} writes"
+        )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -765,6 +887,7 @@ _COMMANDS = {
     "optimal": _cmd_optimal,
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
+    "fleet": _cmd_fleet,
     "serve": _cmd_serve,
     "verify": _cmd_verify,
     "validate": _cmd_validate,

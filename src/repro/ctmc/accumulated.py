@@ -13,25 +13,29 @@ Backends:
   ``A = [[Q, r], [0, 0]]`` the last component of ``[pi(0), 0] expm(A t)``
   is exactly ``int_0^t pi(u) r du``.  One dense matrix exponential,
   stiffness-independent — required for the paper's 1e4-hour horizons.
+* ``"augmented-krylov"`` — the same augmented-generator trick kept
+  sparse: one Krylov action (``expm_multiply``) of the CSR augmented
+  matrix.  Stiffness-independent with ``O(nnz)`` memory — the
+  large-chain workhorse above ``DENSE_STATE_LIMIT``.
 * ``"quadrature"`` — adaptive quadrature over the transient solution
   (slow; cross-validation only).
-* ``"auto"`` — uniformization when non-stiff, augmented expm otherwise.
+* ``"auto"`` — uniformization when non-stiff; otherwise augmented expm
+  within the dense limit and augmented Krylov beyond it.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 from scipy.integrate import quad
 from scipy.linalg import expm as dense_expm
+from scipy.sparse.linalg import expm_multiply
 
+from repro.ctmc import config
 from repro.ctmc.chain import CTMC
 from repro.ctmc.errors import CTMCError
 from repro.ctmc.linalg import validate_rewards
-from repro.ctmc.transient import (
-    AUTO_STIFFNESS_THRESHOLD,
-    DENSE_STATE_LIMIT,
-    transient_distribution,
-)
+from repro.ctmc.transient import transient_distribution
 from repro.ctmc.uniformization import (
     _accumulated_uniformization_walk,
     _validate_time_grid,
@@ -40,16 +44,38 @@ from repro.ctmc.uniformization import (
 )
 
 #: Supported accumulated-reward solver backends.
-ACCUMULATED_METHODS = ("uniformization", "augmented-expm", "quadrature", "auto")
+ACCUMULATED_METHODS = (
+    "uniformization",
+    "augmented-expm",
+    "augmented-krylov",
+    "quadrature",
+    "auto",
+)
 
 #: Supported grid solver backends (see :func:`accumulated_grid`).
 ACCUMULATED_GRID_METHODS = (
     "auto",
     "uniformization",
     "augmented-expm",
+    "augmented-krylov",
     "augmented-propagator",
     "quadrature",
 )
+
+
+def _augmented_sparse(chain: CTMC, rewards: np.ndarray) -> sp.csr_matrix:
+    """The augmented generator ``[[Q, r], [0, 0]]`` assembled in CSR.
+
+    Built from the generator's own CSR triplets — no dense round-trip,
+    so it works at any state count.
+    """
+    q = chain.generator.tocoo()
+    n = chain.num_states
+    nz = np.nonzero(rewards)[0]
+    rows = np.concatenate([q.row, nz])
+    cols = np.concatenate([q.col, np.full(nz.size, n, dtype=q.col.dtype)])
+    data = np.concatenate([q.data, rewards[nz]])
+    return sp.csr_matrix((data, (rows, cols)), shape=(n + 1, n + 1))
 
 
 def accumulated_reward(
@@ -86,19 +112,27 @@ def accumulated_reward(
     if t == 0.0:
         return 0.0
     if method == "auto":
+        lim = config.limits()
         max_exit = float(np.max(chain.exit_rates(), initial=0.0))
-        if max_exit * t <= AUTO_STIFFNESS_THRESHOLD:
+        if max_exit * t <= lim.auto_stiffness_threshold:
             method = "uniformization"
-        elif chain.num_states < DENSE_STATE_LIMIT:
+        elif chain.num_states < lim.dense_state_limit:
             method = "augmented-expm"
         else:
-            method = "uniformization"
+            # Stiff and beyond the dense limit: stay sparse.
+            method = "augmented-krylov"
     if method == "uniformization":
+        config.record_dispatch("uniformization")
         return accumulated_by_uniformization(
             chain.generator, chain.initial_distribution, r, t, tolerance=tolerance
         )
     if method == "augmented-expm":
+        config.record_dispatch("augmented-expm")
         return _augmented_expm(chain, r, t)
+    if method == "augmented-krylov":
+        config.record_dispatch("augmented-krylov")
+        return _augmented_krylov(chain, r, t)
+    config.record_dispatch("quadrature")
 
     def integrand(u: float) -> float:
         return float(transient_distribution(chain, u) @ r)
@@ -114,10 +148,10 @@ def _augmented_expm(chain: CTMC, rewards: np.ndarray, t: float) -> float:
     ``y'(t) = pi(t) . r``, so ``y(t)`` is exactly the accumulated reward.
     """
     n = chain.num_states
-    if n >= DENSE_STATE_LIMIT:
+    limit = config.limits().dense_state_limit
+    if n >= limit:
         raise CTMCError(
-            f"augmented-expm limited to {DENSE_STATE_LIMIT} states; chain "
-            f"has {n}"
+            f"augmented-expm limited to {limit} states; chain has {n}"
         )
     a = np.zeros((n + 1, n + 1))
     a[:n, :n] = chain.generator.toarray()
@@ -125,6 +159,21 @@ def _augmented_expm(chain: CTMC, rewards: np.ndarray, t: float) -> float:
     state = np.zeros(n + 1)
     state[:n] = chain.initial_distribution
     result = state @ dense_expm(a * t)
+    return float(result[n])
+
+
+def _augmented_krylov(chain: CTMC, rewards: np.ndarray, t: float) -> float:
+    """Sparse accumulated reward: one Krylov action of ``[[Q, r], [0, 0]]``.
+
+    ``state @ expm(A t)`` is evaluated as ``expm_multiply(A^T t, state)``
+    on the CSR augmented generator — no densification, so this is the
+    path large composed fleets take for interval-of-time rewards.
+    """
+    n = chain.num_states
+    a = _augmented_sparse(chain, rewards)
+    state = np.zeros(n + 1)
+    state[:n] = chain.initial_distribution
+    result = expm_multiply(a.T.tocsr() * t, state)
     return float(result[n])
 
 
@@ -147,6 +196,9 @@ def accumulated_grid(
       exponential per unique point; arithmetic identical to the scalar
       :func:`accumulated_reward` augmented branch.  Stiffness-
       independent.
+    * ``"augmented-krylov"`` — segment-stepped sparse Krylov actions of
+      the CSR augmented generator; stiffness-independent with ``O(nnz)``
+      memory, the backend large composed fleets dispatch to.
     * ``"augmented-propagator"`` — step the augmented state with reused
       ``exp(A dt)`` propagators; cheapest for dense grids on small
       chains, with step round-off compounding along the grid.
@@ -165,14 +217,16 @@ def accumulated_grid(
     r = validate_rewards(rewards, chain.num_states)
     unique, inverse = np.unique(grid, return_inverse=True)
     if method == "auto":
+        lim = config.limits()
         max_exit = float(np.max(chain.exit_rates(), initial=0.0))
-        if max_exit * float(unique[-1]) <= AUTO_STIFFNESS_THRESHOLD:
+        if max_exit * float(unique[-1]) <= lim.auto_stiffness_threshold:
             method = "uniformization"
-        elif chain.num_states < DENSE_STATE_LIMIT:
+        elif chain.num_states < lim.dense_state_limit:
             method = "augmented-expm"
         else:
-            method = "uniformization"
+            method = "augmented-krylov"
     if method == "uniformization":
+        config.record_dispatch("uniformization")
         out = accumulated_by_uniformization_grid(
             chain.generator,
             chain.initial_distribution,
@@ -181,10 +235,16 @@ def accumulated_grid(
             tolerance=tolerance,
         )
     elif method == "augmented-expm":
+        config.record_dispatch("augmented-expm", n=max(int(unique.size), 1))
         out = np.array([_augmented_expm(chain, r, float(t)) for t in unique])
+    elif method == "augmented-krylov":
+        config.record_dispatch("augmented-krylov")
+        out = _augmented_krylov_grid(chain, r, unique)[1]
     elif method == "augmented-propagator":
+        config.record_dispatch("augmented-expm")
         out = _augmented_propagator_grid(chain, r, unique)
     else:
+        config.record_dispatch("quadrature")
         out = np.array(
             [
                 accumulated_reward(chain, r, float(t), method="quadrature")
@@ -194,8 +254,47 @@ def accumulated_grid(
     return out[inverse]
 
 
+def _augmented_krylov_grid(
+    chain: CTMC, rewards: np.ndarray, unique: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Step the sparse augmented state along the grid with Krylov actions.
+
+    ``(pi(t), y(t))`` advances segment-to-segment — one ``expm_multiply``
+    per distinct segment length — so the whole curve costs one pass, and
+    memory stays ``O(nnz + n)``.  Returns ``(pi_rows, accumulated)``; the
+    fused transient+accumulated grid solver reuses both.
+    """
+    n = chain.num_states
+    at = _augmented_sparse(chain, rewards).T.tocsr()
+    state = np.zeros(n + 1)
+    state[:n] = chain.initial_distribution
+    rows = np.empty((unique.size, n))
+    acc = np.empty(unique.size)
+    prev = 0.0
+    for k, t in enumerate(unique):
+        dt = float(t) - prev
+        if dt > 0.0:
+            state = expm_multiply(at * dt, state)
+        row = np.clip(state[:n], 0.0, None)
+        total = row.sum()
+        if total > 0:
+            row = row / total
+        # Keep the carried state normalised too: the augmented walk only
+        # drifts by round-off, and renormalising stops it compounding.
+        state[:n] = row
+        rows[k] = row
+        acc[k] = state[n]
+        prev = float(t)
+    return rows, acc
+
+
 #: Methods supported by the fused transient+accumulated grid solver.
-TRANSIENT_ACCUMULATED_GRID_METHODS = ("auto", "uniformization", "augmented-expm")
+TRANSIENT_ACCUMULATED_GRID_METHODS = (
+    "auto",
+    "uniformization",
+    "augmented-expm",
+    "augmented-krylov",
+)
 
 
 def transient_accumulated_grid(
@@ -234,14 +333,16 @@ def transient_accumulated_grid(
     r = validate_rewards(rewards, chain.num_states)
     unique, inverse = np.unique(grid, return_inverse=True)
     if method == "auto":
+        lim = config.limits()
         max_exit = float(np.max(chain.exit_rates(), initial=0.0))
-        if max_exit * float(unique[-1]) <= AUTO_STIFFNESS_THRESHOLD:
+        if max_exit * float(unique[-1]) <= lim.auto_stiffness_threshold:
             method = "uniformization"
-        elif chain.num_states < DENSE_STATE_LIMIT:
+        elif chain.num_states < lim.dense_state_limit:
             method = "augmented-expm"
         else:
-            method = "uniformization"
+            method = "augmented-krylov"
     if method == "uniformization":
+        config.record_dispatch("uniformization")
         acc, rows = _accumulated_uniformization_walk(
             chain.generator,
             chain.initial_distribution,
@@ -249,13 +350,17 @@ def transient_accumulated_grid(
             unique,
             tolerance,
         )
+    elif method == "augmented-krylov":
+        config.record_dispatch("augmented-krylov")
+        rows, acc = _augmented_krylov_grid(chain, r, unique)
     else:
         n = chain.num_states
-        if n >= DENSE_STATE_LIMIT:
+        limit = config.limits().dense_state_limit
+        if n >= limit:
             raise CTMCError(
-                f"augmented-expm limited to {DENSE_STATE_LIMIT} states; "
-                f"chain has {n}"
+                f"augmented-expm limited to {limit} states; chain has {n}"
             )
+        config.record_dispatch("augmented-expm", n=max(int(unique.size), 1))
         a = np.zeros((n + 1, n + 1))
         a[:n, :n] = chain.generator.toarray()
         a[:n, n] = r
@@ -283,10 +388,10 @@ def _augmented_propagator_grid(
 ) -> np.ndarray:
     """Step ``(pi(t), y(t))`` along the grid with reused ``exp(A dt)``."""
     n = chain.num_states
-    if n >= DENSE_STATE_LIMIT:
+    limit = config.limits().dense_state_limit
+    if n >= limit:
         raise CTMCError(
-            f"augmented-propagator limited to {DENSE_STATE_LIMIT} states; "
-            f"chain has {n}"
+            f"augmented-propagator limited to {limit} states; chain has {n}"
         )
     a = np.zeros((n + 1, n + 1))
     a[:n, :n] = chain.generator.toarray()

@@ -20,12 +20,17 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
+from repro.ctmc import config
 from repro.ctmc.chain import CTMC
 from repro.ctmc.errors import CTMCError
 
 #: Relative tolerance when checking block-rate equality.
 _LUMP_RTOL = 1e-9
+
+#: Absolute tolerance floor for the block-rate equality check.
+_LUMP_ATOL = 1e-14
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,11 @@ def check_lumpability(
 def lump(chain: CTMC, partition: Sequence[Sequence[int]]) -> LumpedCTMC:
     """Build the exact quotient chain over ``partition``.
 
+    Chains up to ``LUMP_LOOP_LIMIT`` states use a per-state reference
+    loop (stable summation order, kept for bitwise reproducibility of
+    the paper's models); larger chains dispatch to the vectorised sparse
+    aggregation path of :func:`lump_from_block_map`.
+
     Raises
     ------
     CTMCError
@@ -114,6 +124,8 @@ def lump(chain: CTMC, partition: Sequence[Sequence[int]]) -> LumpedCTMC:
     for b, members in enumerate(blocks):
         for i in members:
             block_of[i] = b
+    if n > config.limits().lump_loop_limit:
+        return lump_from_block_map(chain, np.asarray(block_of, dtype=np.int64))
     q = chain.generator.tocsr()
     k = len(blocks)
     rates: dict[tuple[int, int], float] = {}
@@ -137,7 +149,7 @@ def lump(chain: CTMC, partition: Sequence[Sequence[int]]) -> LumpedCTMC:
                 for key in keys:
                     a, c = reference.get(key, 0.0), into.get(key, 0.0)
                     scale = max(abs(a), abs(c), 1e-30)
-                    if abs(a - c) > _LUMP_RTOL * scale + 1e-14:
+                    if abs(a - c) > _LUMP_RTOL * scale + _LUMP_ATOL:
                         raise CTMCError(
                             f"partition not lumpable: states {members[0]} "
                             f"and {i} disagree on the rate into block {key} "
@@ -152,3 +164,98 @@ def lump(chain: CTMC, partition: Sequence[Sequence[int]]) -> LumpedCTMC:
         initial[b] = float(init[list(members)].sum())
     lumped = CTMC.from_rates(k, rates, initial=initial)
     return LumpedCTMC(chain=lumped, blocks=blocks, block_of=tuple(block_of))
+
+
+def _blocks_from_map(block_of: np.ndarray, k: int) -> tuple[tuple[int, ...], ...]:
+    """Group state indices by block, each group sorted ascending."""
+    order = np.argsort(block_of, kind="stable")
+    boundaries = np.searchsorted(block_of[order], np.arange(k + 1))
+    return tuple(
+        tuple(int(i) for i in order[boundaries[b] : boundaries[b + 1]])
+        for b in range(k)
+    )
+
+
+def lump_from_block_map(chain: CTMC, block_of) -> LumpedCTMC:
+    """Vectorised exact lumping from a per-state block-index array.
+
+    Scales to 1e5+-state chains where :func:`lump`'s per-state loop (one
+    ``getrow`` per state) is prohibitive.  The whole lumpability check is
+    three sparse operations:
+
+    1. aggregate — ``R = Q_offdiag @ U`` with ``U`` the ``n x k`` block
+       indicator, so ``R[i, c]`` is state ``i``'s total rate into block
+       ``c``;
+    2. lift — ``Rref`` takes each row of ``R`` to its block
+       representative's row (the block's lowest-index member, matching
+       the loop path's reference choice);
+    3. compare — ``|R - Rref|`` against the same
+       ``rtol * max(|a|, |c|) + atol`` tolerance the loop path applies,
+       with each state's own-block column masked out (internal
+       transitions don't constrain ordinary lumpability).
+
+    The quotient generator is read off the representative rows.  Summation
+    happens inside sparse matrix products, so quotient rates can differ
+    from :func:`lump`'s dict-ordered accumulation by round-off — which is
+    why small chains keep the loop path (see ``LUMP_LOOP_LIMIT``).
+    """
+    n = chain.num_states
+    block_of = np.asarray(block_of, dtype=np.int64)
+    if block_of.shape != (n,):
+        raise CTMCError(
+            f"block map must have one entry per state ({n}), got shape "
+            f"{block_of.shape}"
+        )
+    if n == 0:
+        raise CTMCError("cannot lump an empty chain")
+    k = int(block_of.max()) + 1
+    if block_of.min() < 0 or np.unique(block_of).size != k:
+        raise CTMCError("block indices must cover 0..k-1 with no gaps")
+
+    q = chain.generator.tocsr()
+    # Strip the diagonal: lumpability constrains only outgoing rates.
+    qoff = q.copy()
+    qoff.setdiag(0.0)
+    qoff.eliminate_zeros()
+
+    u = sp.csr_matrix(
+        (np.ones(n), (np.arange(n), block_of)), shape=(n, k)
+    )
+    r = (qoff @ u).tocsr()
+
+    # Representative (lowest-index) member of each block.
+    first = np.full(k, n, dtype=np.int64)
+    np.minimum.at(first, block_of, np.arange(n))
+    rref = r[first[block_of]]
+
+    diff = (r - rref).tocsr()
+    scale = abs(r).maximum(abs(rref)).tocsr()
+    # violation > 0 exactly where |a - c| > rtol * max(|a|, |c|) + atol.
+    violation = (abs(diff) - scale.multiply(_LUMP_RTOL)).tocsr()
+    rows = np.repeat(np.arange(n), np.diff(violation.indptr))
+    own_block = violation.indices == block_of[rows]
+    bad = (~own_block) & (violation.data > _LUMP_ATOL)
+    if np.any(bad):
+        pos = int(np.argmax(bad))
+        i = int(rows[pos])
+        c = int(violation.indices[pos])
+        raise CTMCError(
+            f"partition not lumpable: state {i} disagrees with block "
+            f"representative {int(first[block_of[i]])} on the rate into "
+            f"block {c}"
+        )
+
+    quotient = r[first].tocoo()
+    rates: dict[tuple[int, int], float] = {}
+    for b, target, rate in zip(quotient.row, quotient.col, quotient.data):
+        if b != target and rate > 0.0:
+            rates[(int(b), int(target))] = float(rate)
+    initial = np.bincount(
+        block_of, weights=chain.initial_distribution, minlength=k
+    )
+    lumped = CTMC.from_rates(k, rates, initial=initial)
+    return LumpedCTMC(
+        chain=lumped,
+        blocks=_blocks_from_map(block_of, k),
+        block_of=tuple(int(b) for b in block_of),
+    )

@@ -24,10 +24,10 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.linalg import expm as dense_expm
 
+from repro.ctmc import config
 from repro.ctmc.chain import CTMC
 from repro.ctmc.errors import CTMCError
 from repro.ctmc.linalg import validate_rewards
-from repro.ctmc.transient import DENSE_STATE_LIMIT
 
 
 @dataclass(frozen=True)
@@ -80,10 +80,10 @@ def accumulated_reward_moments(
     if t < 0:
         raise CTMCError(f"time must be non-negative, got {t}")
     n = chain.num_states
-    if 2 * n + 1 > 2 * DENSE_STATE_LIMIT:
+    limit = config.limits().dense_state_limit
+    if 2 * n + 1 > 2 * limit:
         raise CTMCError(
-            f"moment solver limited to {DENSE_STATE_LIMIT} states; chain "
-            f"has {n}"
+            f"moment solver limited to {limit} states; chain has {n}"
         )
     r = validate_rewards(rewards, n)
     if t == 0.0:

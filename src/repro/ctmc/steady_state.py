@@ -10,6 +10,9 @@ backends for ``pi Q = 0, pi 1 = 1``:
 * ``"power"`` — power iteration on the uniformized DTMC.
 * ``"gauss-seidel"`` — classic iterative sweep.
 * ``"sor"`` — successive over-relaxation generalising Gauss–Seidel.
+* ``"auto"`` — direct up to ``DIRECT_STEADY_LIMIT`` states, sparse
+  iterative (power) fallback beyond it, where an LU factorisation's
+  fill-in would dominate memory.
 
 The iterative methods exist both as ablation subjects and because they
 are the solvers historically shipped in tools like UltraSAN.
@@ -21,13 +24,14 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.ctmc import config
 from repro.ctmc.chain import CTMC
 from repro.ctmc.errors import ConvergenceError, CTMCError
 from repro.ctmc.linalg import validate_rewards
 from repro.ctmc.uniformization import uniformize
 
 #: Supported steady-state solver backends.
-STEADY_METHODS = ("direct", "power", "gauss-seidel", "sor")
+STEADY_METHODS = ("direct", "power", "gauss-seidel", "sor", "auto")
 
 
 def steady_state_distribution(
@@ -52,7 +56,12 @@ def steady_state_distribution(
     n = chain.num_states
     if n == 1:
         return np.array([1.0])
+    if method == "auto":
+        method = (
+            "direct" if n <= config.limits().direct_steady_limit else "power"
+        )
     if method == "direct":
+        config.record_dispatch("steady-direct")
         # The direct solve is a deterministic pure function of the
         # (immutable) generator, so memoise it on the chain: measures
         # evaluated against the same chain (e.g. rho1 and rho2 on one
@@ -63,6 +72,7 @@ def steady_state_distribution(
             cached = _direct(q, n)
             chain._direct_steady_cache = cached
         return cached.copy()
+    config.record_dispatch("steady-iterative")
     if method == "power":
         return _power(chain, tolerance, max_iterations)
     omega = 1.0 if method == "gauss-seidel" else relaxation

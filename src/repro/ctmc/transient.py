@@ -1,26 +1,37 @@
 """Transient (instant-of-time) solutions and rewards.
 
 The primary entry points are :func:`transient_distribution` and
-:func:`instant_of_time_reward`.  Four backends are available:
+:func:`instant_of_time_reward`.  Five backends are available:
 
 * ``"uniformization"`` — Jensen's method with Fox–Glynn truncation.
   Cost grows linearly with ``Lambda * t``, so it suits non-stiff
-  problems.
-* ``"expm"`` — Krylov action of the matrix exponential
-  (``scipy.sparse.linalg.expm_multiply``); cross-validation backend.
+  problems.  Sparse; no state-count limit, but the Fox–Glynn window is
+  bounded by ``MAX_UNIFORMIZATION_TERMS`` (bounded truncation) so a
+  stiff problem fails fast instead of walking millions of matvecs.
+* ``"expm"`` / ``"krylov"`` — Krylov action of the matrix exponential
+  (``scipy.sparse.linalg.expm_multiply``).  Sparse, stiffness-tolerant;
+  the backend ``auto`` picks for chains too large to densify.  As a
+  grid method ``"krylov"`` steps segment-to-segment (one Krylov action
+  per segment) instead of restarting from ``t = 0`` per point.
 * ``"dense-expm"`` — dense Padé + scaling-and-squaring
   (``scipy.linalg.expm``).  Cost is ``O(n^3 log(Lambda t))`` —
   essentially independent of stiffness, which matters for the paper's
   models where message rates (1200/h) and fault rates (1e-4/h) differ by
-  seven orders of magnitude over 1e4-hour horizons.
+  seven orders of magnitude over 1e4-hour horizons.  Limited to
+  ``DENSE_STATE_LIMIT`` states: dense is the small-model special case,
+  CSR is the native representation everywhere else.
 * ``"spectral"`` — one eigendecomposition of ``Q``, then each time is an
   independent ``O(n^2)`` evaluation.  Stiffness-independent and far
   cheaper than repeated Padé exponentials on tiny chains; limited to
   ``SPECTRAL_STATE_LIMIT`` states and falls back to dense expm on
   defective or ill-conditioned generators.
 * ``"auto"`` — uniformization when ``Lambda * t`` is small; for stiff
-  problems, spectral on tiny chains and dense expm otherwise (the
-  default used by the GSU measures).
+  problems, spectral on tiny chains, dense expm within the dense limit,
+  and sparse Krylov beyond it (the default used by the GSU measures).
+
+All dispatch cutoffs live in :mod:`repro.ctmc.config` (with env-var
+overrides); every solve records its backend there so the serving layer
+can expose dense/sparse/uniformization dispatch counts.
 """
 
 from __future__ import annotations
@@ -29,7 +40,14 @@ import numpy as np
 from scipy.linalg import expm as dense_expm
 from scipy.sparse.linalg import expm_multiply
 
+from repro.ctmc import config
 from repro.ctmc.chain import CTMC
+from repro.ctmc.config import (  # noqa: F401  (re-exported compatibility names)
+    AUTO_STIFFNESS_THRESHOLD,
+    DENSE_STATE_LIMIT,
+    SPECTRAL_CONDITION_LIMIT,
+    SPECTRAL_STATE_LIMIT,
+)
 from repro.ctmc.errors import CTMCError
 from repro.ctmc.linalg import validate_rewards
 from repro.ctmc.uniformization import (
@@ -49,23 +67,8 @@ TRANSIENT_GRID_METHODS = (
     "spectral",
     "propagator",
     "expm",
+    "krylov",
 )
-
-#: ``Lambda * t`` threshold above which "auto" switches to dense expm.
-AUTO_STIFFNESS_THRESHOLD = 50_000.0
-
-#: Largest state count "dense-expm" accepts (dense n x n work).
-DENSE_STATE_LIMIT = 4_000
-
-#: Largest chain the "spectral" backend diagonalises.  Deliberately
-#: small: eigendecomposition is only a clear win over Padé expm when the
-#: per-call overhead dominates, and its conditioning risk grows with
-#: state count.  The paper's RMNd chains (7-8 states) sit well inside.
-SPECTRAL_STATE_LIMIT = 32
-
-#: Eigenvector-matrix condition ceiling; beyond it (or on a defective
-#: generator) "spectral" falls back to dense expm.
-SPECTRAL_CONDITION_LIMIT = 1e8
 
 
 def transient_distribution(
@@ -85,7 +88,8 @@ def transient_distribution(
     method:
         ``"uniformization"`` (default; Fox–Glynn truncated Jensen series)
         or ``"expm"`` (Krylov/scaling-and-squaring action of the matrix
-        exponential, used for cross-validation).
+        exponential, used for cross-validation), or any other entry of
+        :data:`TRANSIENT_METHODS`.
     tolerance:
         Truncation tolerance for the uniformization backend.
     """
@@ -101,19 +105,23 @@ def transient_distribution(
     if method == "auto":
         method = _choose_method(chain, t)
     if method == "uniformization":
+        config.record_dispatch("uniformization")
         return transient_by_uniformization(
             chain.generator, pi0, t, tolerance=tolerance
         )
     if method == "spectral":
         rows = _spectral_rows(chain, np.array([t]))
         if rows is not None:
+            config.record_dispatch("spectral")
             return rows[0]
         method = "dense-expm"
     if method == "dense-expm":
         _check_dense(chain)
+        config.record_dispatch("dense-expm")
         result = pi0 @ dense_expm(chain.generator.toarray() * t)
     else:
         # expm backend: pi(t) = pi(0) exp(Q t)  ==  (exp(Q^T t) pi(0)^T)^T
+        config.record_dispatch("krylov")
         result = expm_multiply(chain.generator.T.tocsc() * t, pi0)
     result = np.clip(result, 0.0, None)
     total = result.sum()
@@ -123,15 +131,20 @@ def transient_distribution(
 
 
 def _choose_method(chain: CTMC, t: float) -> str:
-    """Pick uniformization / spectral / dense expm by stiffness and size."""
+    """Pick uniformization / spectral / dense expm / Krylov by stiffness
+    and size (cutoffs from :func:`repro.ctmc.config.limits`)."""
+    lim = config.limits()
     max_exit = float(np.max(chain.exit_rates(), initial=0.0))
-    if max_exit * t <= AUTO_STIFFNESS_THRESHOLD:
+    if max_exit * t <= lim.auto_stiffness_threshold:
         return "uniformization"
-    if chain.num_states <= SPECTRAL_STATE_LIMIT:
+    if chain.num_states <= lim.spectral_state_limit:
         return "spectral"
-    if chain.num_states <= DENSE_STATE_LIMIT:
+    if chain.num_states <= lim.dense_state_limit:
         return "dense-expm"
-    return "uniformization"
+    # Stiff *and* beyond the dense limit: stay sparse via the Krylov
+    # action of the exponential rather than densifying or walking an
+    # unbounded uniformization series.
+    return "expm"
 
 
 def _spectral_rows(chain: CTMC, unique: np.ndarray) -> np.ndarray | None:
@@ -145,8 +158,9 @@ def _spectral_rows(chain: CTMC, unique: np.ndarray) -> np.ndarray | None:
     is too large, the generator is defective, or the eigenvector matrix
     is ill-conditioned; callers then fall back to dense expm.
     """
+    lim = config.limits()
     n = chain.num_states
-    if n > SPECTRAL_STATE_LIMIT:
+    if n > lim.spectral_state_limit:
         return None
     q = chain.generator.toarray()
     w, v = np.linalg.eig(q)
@@ -156,7 +170,7 @@ def _spectral_rows(chain: CTMC, unique: np.ndarray) -> np.ndarray | None:
         return None
     if (
         not np.all(np.isfinite(vinv))
-        or np.linalg.cond(v) > SPECTRAL_CONDITION_LIMIT
+        or np.linalg.cond(v) > lim.spectral_condition_limit
     ):
         return None
     pi0 = chain.initial_distribution
@@ -176,9 +190,10 @@ def _spectral_rows(chain: CTMC, unique: np.ndarray) -> np.ndarray | None:
 
 
 def _check_dense(chain: CTMC) -> None:
-    if chain.num_states > DENSE_STATE_LIMIT:
+    limit = config.limits().dense_state_limit
+    if chain.num_states > limit:
         raise CTMCError(
-            f"dense-expm limited to {DENSE_STATE_LIMIT} states; chain has "
+            f"dense-expm limited to {limit} states; chain has "
             f"{chain.num_states}"
         )
 
@@ -193,13 +208,15 @@ def transient_grid(
 
     The grid is deduplicated up front (repeated time points are solved
     once and broadcast back), then the unique points are served by one of
-    four strategies:
+    five strategies:
 
     * ``"uniformization"`` — one incremental Fox–Glynn pass across the
       whole grid (:func:`~repro.ctmc.uniformization.transient_by_uniformization_grid`).
       Sparse; no state-count limit; non-uniform grids included.  Cost
-      grows with ``Lambda * times[-1]``, so it suits non-stiff problems
-      and is the only option above ``DENSE_STATE_LIMIT``.
+      grows with ``Lambda * times[-1]``, so it suits non-stiff problems.
+    * ``"krylov"`` — segment-stepped sparse Krylov actions
+      (``expm_multiply`` per segment).  Sparse and stiffness-tolerant;
+      the large-chain workhorse above the dense limit.
     * ``"dense-expm"`` — an independent dense ``expm(Q t)`` per unique
       point; arithmetic identical to the scalar
       :func:`transient_distribution` dense branch.  Stiffness-
@@ -210,13 +227,13 @@ def transient_grid(
       along the grid, so prefer ``"dense-expm"`` when bitwise agreement
       with the scalar path matters.
     * ``"expm"`` — an independent Krylov ``expm_multiply`` per point
-      (cross-validation backend).
+      from ``t = 0`` (cross-validation backend).
 
     ``"auto"`` (the default) picks uniformization when
     ``Lambda * times[-1]`` is below ``AUTO_STIFFNESS_THRESHOLD``,
     dense-expm for stiff problems within ``DENSE_STATE_LIMIT``, and the
-    incremental uniformization pass otherwise.  Returns an array of
-    shape ``(len(times), num_states)``.
+    sparse Krylov stepper beyond it.  Returns an array of shape
+    ``(len(times), num_states)``.
     """
     grid = _validate_time_grid(times)
     if method not in TRANSIENT_GRID_METHODS:
@@ -228,6 +245,7 @@ def transient_grid(
     if method == "auto":
         method = _choose_grid_method(chain, float(unique[-1]))
     if method == "uniformization":
+        config.record_dispatch("uniformization")
         out = transient_by_uniformization_grid(
             chain.generator,
             chain.initial_distribution,
@@ -238,10 +256,15 @@ def transient_grid(
         out = _spectral_rows(chain, unique)
         if out is None:
             out = _dense_expm_grid(chain, unique)
+        else:
+            config.record_dispatch("spectral")
     elif method == "dense-expm":
         out = _dense_expm_grid(chain, unique)
     elif method == "propagator":
         out = _propagator_grid(chain, unique)
+    elif method == "krylov":
+        config.record_dispatch("krylov")
+        out = _krylov_grid(chain, unique)
     else:
         out = np.empty((unique.size, chain.num_states))
         for k, t in enumerate(unique):
@@ -251,21 +274,23 @@ def transient_grid(
 
 def _choose_grid_method(chain: CTMC, t_max: float) -> str:
     """Pick the grid strategy by stiffness and size (mirrors scalar auto)."""
+    lim = config.limits()
     max_exit = float(np.max(chain.exit_rates(), initial=0.0))
-    if max_exit * t_max <= AUTO_STIFFNESS_THRESHOLD:
+    if max_exit * t_max <= lim.auto_stiffness_threshold:
         return "uniformization"
-    if chain.num_states <= SPECTRAL_STATE_LIMIT:
+    if chain.num_states <= lim.spectral_state_limit:
         return "spectral"
-    if chain.num_states <= DENSE_STATE_LIMIT:
+    if chain.num_states <= lim.dense_state_limit:
         return "dense-expm"
-    # Stiff *and* large: the incremental pass is the only sparse-safe
-    # option; cost scales with Lambda * t_max but memory stays O(nnz).
-    return "uniformization"
+    # Stiff *and* large: the segment-stepped Krylov pass keeps memory
+    # O(nnz) and its cost does not scale with Lambda * t_max.
+    return "krylov"
 
 
 def _dense_expm_grid(chain: CTMC, unique: np.ndarray) -> np.ndarray:
     """One dense expm per unique time — scalar-identical arithmetic."""
     _check_dense(chain)
+    config.record_dispatch("dense-expm", n=max(int(unique.size), 1))
     pi0 = chain.initial_distribution
     out = np.empty((unique.size, chain.num_states))
     for k, t in enumerate(unique):
@@ -284,6 +309,7 @@ def _dense_expm_grid(chain: CTMC, unique: np.ndarray) -> np.ndarray:
 def _propagator_grid(chain: CTMC, unique: np.ndarray) -> np.ndarray:
     """Step dense propagators ``exp(Q dt)`` along the grid, reusing them."""
     _check_dense(chain)
+    config.record_dispatch("dense-expm")
     q = chain.generator.toarray()
     pi = chain.initial_distribution
     propagators: dict[float, np.ndarray] = {}
@@ -304,6 +330,67 @@ def _propagator_grid(chain: CTMC, unique: np.ndarray) -> np.ndarray:
         out[k] = pi
         prev = float(t)
     return out
+
+
+def _krylov_grid(chain: CTMC, unique: np.ndarray) -> np.ndarray:
+    """Segment-stepped sparse Krylov actions along the grid.
+
+    ``pi(t_{j+1}) = pi(t_j) exp(Q dt_j)`` with each step one
+    ``expm_multiply`` on the transposed CSR generator — memory stays
+    ``O(nnz + n)`` regardless of state count, and cost is independent of
+    the stiffness ratio (unlike uniformization, whose series length is
+    ``Lambda * t``).  Uniform grids collapse into a *single*
+    ``expm_multiply`` call over the whole grid (scipy evaluates all the
+    equally spaced endpoints from one Krylov decomposition per step).
+    """
+    at = chain.generator.T.tocsr()
+    pi0 = chain.initial_distribution
+    n = chain.num_states
+    out = np.empty((unique.size, n))
+
+    start = 0
+    if unique[0] == 0.0:
+        out[0] = pi0
+        start = 1
+    if start >= unique.size:
+        return out
+    positive = unique[start:]
+    diffs = np.diff(np.concatenate(([0.0], positive)))
+    # Uniform spacing from t=0: one multi-endpoint Krylov evaluation.
+    if positive.size > 1 and np.allclose(
+        diffs, diffs[0], rtol=1e-12, atol=0.0
+    ):
+        rows = expm_multiply(
+            at,
+            pi0,
+            start=float(positive[0]),
+            stop=float(positive[-1]),
+            num=int(positive.size),
+            endpoint=True,
+        )
+        rows = np.atleast_2d(rows)
+        for k in range(positive.size):
+            out[start + k] = _renormalise(rows[k])
+        return out
+    vec = pi0.copy()
+    prev = 0.0
+    for k, t in enumerate(positive):
+        dt = float(t) - prev
+        if dt > 0.0:
+            vec = expm_multiply(at * dt, vec)
+            vec = _renormalise(vec)
+        out[start + k] = vec
+        prev = float(t)
+    return out
+
+
+def _renormalise(row: np.ndarray) -> np.ndarray:
+    """Clip tiny negatives and renormalise a probability row."""
+    row = np.clip(row, 0.0, None)
+    total = row.sum()
+    if total > 0:
+        row = row / total
+    return row
 
 
 def instant_of_time_reward(

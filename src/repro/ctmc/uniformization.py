@@ -23,8 +23,29 @@ import numpy as np
 import scipy.sparse as sp
 from scipy import stats
 
+from repro.ctmc import config
 from repro.ctmc.errors import CTMCError
 from repro.ctmc.linalg import as_csr, uniformization_rate, validate_generator
+
+
+def _check_window_bound(right: int) -> None:
+    """Bounded truncation: refuse pathologically long Jensen series.
+
+    The Fox–Glynn window length is ``O(Lambda * t)``; for a stiff problem
+    that can mean millions of matrix-vector products per segment.  The
+    ``auto`` dispatch layers route such problems to the Krylov backends,
+    but a direct ``method="uniformization"`` request fails fast here
+    instead of silently burning hours.  Bound configurable via
+    ``REPRO_MAX_UNIFORMIZATION_TERMS``.
+    """
+    limit = config.limits().max_uniformization_terms
+    if right > limit:
+        raise CTMCError(
+            f"uniformization series needs {right} terms, above the "
+            f"MAX_UNIFORMIZATION_TERMS bound of {limit}; use the Krylov "
+            "('expm'/'krylov') or dense-expm backend for this stiffness, "
+            "or raise REPRO_MAX_UNIFORMIZATION_TERMS"
+        )
 
 
 @dataclass(frozen=True)
@@ -155,12 +176,15 @@ def transient_by_uniformization(
         return pi0.copy()
     p, rate = uniformize(q)
     window = fox_glynn_weights(rate * t, tolerance=tolerance)
+    _check_window_bound(window.right)
     vec = pi0.copy()
     result = np.zeros_like(vec)
+    scaled = np.empty_like(vec)  # preallocated workspace for w * vec
     # Walk k = 0 .. right, accumulating weighted iterates inside the window.
     for k in range(window.right + 1):
         if k >= window.left:
-            result += window.weights[k - window.left] * vec
+            np.multiply(window.weights[k - window.left], vec, out=scaled)
+            result += scaled
         if k < window.right:
             vec = vec @ p
     # Compensate the truncated mass so probabilities still sum to ~1.
@@ -208,6 +232,7 @@ def transient_by_uniformization_grid(
     out = np.empty((grid.size, pi.size))
     p = None
     rate = None
+    scaled = np.empty_like(pi)  # workspace reused across segments
     prev = 0.0
     for j, t in enumerate(grid):
         dt = float(t) - prev
@@ -215,11 +240,13 @@ def transient_by_uniformization_grid(
             if p is None:
                 p, rate = uniformize(q)
             window = fox_glynn_weights(rate * dt, tolerance=tolerance)
+            _check_window_bound(window.right)
             vec = pi
             acc = np.zeros_like(pi)
             for k in range(window.right + 1):
                 if k >= window.left:
-                    acc += window.weights[k - window.left] * vec
+                    np.multiply(window.weights[k - window.left], vec, out=scaled)
+                    acc += scaled
                 if k < window.right:
                     vec = vec @ p
             mass = window.total_mass
@@ -259,6 +286,7 @@ def _accumulated_uniformization_walk(
                 sf_right += 1
             window = fox_glynn_weights(mean, tolerance=tolerance)
             right = max(sf_right, window.right)
+            _check_window_bound(right)
             vec = pi
             acc = np.zeros_like(pi)
             segment = 0.0
@@ -336,6 +364,7 @@ def accumulated_by_uniformization(
     right = int(dist.ppf(1.0 - tolerance))
     while dist.sf(right) > tolerance:
         right += 1
+    _check_window_bound(right)
     vec = pi0.copy()
     total = 0.0
     for k in range(right + 1):

@@ -1,0 +1,310 @@
+"""Fleet performability: N guarded MDCD processes, shared repair.
+
+The paper analyses a *single* process pair under guarded operation; this
+module scales the same MDCD semantics to a fleet of ``N`` processes
+upgraded together, with a bounded repair facility shared across the
+fleet.  Each process walks the four-state local chain of
+:mod:`repro.san.composition` (ok → contaminated → detected/failed, with
+shared-repair recovery), rates derived from the Table 3 parameters:
+
+* contamination at the fault-manifestation rate ``mu``;
+* detection at ``lam * p_ext * coverage`` — the guard's acceptance test
+  catches an erroneous external message;
+* failure at ``lam * p_ext * (1 - coverage)`` — the error escapes;
+* repair at ``repair_rate`` per server, ``repair_servers`` servers
+  shared fleet-wide (the coupling that breaks product form).
+
+The fleet measure is ``Y(phi)``: the expected fraction of processes
+still operational (not failed) at the end of a guarded operation of
+duration ``phi``.  A second measure, the expected cumulative
+operational fraction ``int_0^phi E[frac_op(u)] du / phi``, exercises the
+accumulated-reward solvers.
+
+Two state-space representations solve the same model:
+
+``lumped``
+    The exact symmetry quotient over occupancy counts —
+    ``C(N + 3, 3)`` states.  Always tractable; the default and the
+    certified reference.
+``flat``
+    The full ``4**N``-state product chain, assembled directly in CSR.
+    This is the scale workload that stresses the sparse solver paths
+    (Krylov ``expm_multiply``, bounded-truncation uniformization); the
+    scaling benchmark measures it against the lumped reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.ctmc.accumulated import accumulated_reward
+from repro.ctmc.chain import CTMC
+from repro.ctmc.transient import transient_distribution
+from repro.gsu.parameters import GSUParameters
+from repro.san.composition import (
+    FLEET_FAILED,
+    FleetRates,
+    fleet_chain,
+    fleet_digits,
+)
+from repro.san.symmetry import (
+    fleet_count_states,
+    fleet_lumped_chain,
+)
+
+#: Supported solver representations (see module docstring).
+FLEET_MODES = ("auto", "lumped", "flat")
+
+
+@dataclass(frozen=True)
+class FleetParameters:
+    """Parameters of an N-process guarded fleet.
+
+    The per-process rate knobs mirror :class:`GSUParameters` (same Table
+    3 semantics, hours everywhere); the fleet-level knobs size the
+    composition.
+
+    Attributes
+    ----------
+    n_processes:
+        Fleet size ``N`` (flat state space is ``4**N``).
+    repair_servers:
+        Concurrent repairs the shared facility sustains.
+    repair_rate:
+        Per-server repair completion rate (per hour).
+    lam / mu / coverage / p_ext / theta:
+        As in :class:`GSUParameters` (``mu`` is the new-version
+        fault-manifestation rate ``mu_new``).
+    """
+
+    n_processes: int = 9
+    repair_servers: int = 2
+    repair_rate: float = 2.0
+    lam: float = 1_200.0
+    mu: float = 1e-4
+    coverage: float = 0.95
+    p_ext: float = 0.1
+    theta: float = 10_000.0
+
+    def __post_init__(self):
+        if self.n_processes < 1:
+            raise ValueError(
+                f"n_processes must be >= 1, got {self.n_processes}"
+            )
+        if self.repair_servers < 1:
+            raise ValueError(
+                f"repair_servers must be >= 1, got {self.repair_servers}"
+            )
+        for name in ("repair_rate", "lam", "mu", "theta"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError(
+                f"coverage must be in [0, 1], got {self.coverage}"
+            )
+        if not 0.0 < self.p_ext <= 1.0:
+            raise ValueError(f"p_ext must be in (0, 1], got {self.p_ext}")
+
+    @classmethod
+    def from_gsu(
+        cls,
+        params: GSUParameters,
+        n_processes: int = 9,
+        repair_servers: int = 2,
+        repair_rate: float = 2.0,
+    ) -> "FleetParameters":
+        """Derive fleet parameters from a Table 3 parameter set."""
+        return cls(
+            n_processes=n_processes,
+            repair_servers=repair_servers,
+            repair_rate=repair_rate,
+            lam=params.lam,
+            mu=params.mu_new,
+            coverage=params.coverage,
+            p_ext=params.p_ext,
+            theta=params.theta,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def flat_states(self) -> int:
+        """Flat product-space size ``4**N``."""
+        return 4**self.n_processes
+
+    @property
+    def lumped_states(self) -> int:
+        """Count-space size ``C(N + 3, 3)``."""
+        return math.comb(self.n_processes + 3, 3)
+
+    def rates(self) -> FleetRates:
+        """The per-process transition-class rates."""
+        external = self.lam * self.p_ext
+        return FleetRates(
+            contaminate=self.mu,
+            detect=external * self.coverage,
+            fail=external * (1.0 - self.coverage),
+            repair=self.repair_rate,
+        )
+
+    def validate_phi(self, phi: float) -> float:
+        """Check a guarded-operation duration against ``[0, theta]``."""
+        if not 0.0 <= phi <= self.theta:
+            raise ValueError(
+                f"phi must lie in [0, theta={self.theta}], got {phi}"
+            )
+        return float(phi)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (cache keys, manifests, HTTP payloads)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FleetParameters":
+        """Rebuild from :meth:`to_dict` output (extra keys rejected)."""
+        return cls(**payload)
+
+    def with_overrides(self, **changes) -> "FleetParameters":
+        """A copy with some parameters replaced."""
+        return replace(self, **changes)
+
+
+class FleetSolver:
+    """Solves fleet ``Y(phi)`` curves for one parameter set.
+
+    The chain (lumped or flat, per ``mode``) is built lazily on first
+    use and reused across queries; ``mode="auto"`` selects the lumped
+    representation — the exact quotient — which is the right answer for
+    every production query.  ``mode="flat"`` exists for the scaling
+    benchmark and for validating the lumping itself.
+    """
+
+    def __init__(self, params: FleetParameters, mode: str = "auto"):
+        if mode not in FLEET_MODES:
+            raise ValueError(
+                f"unknown fleet mode {mode!r}; choose from {FLEET_MODES}"
+            )
+        self.params = params
+        self.mode = mode
+        self._resolved = "lumped" if mode == "auto" else mode
+        self._chain: CTMC | None = None
+        self._rewards: np.ndarray | None = None
+
+    @property
+    def resolved_mode(self) -> str:
+        """The representation actually used (``auto`` resolved)."""
+        return self._resolved
+
+    def chain(self) -> CTMC:
+        """The (lazily built, cached) fleet CTMC."""
+        if self._chain is None:
+            p = self.params
+            if self._resolved == "flat":
+                self._chain = fleet_chain(
+                    p.n_processes, p.rates(), repair_servers=p.repair_servers
+                )
+            else:
+                self._chain = fleet_lumped_chain(
+                    p.n_processes, p.rates(), repair_servers=p.repair_servers
+                )
+        return self._chain
+
+    def operational_rewards(self) -> np.ndarray:
+        """Per-state fraction of processes that are not failed."""
+        if self._rewards is None:
+            n = self.params.n_processes
+            if self._resolved == "flat":
+                digits = fleet_digits(n)
+                self._rewards = (
+                    (digits != FLEET_FAILED).sum(axis=1).astype(np.float64)
+                    / n
+                )
+            else:
+                self._rewards = np.array(
+                    [
+                        (n - fail) / n
+                        for (_ok, _ctn, _det, fail) in fleet_count_states(n)
+                    ]
+                )
+        return self._rewards
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    def curve(self, phis: Sequence[float], method: str = "auto") -> np.ndarray:
+        """``Y(phi)`` at every requested duration.
+
+        ``Y(phi) = E[fraction of operational processes at time phi]``.
+        Each *unique* phi is solved independently from ``t = 0`` (and
+        broadcast to duplicates), so the value at a duration never
+        depends on which other durations ride along — the property that
+        keeps campaign results bitwise identical across backends, job
+        counts, and chunk sizes.  On the lumped representation an
+        independent solve is a few hundred states — negligible; large
+        *flat* chains should batch through
+        :func:`repro.ctmc.transient.transient_grid` directly (the
+        scaling benchmark does).
+        """
+        grid = self._validated_grid(phis)
+        unique, inverse = np.unique(grid, return_inverse=True)
+        chain = self.chain()
+        rewards = self.operational_rewards()
+        values = np.array(
+            [
+                float(
+                    transient_distribution(chain, float(t), method=method)
+                    @ rewards
+                )
+                for t in unique
+            ]
+        )
+        return values[inverse]
+
+    def value(self, phi: float, method: str = "auto") -> float:
+        """``Y(phi)`` at a single duration."""
+        return float(self.curve([phi], method=method)[0])
+
+    def operational_time_curve(
+        self, phis: Sequence[float], method: str = "auto"
+    ) -> np.ndarray:
+        """Expected cumulative operational fraction ``int_0^phi ... du``.
+
+        The accumulated-reward companion of :meth:`curve`, with the same
+        per-unique-phi independence guarantee.
+        """
+        grid = self._validated_grid(phis)
+        unique, inverse = np.unique(grid, return_inverse=True)
+        chain = self.chain()
+        rewards = self.operational_rewards()
+        values = np.array(
+            [
+                accumulated_reward(chain, rewards, float(t), method=method)
+                for t in unique
+            ]
+        )
+        return values[inverse]
+
+    def batch(self, phis: Sequence[float]) -> list[dict[str, float]]:
+        """Both fleet measures for many durations at once.
+
+        Returns one ``{"Y": ..., "operational_time": ...}`` dict per
+        requested phi, in request order.
+        """
+        y = self.curve(phis)
+        op_time = self.operational_time_curve(phis)
+        return [
+            {"Y": float(a), "operational_time": float(b)}
+            for a, b in zip(y, op_time)
+        ]
+
+    def _validated_grid(self, phis: Sequence[float]) -> np.ndarray:
+        grid = np.asarray([self.params.validate_phi(p) for p in phis])
+        if grid.size == 0:
+            raise ValueError("need at least one phi")
+        return grid

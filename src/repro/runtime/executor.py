@@ -21,11 +21,13 @@ worker count never change the output, only the wall clock.
 from __future__ import annotations
 
 import math
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.gsu.fleet import FleetParameters, FleetSolver
 from repro.gsu.measures import ConstituentSolver
 from repro.gsu.parameters import GSUParameters
 from repro.gsu.performability import (
@@ -37,6 +39,7 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.records import record_from_evaluation
 from repro.runtime.tasks import (
     EvaluationTask,
+    FleetTask,
     VerificationTask,
     group_by_params,
     order_groups_by_structure,
@@ -135,6 +138,66 @@ def _chunk_length(group_size: int, jobs: int, chunk_size: int | None) -> int:
     if jobs <= 1:
         return group_size
     return max(1, math.ceil(group_size / (2 * jobs)))
+
+
+def memory_budget_bytes() -> int:
+    """The executor's working-set budget for large-model chunks.
+
+    ``REPRO_MEMORY_BUDGET_MB`` overrides; the default is half of
+    physical RAM (graceful fallback to 4 GiB where the sysconf keys are
+    unavailable).  The budget bounds *per-chunk* solver state — grid
+    result rows plus generator — not total process memory.
+    """
+    raw = os.environ.get("REPRO_MEMORY_BUDGET_MB")
+    if raw is not None:
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"invalid value {raw!r} for REPRO_MEMORY_BUDGET_MB"
+            ) from exc
+        if value <= 0:
+            raise ValueError(
+                f"REPRO_MEMORY_BUDGET_MB must be positive, got {raw!r}"
+            )
+        return int(value * 1024 * 1024)
+    try:
+        pages = os.sysconf("SC_PHYS_PAGES")
+        page_size = os.sysconf("SC_PAGE_SIZE")
+        if pages > 0 and page_size > 0:
+            return (pages * page_size) // 2
+    except (ValueError, OSError, AttributeError):
+        pass
+    return 4 * 1024 ** 3
+
+
+def _memory_aware_chunk_length(
+    group_size: int,
+    jobs: int,
+    chunk_size: int | None,
+    num_states: int,
+    workers: int,
+) -> int:
+    """Chunk length capped so concurrent chunks fit the memory budget.
+
+    A chunk of ``m`` grid points on an ``n``-state model materialises an
+    ``m x n`` float64 result block (plus the shared generator, counted
+    once per worker at roughly ``10 * 16`` bytes per state for the fleet
+    sparsity).  With ``workers`` chunks in flight, the per-chunk
+    allowance is ``budget / workers``; the cap keeps large-model chunks
+    small (streamed through the solver in more, shorter passes) while
+    leaving small-model chunking untouched.
+    """
+    length = _chunk_length(group_size, jobs, chunk_size)
+    if chunk_size is not None:
+        return length  # explicit request wins; the user sized it
+    per_chunk_budget = memory_budget_bytes() // max(workers, 1)
+    model_bytes = num_states * 160  # CSR generator share per worker
+    row_bytes = num_states * 8
+    available = per_chunk_budget - model_bytes
+    if available <= row_bytes:
+        return 1
+    return max(1, min(length, int(available // row_bytes)))
 
 
 def execute_tasks(
@@ -340,5 +403,124 @@ def execute_verify_tasks(
         outcomes[position] = TaskOutcome(
             task=task, record=record, seconds=seconds, cached=False
         )
+
+    return [outcomes[position] for position in range(len(tasks))]
+
+
+def _solve_fleet_chunk(
+    params: FleetParameters,
+    mode: str,
+    phis: tuple[float, ...],
+) -> list[tuple[dict, float]]:
+    """Module-level fleet chunk worker (picklable for the process pool).
+
+    One :class:`FleetSolver` per chunk: the chain is built once and both
+    measures for every phi come from batched grid passes.
+    """
+    solver = FleetSolver(params, mode=mode)
+    start = time.perf_counter()
+    values = solver.batch(phis)
+    per_point = (time.perf_counter() - start) / max(len(values), 1)
+    records = []
+    for phi, measures in zip(phis, values):
+        records.append(
+            (
+                {
+                    "kind": "fleet.Y",
+                    "params": params.to_dict(),
+                    "phi": float(phi),
+                    "mode": mode,
+                    "Y": measures["Y"],
+                    "operational_time": measures["operational_time"],
+                    "states": (
+                        params.flat_states
+                        if mode == "flat"
+                        else params.lumped_states
+                    ),
+                },
+                per_point,
+            )
+        )
+    return records
+
+
+def execute_fleet_tasks(
+    tasks: Sequence[FleetTask],
+    backend: str = "serial",
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    chunk_size: int | None = None,
+) -> list[TaskOutcome]:
+    """Execute fleet tasks and return outcomes in submission order.
+
+    Mirrors :func:`execute_tasks` — cache probe, group by (params,
+    mode), chunk, dispatch — with one difference: chunk sizing is
+    *memory-aware*.  Flat fleet models materialise a grid-rows block of
+    ``points x 4**N`` doubles per chunk, so the chunk length is capped
+    to keep all in-flight chunks inside :func:`memory_budget_bytes`
+    (override with ``REPRO_MEMORY_BUDGET_MB``).  An explicit
+    ``chunk_size`` always wins.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    outcomes: dict[int, TaskOutcome] = {}
+    pending: list[tuple[int, FleetTask]] = []
+    for position, task in enumerate(tasks):
+        record = cache.get(task) if cache is not None else None
+        if record is not None:
+            outcomes[position] = TaskOutcome(
+                task=task, record=record, seconds=0.0, cached=True
+            )
+        else:
+            pending.append((position, task))
+
+    groups: dict[tuple[FleetParameters, str], list[tuple[int, FleetTask]]] = {}
+    for position, task in pending:
+        groups.setdefault((task.params, task.mode), []).append(
+            (position, task)
+        )
+
+    chunks: list[list[tuple[int, FleetTask]]] = []
+    for (params, mode), group in groups.items():
+        num_states = params.flat_states if mode == "flat" else params.lumped_states
+        length = _memory_aware_chunk_length(
+            len(group), jobs, chunk_size, num_states, workers=jobs
+        )
+        chunks.extend(
+            group[start : start + length]
+            for start in range(0, len(group), length)
+        )
+
+    def _chunk_args(chunk):
+        task = chunk[0][1]
+        return task.params, task.mode, tuple(t.phi for _, t in chunk)
+
+    if backend == "serial" or jobs == 1 or len(chunks) <= 1:
+        solved = [_solve_fleet_chunk(*_chunk_args(chunk)) for chunk in chunks]
+    elif backend == "thread":
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_solve_fleet_chunk, *_chunk_args(chunk))
+                for chunk in chunks
+            ]
+            solved = [future.result() for future in futures]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_solve_fleet_chunk, *_chunk_args(chunk))
+                for chunk in chunks
+            ]
+            solved = [future.result() for future in futures]
+
+    for chunk, results in zip(chunks, solved):
+        for (position, task), (record, seconds) in zip(chunk, results):
+            if cache is not None:
+                cache.put(task, record)
+            outcomes[position] = TaskOutcome(
+                task=task, record=record, seconds=seconds, cached=False
+            )
 
     return [outcomes[position] for position in range(len(tasks))]

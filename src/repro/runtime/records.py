@@ -29,6 +29,28 @@ VERIFY_BLOCK_KIND = "verify.block"
 #: Keys of each moment-summary entry inside a verification block.
 VERIFY_SAMPLE_KEYS = frozenset({"t", "count", "mean", "m2"})
 
+#: Kind tag of fleet evaluation records.
+FLEET_KIND = "fleet.Y"
+
+#: Top-level keys every valid fleet record must carry.
+FLEET_REQUIRED_KEYS = frozenset(
+    {"params", "phi", "mode", "Y", "operational_time", "states"}
+)
+
+
+def validate_fleet_record(record: Mapping) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid fleet record."""
+    missing = FLEET_REQUIRED_KEYS - set(record)
+    if missing:
+        raise ValueError(f"fleet record missing keys: {sorted(missing)}")
+    if not isinstance(record["params"], Mapping):
+        raise ValueError("fleet record params must be a mapping")
+    if record["mode"] not in ("lumped", "flat"):
+        raise ValueError(
+            f"fleet record mode must be 'lumped' or 'flat', got "
+            f"{record['mode']!r}"
+        )
+
 
 def record_from_evaluation(evaluation: PerformabilityEvaluation) -> dict:
     """Flatten an evaluation into a plain-data record."""
@@ -81,6 +103,9 @@ def validate_record(record: Mapping) -> None:
         raise ValueError(f"record must be a mapping, got {type(record).__name__}")
     if record.get("kind") == VERIFY_BLOCK_KIND:
         validate_verify_block(record)
+        return
+    if record.get("kind") == FLEET_KIND:
+        validate_fleet_record(record)
         return
     missing = REQUIRED_KEYS - set(record)
     if missing:

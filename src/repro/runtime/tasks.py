@@ -19,6 +19,7 @@ import json
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.gsu.fleet import FleetParameters
 from repro.gsu.parameters import GSUParameters
 from repro.runtime.spec import CampaignSpec, params_to_dict
 
@@ -163,6 +164,82 @@ class VerificationTask:
             separators=(",", ":"),
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: Measure namespace of fleet tasks — distinct from ``performability.Y``
+#: so fleet records can never collide with single-pair evaluations in a
+#: shared cache (existing cache keys are untouched by construction).
+_FLEET_MEASURE = "fleet.Y"
+
+
+@dataclass(frozen=True)
+class FleetTask:
+    """One planned fleet ``Y(phi)`` evaluation.
+
+    Attributes
+    ----------
+    index:
+        Position in the fleet plan (reassembly order only).
+    params:
+        The fleet parameter set.
+    phi:
+        The guarded-operation duration.
+    mode:
+        ``"lumped"`` or ``"flat"`` — part of the key payload because the
+        two representations agree only to solver tolerance, not bitwise.
+    solver_options:
+        Canonical key/value pairs folded into the cache key.
+    """
+
+    index: int
+    params: FleetParameters
+    phi: float
+    mode: str = "lumped"
+    solver_options: tuple[tuple[str, str], ...] = ()
+
+    def key_payload(
+        self, schema_version: int = CACHE_KEY_SCHEMA_VERSION
+    ) -> dict:
+        """The canonical content-address payload (inputs only)."""
+        return {
+            "schema": schema_version,
+            "measure": _FLEET_MEASURE,
+            "params": self.params.to_dict(),
+            "phi": float(self.phi),
+            "mode": self.mode,
+            "solver": {k: v for k, v in self.solver_options},
+        }
+
+    def cache_key(self, schema_version: int = CACHE_KEY_SCHEMA_VERSION) -> str:
+        """SHA-256 content address of this task's inputs."""
+        payload = json.dumps(
+            self.key_payload(schema_version),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def plan_fleet_tasks(
+    params: FleetParameters,
+    phis: Sequence[float],
+    mode: str = "lumped",
+    solver_options: tuple[tuple[str, str], ...] = (),
+) -> tuple[FleetTask, ...]:
+    """Expand a fleet query into ordered tasks (phis validated up front)."""
+    tasks = []
+    for phi in phis:
+        params.validate_phi(phi)
+        tasks.append(
+            FleetTask(
+                index=len(tasks),
+                params=params,
+                phi=float(phi),
+                mode=mode,
+                solver_options=solver_options,
+            )
+        )
+    return tuple(tasks)
 
 
 def plan_campaign(spec: CampaignSpec) -> tuple[EvaluationTask, ...]:

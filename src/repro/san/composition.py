@@ -21,8 +21,14 @@ as part of the framework.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.chain import CTMC
 from repro.san.activities import Case, InstantaneousActivity, TimedActivity
 from repro.san.errors import ModelStructureError
 from repro.san.gates import InputGate, OutputGate
@@ -219,3 +225,244 @@ def replicate(
         return model
     submodels = {f"rep{i}": model for i in range(count)}
     return join(name, submodels, shared_places=common_places)
+
+
+# ----------------------------------------------------------------------
+# MDCD fleet composition
+# ----------------------------------------------------------------------
+# An N-process fleet of the paper's MDCD (message-driven, checkpointing,
+# with detection) processes sharing a bounded repair facility.  Each
+# process walks a four-state local chain; the repair transition is
+# coupled across processes (at most ``repair_servers`` concurrent
+# repairs), which breaks product form but preserves full replica
+# symmetry — the composed chain lumps exactly onto count vectors.
+#
+# The flat product space has ``4**n`` states, so the generator is
+# assembled *directly in CSR* from base-4 digit arrays — no marking BFS,
+# no Python per-state loops, no dense round-trips.  The sparsity pattern
+# depends only on ``(n, repair_servers)``; rates enter as a four-vector
+# stamped over cached per-entry (class, multiplier) annotations, giving
+# fleet sweeps the same compile-once/re-stamp economics as the
+# parametric SAN templates.
+
+#: Per-process local states of the fleet member chain.
+FLEET_OK = 0  #: operating normally
+FLEET_CONTAMINATED = 1  #: latent error present, undetected
+FLEET_DETECTED = 2  #: error detected, awaiting repair
+FLEET_FAILED = 3  #: failed (absorbing)
+
+#: Number of local states per fleet process.
+FLEET_LOCAL_STATES = 4
+
+#: Transition-class labels, indexing :meth:`FleetRates.as_array`.
+FLEET_CLASS_LABELS = ("contaminate", "detect", "fail", "repair")
+
+#: ``(src_local_state, dst_local_state)`` per transition class.
+_FLEET_CLASS_MOVES = (
+    (FLEET_OK, FLEET_CONTAMINATED),
+    (FLEET_CONTAMINATED, FLEET_DETECTED),
+    (FLEET_CONTAMINATED, FLEET_FAILED),
+    (FLEET_DETECTED, FLEET_OK),
+)
+
+_FLEET_REPAIR_CLASS = 3
+
+
+@dataclass(frozen=True)
+class FleetRates:
+    """Per-class transition rates of one MDCD fleet process.
+
+    Attributes
+    ----------
+    contaminate:
+        ``ok -> contaminated`` rate (external-fault arrival).
+    detect:
+        ``contaminated -> detected`` rate (guard catches the error).
+    fail:
+        ``contaminated -> failed`` rate (error escapes the guard).
+    repair:
+        Per-server repair rate; the *effective* per-process rate is
+        ``repair * min(n_detected, servers) / n_detected``, so the total
+        fleet repair throughput saturates at ``repair * servers``.
+    """
+
+    contaminate: float
+    detect: float
+    fail: float
+    repair: float
+
+    def __post_init__(self):
+        for label, value in zip(FLEET_CLASS_LABELS, self.as_array()):
+            if value < 0:
+                raise ModelStructureError(
+                    f"fleet rate {label!r} must be non-negative, got {value}"
+                )
+
+    def as_array(self) -> np.ndarray:
+        """The rates as a class-indexed vector (see FLEET_CLASS_LABELS)."""
+        return np.array(
+            [self.contaminate, self.detect, self.fail, self.repair]
+        )
+
+
+@dataclass(frozen=True)
+class _FleetPattern:
+    """Cached CSR skeleton of the flat fleet generator.
+
+    ``indices``/``indptr`` define the full pattern including a diagonal
+    entry for every state with outgoing transitions.  Off-diagonal data
+    slots are annotated with a transition class and a rate multiplier;
+    stamping a rate vector fills the data array and recomputes the
+    diagonal, reusing the structure arrays across parameter points.
+    """
+
+    n: int
+    repair_servers: int
+    num_states: int
+    indices: np.ndarray
+    indptr: np.ndarray
+    off_rows: np.ndarray
+    off_positions: np.ndarray
+    off_class: np.ndarray
+    off_multiplier: np.ndarray
+    diag_rows: np.ndarray
+    diag_positions: np.ndarray
+
+    def stamp(self, rates: FleetRates) -> sp.csr_matrix:
+        """Assemble the generator for ``rates`` on the cached pattern."""
+        off_data = self.off_multiplier * rates.as_array()[self.off_class]
+        data = np.zeros(self.indices.size)
+        data[self.off_positions] = off_data
+        exits = np.bincount(
+            self.off_rows, weights=off_data, minlength=self.num_states
+        )
+        data[self.diag_positions] = -exits[self.diag_rows]
+        return sp.csr_matrix(
+            (data, self.indices, self.indptr),
+            shape=(self.num_states, self.num_states),
+        )
+
+
+_FLEET_PATTERN_CACHE: dict[tuple[int, int], _FleetPattern] = {}
+_FLEET_PATTERN_LOCK = threading.Lock()
+
+
+def fleet_digits(n: int) -> np.ndarray:
+    """Per-process local states of every flat fleet state.
+
+    Returns an ``(4**n, n)`` uint8 array: ``digits[s, j]`` is process
+    ``j``'s local state in flat state ``s`` (base-4 positional encoding,
+    process 0 in the least-significant digit).
+    """
+    if n < 1:
+        raise ModelStructureError(f"fleet size must be >= 1, got {n}")
+    num_states = FLEET_LOCAL_STATES**n
+    idx = np.arange(num_states, dtype=np.int64)
+    digits = np.empty((num_states, n), dtype=np.uint8)
+    for j in range(n):
+        digits[:, j] = (idx >> (2 * j)) & 3
+    return digits
+
+
+def fleet_pattern(n: int, repair_servers: int) -> _FleetPattern:
+    """The (cached) CSR skeleton for an ``n``-process fleet.
+
+    Vectorised assembly: for each process and transition class, a boolean
+    mask over the digit array selects source states, and the destination
+    index is a constant stride away (``(dst - src) * 4**j``).  The
+    repair class's multiplier encodes the shared-server coupling
+    ``min(n_detected, servers) / n_detected`` per source state.
+    """
+    if repair_servers < 1:
+        raise ModelStructureError(
+            f"repair_servers must be >= 1, got {repair_servers}"
+        )
+    key = (n, repair_servers)
+    with _FLEET_PATTERN_LOCK:
+        cached = _FLEET_PATTERN_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    digits = fleet_digits(n)
+    num_states = digits.shape[0]
+    idx = np.arange(num_states, dtype=np.int64)
+    n_detected = (digits == FLEET_DETECTED).sum(axis=1).astype(np.float64)
+
+    rows_parts, cols_parts, class_parts, mult_parts = [], [], [], []
+    for j in range(n):
+        stride = FLEET_LOCAL_STATES**j
+        col_j = digits[:, j]
+        for cls, (src, dst) in enumerate(_FLEET_CLASS_MOVES):
+            mask = col_j == src
+            srcs = idx[mask]
+            if srcs.size == 0:
+                continue
+            rows_parts.append(srcs)
+            cols_parts.append(srcs + (dst - src) * stride)
+            class_parts.append(
+                np.full(srcs.size, cls, dtype=np.uint8)
+            )
+            if cls == _FLEET_REPAIR_CLASS:
+                det = n_detected[srcs]
+                mult_parts.append(
+                    np.minimum(det, float(repair_servers)) / det
+                )
+            else:
+                mult_parts.append(np.ones(srcs.size))
+
+    off_rows = np.concatenate(rows_parts)
+    off_cols = np.concatenate(cols_parts)
+    off_class = np.concatenate(class_parts)
+    off_mult = np.concatenate(mult_parts)
+
+    # Diagonal entry for every state with at least one outgoing
+    # transition (explicit zeros are harmless if a class rate is 0).
+    has_exit = np.zeros(num_states, dtype=bool)
+    has_exit[off_rows] = True
+    diag_states = idx[has_exit]
+
+    all_rows = np.concatenate([off_rows, diag_states])
+    all_cols = np.concatenate([off_cols, diag_states])
+    order = np.lexsort((all_cols, all_rows))
+    indptr = np.zeros(num_states + 1, dtype=np.intp)
+    np.cumsum(
+        np.bincount(all_rows, minlength=num_states), out=indptr[1:]
+    )
+    indices = all_cols[order].astype(np.int32, copy=False)
+    # Where each original triplet landed in the sorted data array.
+    landing = np.empty(order.size, dtype=np.int64)
+    landing[order] = np.arange(order.size)
+    pattern = _FleetPattern(
+        n=n,
+        repair_servers=repair_servers,
+        num_states=num_states,
+        indices=indices,
+        indptr=indptr,
+        off_rows=off_rows,
+        off_positions=landing[: off_rows.size],
+        off_class=off_class,
+        off_multiplier=off_mult,
+        diag_rows=diag_states,
+        diag_positions=landing[off_rows.size :],
+    )
+    with _FLEET_PATTERN_LOCK:
+        return _FLEET_PATTERN_CACHE.setdefault(key, pattern)
+
+
+def fleet_chain(
+    n: int,
+    rates: FleetRates,
+    repair_servers: int = 1,
+) -> CTMC:
+    """The flat ``4**n``-state CTMC of an ``n``-process MDCD fleet.
+
+    All processes start in the ``ok`` state.  The generator is stamped
+    onto the cached CSR pattern for ``(n, repair_servers)``; repeated
+    calls with different rates share the structure arrays.  Unlabelled —
+    flat states are addressed positionally via :func:`fleet_digits`.
+    """
+    pattern = fleet_pattern(n, repair_servers)
+    q = pattern.stamp(rates)
+    initial = np.zeros(pattern.num_states)
+    initial[0] = 1.0  # every process in FLEET_OK
+    return CTMC(q, initial=initial)

@@ -18,8 +18,13 @@ One :class:`PerformabilityService` owns the whole request path:
    warm worker pool (template re-stamping, one solver pass per model).
 4. **Respond with provenance** — every answer carries per-point cache
    sources and request latency; ``GET /metrics`` exposes p50/p99
-   latency, queue depth, per-tier cache hit rates, and template
-   compile/re-stamp counts.
+   latency, queue depth, per-tier cache hit rates, template
+   compile/re-stamp counts, and solver-backend dispatch counters
+   (dense vs sparse vs uniformization).
+
+``POST /fleet`` answers fleet ``Y(phi)`` queries (N replicated MDCD
+processes with shared repair, lumped or flat representation) through
+the same tiered cache under the ``fleet.Y`` measure namespace.
 
 Overload answers ``429`` with ``Retry-After``; ``SIGTERM``/``SIGINT``
 drain gracefully: new work answers ``503`` while in-flight requests
@@ -38,6 +43,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.ctmc.config import dispatch_counts
+from repro.gsu.fleet import FLEET_MODES, FleetParameters
 from repro.gsu.measures import ConstituentSolver
 from repro.gsu.optimizer import refine_optimum
 from repro.gsu.parameters import PAPER_TABLE3, GSUParameters
@@ -49,8 +56,9 @@ from repro.runtime.cache import (
     TieredResultCache,
 )
 from repro.runtime.records import record_from_evaluation
+from repro.runtime.executor import execute_fleet_tasks
 from repro.runtime.spec import _PARAM_FIELDS, default_grid
-from repro.runtime.tasks import EvaluationTask
+from repro.runtime.tasks import EvaluationTask, plan_fleet_tasks
 from repro.serve.batcher import (
     DEFAULT_BATCH_WINDOW,
     DEFAULT_QUEUE_LIMIT,
@@ -72,6 +80,19 @@ MAX_GRID_POINTS = 4096
 
 #: Seconds allowed for reading one request off the socket.
 READ_TIMEOUT = 30.0
+
+#: Largest flat fleet state space a single HTTP request may solve
+#: (``4**9`` — the scaling benchmark's tier).  Bigger fleets must use
+#: the lumped representation, which answers the same measures exactly.
+MAX_FLEET_FLAT_STATES = 4**9
+
+#: Fleet parameter fields accepted in ``POST /fleet`` bodies, with the
+#: integer-valued ones called out for coercion.
+_FLEET_FIELDS = (
+    "n_processes", "repair_servers", "repair_rate",
+    "lam", "mu", "coverage", "p_ext", "theta",
+)
+_FLEET_INT_FIELDS = frozenset({"n_processes", "repair_servers"})
 
 
 @dataclass(frozen=True)
@@ -243,6 +264,59 @@ class PerformabilityService:
             for i, phi in enumerate(phis)
         ]
 
+    @staticmethod
+    def _parse_fleet_params(body: dict) -> FleetParameters:
+        """Fleet defaults plus validated overrides → canonical set."""
+        overrides = body.get("fleet", {})
+        if not isinstance(overrides, dict):
+            raise HttpError(400, "'fleet' must be an object of overrides")
+        unknown = set(overrides) - set(_FLEET_FIELDS)
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown fleet fields: {sorted(unknown)} "
+                f"(known: {sorted(_FLEET_FIELDS)})",
+            )
+        try:
+            values = {
+                name: (
+                    int(value) if name in _FLEET_INT_FIELDS else float(value)
+                )
+                for name, value in overrides.items()
+            }
+            return FleetParameters(**values)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid fleet parameters: {exc}") from exc
+
+    @staticmethod
+    def _parse_fleet_phis(body: dict, params: FleetParameters) -> list[float]:
+        """The request's ``phi`` grid, validated against ``[0, theta]``."""
+        phis = body.get("phis")
+        step = body.get("step")
+        if phis is not None and step is not None:
+            raise HttpError(400, "give either 'phis' or 'step', not both")
+        if phis is None:
+            try:
+                grid_step = float(step) if step is not None else 1000.0
+                grid = default_grid(params.theta, step=grid_step)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"invalid step: {exc}") from exc
+        else:
+            if not isinstance(phis, list) or not phis:
+                raise HttpError(400, "'phis' must be a non-empty array")
+            grid = phis
+        if len(grid) > MAX_GRID_POINTS:
+            raise HttpError(
+                400, f"grid of {len(grid)} points exceeds {MAX_GRID_POINTS}"
+            )
+        validated = []
+        for phi in grid:
+            try:
+                validated.append(params.validate_phi(float(phi)))
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"invalid phi: {exc}") from exc
+        return validated
+
     # ------------------------------------------------------------------
     # Endpoint handlers
     # ------------------------------------------------------------------
@@ -273,6 +347,61 @@ class PerformabilityService:
                 "sources": sources,
                 "solve_ms": solve_seconds * 1000.0,
                 "queue_depth": self.batcher.queue_depth,
+            },
+        }
+
+    async def handle_fleet(self, body: dict) -> dict:
+        """``POST /fleet`` — fleet ``Y(phi)`` for N replicated processes.
+
+        Fleet solves bypass the coalescing batcher (they are not
+        ``GSUParameters``-keyed) but share the tiered result cache under
+        the ``fleet.Y`` measure namespace, so the CLI's ``repro fleet``
+        runs and the service interoperate at 100% cache hits.  The solve
+        runs on the worker pool; the event loop stays free.
+        """
+        params = self._parse_fleet_params(body)
+        mode = body.get("mode", "auto")
+        if mode not in FLEET_MODES:
+            raise HttpError(
+                400, f"unknown mode {mode!r}; choose from {list(FLEET_MODES)}"
+            )
+        resolved = "lumped" if mode == "auto" else mode
+        if resolved == "flat" and params.flat_states > MAX_FLEET_FLAT_STATES:
+            raise HttpError(
+                400,
+                f"flat fleet of {params.flat_states} states exceeds the "
+                f"per-request bound of {MAX_FLEET_FLAT_STATES}; use "
+                f"mode='lumped' ({params.lumped_states} states, exact)",
+            )
+        phis = self._parse_fleet_phis(body, params)
+        tasks = plan_fleet_tasks(params, phis, mode=resolved)
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        outcomes = await loop.run_in_executor(
+            self.executor,
+            lambda: execute_fleet_tasks(tasks, cache=self.cache),
+        )
+        solve_seconds = time.perf_counter() - start
+        sources: dict[str, int] = {}
+        for outcome in outcomes:
+            source = "cache" if outcome.cached else "solved"
+            sources[source] = sources.get(source, 0) + 1
+        return {
+            "fleet": params.to_dict(),
+            "mode": resolved,
+            "states": outcomes[0].record["states"] if outcomes else 0,
+            "points": [
+                {
+                    "phi": outcome.record["phi"],
+                    "Y": outcome.record["Y"],
+                    "operational_time": outcome.record["operational_time"],
+                    "source": "cache" if outcome.cached else "solved",
+                }
+                for outcome in outcomes
+            ],
+            "provenance": {
+                "sources": sources,
+                "solve_ms": solve_seconds * 1000.0,
             },
         }
 
@@ -357,6 +486,7 @@ class PerformabilityService:
             "restamps": template_stats.restamps,
             "fallbacks": template_stats.fallbacks,
         }
+        payload["solver"]["dispatch"] = dispatch_counts()
         payload["warm_seconds"] = self.warm_seconds
         payload["draining"] = self._draining
         return payload
@@ -371,15 +501,19 @@ class PerformabilityService:
             return 200, self.healthz_payload(), {}
         if route == ("GET", "/metrics"):
             return 200, self.metrics_payload(), {}
-        if route in (("POST", "/evaluate"), ("POST", "/optimal")):
+        if route in (
+            ("POST", "/evaluate"),
+            ("POST", "/optimal"),
+            ("POST", "/fleet"),
+        ):
             body = request.json()
             if not isinstance(body, dict):
                 raise HttpError(400, "request body must be a JSON object")
-            handler = (
-                self.handle_evaluate
-                if request.target == "/evaluate"
-                else self.handle_optimal
-            )
+            handler = {
+                "/evaluate": self.handle_evaluate,
+                "/optimal": self.handle_optimal,
+                "/fleet": self.handle_fleet,
+            }[request.target]
             endpoint = request.target.lstrip("/")
             start = time.perf_counter()
             try:
@@ -399,7 +533,9 @@ class PerformabilityService:
                 time.perf_counter() - start
             )
             return 200, payload, {}
-        if request.target in ("/healthz", "/metrics", "/evaluate", "/optimal"):
+        if request.target in (
+            "/healthz", "/metrics", "/evaluate", "/optimal", "/fleet"
+        ):
             raise HttpError(
                 405, f"{request.method} not supported on {request.target}"
             )

@@ -47,6 +47,7 @@ class TestBackends:
         assert set(ACCUMULATED_METHODS) == {
             "uniformization",
             "augmented-expm",
+            "augmented-krylov",
             "quadrature",
             "auto",
         }

@@ -114,6 +114,7 @@ class TestTransientGridMatchesScalar:
             "spectral",
             "propagator",
             "expm",
+            "krylov",
         }
 
 

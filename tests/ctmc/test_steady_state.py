@@ -61,7 +61,13 @@ class TestSolvers:
             steady_state_distribution(two_state_chain, method="sor")
 
     def test_methods_tuple(self):
-        assert set(STEADY_METHODS) == {"direct", "power", "gauss-seidel", "sor"}
+        assert set(STEADY_METHODS) == {
+            "direct",
+            "power",
+            "gauss-seidel",
+            "sor",
+            "auto",
+        }
 
 
 class TestSteadyReward:

@@ -1,10 +1,23 @@
 """Tests for Join/Replicate composition."""
 
+import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.ctmc.steady_state import steady_state_distribution
 from repro.san.activities import Case, TimedActivity
-from repro.san.composition import join, replicate
+from repro.san.composition import (
+    FLEET_CONTAMINATED,
+    FLEET_DETECTED,
+    FLEET_FAILED,
+    FLEET_OK,
+    FleetRates,
+    fleet_chain,
+    fleet_digits,
+    fleet_pattern,
+    join,
+    replicate,
+)
 from repro.san.ctmc_builder import build_ctmc
 from repro.san.errors import ModelStructureError
 from repro.san.gates import InputGate, OutputGate
@@ -139,3 +152,114 @@ class TestReplicate:
         # Resource excludes concurrency: states = idle/idle+res,
         # busy/idle, idle/busy.
         assert compiled.num_states == 3
+
+
+class TestFleetChain:
+    def test_digits_enumerate_base4(self):
+        digits = fleet_digits(2)
+        assert digits.shape == (16, 2)
+        # State index i has digits (i % 4, i // 4): process j is digit j.
+        assert list(digits[0]) == [0, 0]
+        assert list(digits[1]) == [1, 0]
+        assert list(digits[4]) == [0, 1]
+        assert list(digits[15]) == [3, 3]
+
+    def test_rates_validated(self):
+        with pytest.raises(ModelStructureError):
+            FleetRates(contaminate=-1.0, detect=1.0, fail=1.0, repair=1.0)
+
+    def test_single_process_matches_local_chain(self):
+        rates = FleetRates(contaminate=0.3, detect=1.0, fail=0.25, repair=2.0)
+        chain = fleet_chain(1, rates)
+        q = chain.generator.toarray()
+        expected = np.zeros((4, 4))
+        expected[FLEET_OK, FLEET_CONTAMINATED] = rates.contaminate
+        expected[FLEET_CONTAMINATED, FLEET_DETECTED] = rates.detect
+        expected[FLEET_CONTAMINATED, FLEET_FAILED] = rates.fail
+        expected[FLEET_DETECTED, FLEET_OK] = rates.repair
+        np.fill_diagonal(expected, -expected.sum(axis=1))
+        assert np.allclose(q, expected)
+
+    def test_two_process_generator_matches_brute_force(self):
+        rates = FleetRates(contaminate=0.3, detect=1.1, fail=0.2, repair=1.7)
+        servers = 1
+        chain = fleet_chain(2, rates, repair_servers=servers)
+        q = chain.generator.toarray()
+        moves = {
+            (FLEET_OK, FLEET_CONTAMINATED): rates.contaminate,
+            (FLEET_CONTAMINATED, FLEET_DETECTED): rates.detect,
+            (FLEET_CONTAMINATED, FLEET_FAILED): rates.fail,
+            (FLEET_DETECTED, FLEET_OK): rates.repair,
+        }
+        expected = np.zeros((16, 16))
+        for src in range(16):
+            local = [src % 4, src // 4]
+            n_det = local.count(FLEET_DETECTED)
+            for j in range(2):
+                for (a, b), rate in moves.items():
+                    if local[j] != a:
+                        continue
+                    if (a, b) == (FLEET_DETECTED, FLEET_OK):
+                        rate *= min(n_det, servers) / n_det
+                    dst_local = list(local)
+                    dst_local[j] = b
+                    dst = dst_local[0] + 4 * dst_local[1]
+                    expected[src, dst] += rate
+        np.fill_diagonal(expected, -expected.sum(axis=1))
+        assert np.allclose(q, expected)
+
+    def test_shared_repair_throttles_rate(self):
+        rates = FleetRates(contaminate=0.0, detect=0.0, fail=0.0, repair=3.0)
+        chain = fleet_chain(2, rates, repair_servers=1)
+        q = chain.generator.toarray()
+        both_detected = FLEET_DETECTED + 4 * FLEET_DETECTED
+        one_detected = FLEET_DETECTED  # process 0 detected, process 1 ok
+        # Two detected, one server: each repairs at rate * 1/2.
+        assert q[both_detected].sum() == pytest.approx(0.0)
+        assert -q[both_detected, both_detected] == pytest.approx(3.0)
+        assert -q[one_detected, one_detected] == pytest.approx(3.0)
+
+    def test_unlimited_servers_remove_throttle(self):
+        rates = FleetRates(contaminate=0.0, detect=0.0, fail=0.0, repair=3.0)
+        chain = fleet_chain(2, rates, repair_servers=2)
+        q = chain.generator.toarray()
+        both_detected = FLEET_DETECTED + 4 * FLEET_DETECTED
+        assert -q[both_detected, both_detected] == pytest.approx(6.0)
+
+    def test_initial_distribution_all_ok(self):
+        rates = FleetRates(contaminate=0.1, detect=1.0, fail=0.1, repair=1.0)
+        chain = fleet_chain(3, rates)
+        initial = chain.initial_distribution
+        assert initial[0] == 1.0
+        assert initial.sum() == pytest.approx(1.0)
+
+    def test_failed_states_absorbing(self):
+        rates = FleetRates(contaminate=0.5, detect=1.0, fail=0.5, repair=2.0)
+        chain = fleet_chain(2, rates)
+        q = chain.generator.toarray()
+        all_failed = FLEET_FAILED + 4 * FLEET_FAILED
+        assert np.all(q[all_failed] == 0.0)
+
+    def test_pattern_cached_and_restamped(self):
+        first = fleet_pattern(3, 1)
+        second = fleet_pattern(3, 1)
+        assert first is second
+        rates_a = FleetRates(
+            contaminate=0.1, detect=1.0, fail=0.2, repair=1.0
+        )
+        rates_b = FleetRates(
+            contaminate=0.7, detect=0.3, fail=0.9, repair=2.5
+        )
+        qa = fleet_chain(3, rates_a).generator.toarray()
+        qb = fleet_chain(3, rates_b).generator.toarray()
+        assert not np.allclose(qa, qb)
+        # Re-stamping with the first rates reproduces the first chain.
+        assert np.array_equal(
+            fleet_chain(3, rates_a).generator.toarray(), qa
+        )
+
+    def test_fleet_chain_is_sparse_csr(self):
+        rates = FleetRates(contaminate=0.1, detect=1.0, fail=0.2, repair=1.0)
+        chain = fleet_chain(4, rates)
+        assert sp.issparse(chain.generator)
+        assert chain.num_states == 4**4

@@ -104,7 +104,7 @@ class TestSteadyOracle:
             {"seed": 3, "num_states": 5, "rate_scale": 1.0}, irreducible=True
         )
         values = steady_reward_by_method(chain, reward)
-        assert set(values) == {"direct", "power", "gauss-seidel", "sor"}
+        assert set(values) == {"direct", "power", "gauss-seidel", "sor", "auto"}
 
 
 class TestConstituentPaths:
