@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke scaling-smoke scaling-full bench examples reports experiments clean
+.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke scaling-smoke scaling-full synth-smoke synth-bench bench examples reports experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,7 +18,7 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff)"; \
 	fi
 
-test: lint campaign-smoke serve-smoke scaling-smoke
+test: lint campaign-smoke serve-smoke scaling-smoke synth-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tier-1: everything except minutes-scale simulation tests (marker: slow).
@@ -73,6 +73,25 @@ scaling-smoke:
 scaling-full:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest \
 		benchmarks/test_fleet_scaling.py -q
+
+# Joint-synthesis smoke: a small phi-only optimization on the scaled
+# profile whose analytic quantile/exceedance measures are validated
+# against simulation; the run must end with a passing verdict family.
+synth-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro synthesize \
+		--theta 20 --lam 60 --mu-new 0.2 --mu-old 1e-4 \
+		--alpha 600 --beta 600 --levers phi --max-iters 6 --starts 2 \
+		--replications 256 --validate --cache-dir "$$tmp/cache" \
+		| grep -q "verdicts: PASS" && \
+	echo "synth-smoke: OK (distribution measures validated)"
+
+# Full synthesis benchmark: parametric templates + step cache vs naive
+# per-point re-solve; writes benchmarks/reports/BENCH_synth.json and
+# gates the 3x speedup (SYNTH_BENCH_PROFILE=smoke for a log-only pass).
+synth-bench:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest \
+		benchmarks/test_synth_scaling.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -5,6 +5,7 @@ Exposes the reproduction's main entry points without writing Python::
     python -m repro evaluate --phi 7000
     python -m repro sweep --step 1000 --mu-new 5e-5
     python -m repro optimal --refine
+    python -m repro synthesize --levers phi,coverage --budget 0.05 --validate
     python -m repro experiment FIG9 --jobs 4 --cache-dir ~/.repro-cache
     python -m repro campaign FIG9 --jobs 4 --run-dir runs/
     python -m repro campaign --spec my_campaign.json --backend process
@@ -277,6 +278,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parameter_flags(fleet)
     _add_runtime_flags(fleet)
+
+    synthesize = sub.add_parser(
+        "synthesize",
+        help="jointly optimize phi plus Table 3 levers (projected-"
+             "gradient over a lever box, optional overhead budget) and "
+             "report distribution-level measures of accumulated reward",
+    )
+    synthesize.add_argument(
+        "--levers", default="phi", metavar="L1,L2,...",
+        help="comma-separated levers to search jointly; 'phi' is "
+             "required (default: phi alone)",
+    )
+    synthesize.add_argument(
+        "--bounds", action="append", default=[], metavar="NAME=LO:HI",
+        help="override a lever's box bounds (repeatable)",
+    )
+    synthesize.add_argument(
+        "--budget", type=float, default=None, metavar="B",
+        help="constrained mode: maximise Y subject to steady-state "
+             "overhead (1-rho1)+(1-rho2) <= B",
+    )
+    synthesize.add_argument(
+        "--max-iters", type=_positive_int, default=24,
+        help="projected-gradient steps per start (default 24)",
+    )
+    synthesize.add_argument(
+        "--starts", type=_positive_int, default=3,
+        help="multi-start count: box centre plus corners (default 3)",
+    )
+    synthesize.add_argument(
+        "--quantile", action="append", type=float, default=None,
+        dest="quantiles", metavar="Q",
+        help="report this quantile of the accumulated guarded-operation "
+             "reward at the optimum (repeatable; default 0.25 0.5 0.9)",
+    )
+    synthesize.add_argument(
+        "--tail", action="append", type=float, default=None,
+        dest="tails", metavar="FRAC",
+        help="report P(W > FRAC * max) exceedance at the optimum "
+             "(repeatable; default 0.25 0.75)",
+    )
+    synthesize.add_argument(
+        "--validate", action="store_true",
+        help="conformance-check the analytic distribution measures "
+             "against trajectory simulation (Sidak family-wise verdicts)",
+    )
+    synthesize.add_argument(
+        "--replications", type=_positive_int, default=400,
+        help="simulation replications for --validate (default 400)",
+    )
+    synthesize.add_argument(
+        "--confidence", type=float, default=0.99,
+        help="family-wise confidence for --validate (default 0.99)",
+    )
+    synthesize.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed for --validate (default: the verify seed)",
+    )
+    synthesize.add_argument(
+        "--json", action="store_true",
+        help="emit the full synthesis result as JSON",
+    )
+    _add_parameter_flags(synthesize)
+    _add_runtime_flags(synthesize)
 
     serve = sub.add_parser(
         "serve",
@@ -654,6 +719,138 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_synthesize(args) -> int:
+    from repro.gsu.measures import RS_INT_TAU_H
+    from repro.synth import (
+        SynthesisConfig,
+        SynthesisProblem,
+        accumulated_distribution,
+        apply_point,
+        local_evaluate_fn,
+        resolve_levers,
+        run_synthesis,
+        synthesis_conformance,
+    )
+    from repro.verify.conformance import DEFAULT_VERIFY_SEED
+
+    params = _params_from(args, PAPER_TABLE3)
+    lever_names = [name.strip() for name in args.levers.split(",") if name.strip()]
+    bounds = {}
+    for spec in args.bounds:
+        name, sep, box = spec.partition("=")
+        lo, colon, hi = box.partition(":")
+        if not sep or not colon:
+            print(f"error: bad --bounds {spec!r} (expected NAME=LO:HI)",
+                  file=sys.stderr)
+            return 2
+        try:
+            bounds[name.strip()] = (float(lo), float(hi))
+        except ValueError:
+            print(f"error: bad --bounds {spec!r} (expected NAME=LO:HI)",
+                  file=sys.stderr)
+            return 2
+
+    config = _runtime_config_from(args)
+    try:
+        levers = resolve_levers(params, lever_names, bounds=bounds)
+        problem = SynthesisProblem(
+            params=params, levers=levers, budget=args.budget
+        )
+        synth_config = SynthesisConfig(
+            max_iters=args.max_iters, starts=args.starts
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_synthesis(
+        problem,
+        synth_config,
+        cache=config.make_cache(),
+        evaluate_fn=local_evaluate_fn(parametric=config.parametric),
+    )
+
+    quantiles = tuple(args.quantiles) if args.quantiles else (0.25, 0.5, 0.9)
+    tails = tuple(args.tails) if args.tails else (0.25, 0.75)
+    optimum = result.optimum()
+    opt_params, opt_phi = apply_point(params, levers, result.point)
+    horizon = max(opt_phi, 1e-3 * opt_params.theta)
+    solver = ConstituentSolver(opt_params)
+    dist = accumulated_distribution(
+        solver.rm_gd.chain,
+        RS_INT_TAU_H.rate_vector(solver.rm_gd),
+        horizon,
+    )
+    dist_summary = dist.describe()
+    dist_summary["quantiles"] = {
+        repr(q): dist.quantile(q) for q in quantiles
+    }
+    dist_summary["exceedance"] = {
+        repr(frac): dist.tail(frac * dist.maximum) for frac in tails
+    }
+
+    reports = []
+    if args.validate:
+        reports = synthesis_conformance(
+            params,
+            phi=opt_phi,
+            quantiles=quantiles,
+            tails=tails,
+            replications=args.replications,
+            confidence=args.confidence,
+            seed=args.seed if args.seed is not None else DEFAULT_VERIFY_SEED,
+        )
+
+    if args.json:
+        payload = {
+            "result": result.to_dict(),
+            "distribution": dist_summary,
+            "validation": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        budget_note = (
+            f", overhead budget {problem.budget:g}"
+            if problem.budget is not None
+            else ""
+        )
+        print(
+            f"synthesis over {', '.join(problem.names)}{budget_note}: "
+            f"{result.iterations} steps / {len(result.trajectories)} starts "
+            f"({result.points_evaluated} points solved, "
+            f"{result.steps_cached} steps cached)"
+        )
+        for name, value in optimum.items():
+            print(f"  {name:<10} = {value:g}")
+        feasibility = "feasible" if result.feasible else "INFEASIBLE"
+        verdict = "beneficial" if result.y > 1.0 else "NOT beneficial"
+        print(f"Y = {result.y:.6f} ({verdict}), "
+              f"overhead = {result.overhead:.6f} ({feasibility}), "
+              f"converged = {result.converged}")
+        print(f"accumulated guarded-op reward over [0, {horizon:g}] "
+              f"({dist_summary['method']}; mean {dist.mean:.6g}):")
+        for q in quantiles:
+            print(f"  q{q:g} = {dist.quantile(q):.6g}")
+        for frac in tails:
+            y_level = frac * dist.maximum
+            print(f"  P(W > {y_level:.6g}) = {dist.tail(y_level):.6g}")
+        for report in reports:
+            status = "pass" if report.passed else "FAIL"
+            print(f"validate {report.measure} ({report.method}, "
+                  f"{report.replications} reps, horizon {report.horizon:g}): "
+                  f"{status}")
+            for v in report.verdicts:
+                mark = "ok " if v.passed else "BAD"
+                print(f"  [{mark}] {v.check} {v.level:g}: count {v.count} "
+                      f"in [{v.accept_lo}, {v.accept_hi}]")
+    if args.validate:
+        passed = all(report.passed for report in reports)
+        if not args.json:
+            print(f"verdicts: {'PASS' if passed else 'FAIL'}")
+        if not passed:
+            return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -888,6 +1085,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
     "fleet": _cmd_fleet,
+    "synthesize": _cmd_synthesize,
     "serve": _cmd_serve,
     "verify": _cmd_verify,
     "validate": _cmd_validate,

@@ -113,11 +113,15 @@ def find_optimal_phi(
     best = evaluations[best_idx]
     best_phi, best_y = best.phi, best.value
 
-    if refine and 0 < best_idx < len(evaluations) - 1:
+    if refine and len(evaluations) > 1:
         if solver is None:
             solver = ConstituentSolver(params)
-        lo = evaluations[best_idx - 1].phi
-        hi = evaluations[best_idx + 1].phi
+        # A grid optimum at a bracket endpoint still has one coarse
+        # neighbour: refine the one-sided bracket [phi_0, phi_1] (or
+        # [phi_{n-1}, phi_n]) instead of silently skipping refinement —
+        # with a coarse grid the true optimum can sit well inside it.
+        lo = evaluations[max(best_idx - 1, 0)].phi
+        hi = evaluations[min(best_idx + 1, len(evaluations) - 1)].phi
         refined_phi, refined_y = _golden_section(
             lambda phi: evaluate_index(params, phi, solver=solver).value,
             lo,
@@ -148,8 +152,9 @@ def refine_optimum(
     callers that already evaluated a coarse grid elsewhere (e.g. the
     serving layer, which grids through its coalescing cache path) can
     refine between the grid optimum's neighbours without re-solving the
-    grid.  Returns ``(phi, Y(phi))`` at the bracket's midpoint once it
-    narrows below ``tolerance`` hours.
+    grid.  Returns the best ``(phi, Y(phi))`` evaluated by the section
+    search, which stops once the bracket narrows below ``tolerance``
+    hours.
     """
     if not 0.0 <= lo < hi <= params.theta:
         raise ValueError(
@@ -167,19 +172,28 @@ def refine_optimum(
 
 
 def _golden_section(objective, lo: float, hi: float, tolerance: float):
-    """Golden-section maximisation of a unimodal function on [lo, hi]."""
+    """Golden-section maximisation of a unimodal function on [lo, hi].
+
+    Returns the best ``(x, objective(x))`` actually evaluated — never a
+    fresh midpoint evaluation, which could report a worse point than one
+    the search already computed (and would cost one extra solve).
+    """
     a, b = lo, hi
     c = b - _INV_PHI * (b - a)
     d = a + _INV_PHI * (b - a)
     fc, fd = objective(c), objective(d)
+    best_x, best_f = (c, fc) if fc >= fd else (d, fd)
     while (b - a) > tolerance:
         if fc >= fd:
             b, d, fd = d, c, fc
             c = b - _INV_PHI * (b - a)
             fc = objective(c)
+            if fc > best_f:
+                best_x, best_f = c, fc
         else:
             a, c, fc = c, d, fd
             d = a + _INV_PHI * (b - a)
             fd = objective(d)
-    mid = (a + b) / 2.0
-    return mid, objective(mid)
+            if fd > best_f:
+                best_x, best_f = d, fd
+    return best_x, best_f

@@ -38,6 +38,45 @@ FLEET_REQUIRED_KEYS = frozenset(
 )
 
 
+#: Kind tag of synthesis-step records (projected-gradient trajectory).
+SYNTH_STEP_KIND = "synth.step"
+
+#: Top-level keys every valid synthesis-step record must carry.
+SYNTH_STEP_REQUIRED_KEYS = frozenset(
+    {
+        "point",
+        "value",
+        "overhead",
+        "objective",
+        "gradient",
+        "next_point",
+        "step_scale",
+        "converged",
+    }
+)
+
+
+def validate_synth_step(record: Mapping) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid synthesis step."""
+    missing = SYNTH_STEP_REQUIRED_KEYS - set(record)
+    if missing:
+        raise ValueError(f"synth step missing keys: {sorted(missing)}")
+    for key in ("point", "gradient", "next_point"):
+        if not isinstance(record[key], (list, tuple)):
+            raise ValueError(f"synth step {key!r} must be a list")
+    dims = len(record["point"])
+    if dims == 0:
+        raise ValueError("synth step point must be non-empty")
+    for key in ("gradient", "next_point"):
+        if len(record[key]) != dims:
+            raise ValueError(
+                f"synth step {key!r} has {len(record[key])} coordinates "
+                f"for a {dims}-lever point"
+            )
+    if not isinstance(record["converged"], bool):
+        raise ValueError("synth step converged flag must be a bool")
+
+
 def validate_fleet_record(record: Mapping) -> None:
     """Raise ``ValueError`` unless ``record`` is a valid fleet record."""
     missing = FLEET_REQUIRED_KEYS - set(record)
@@ -106,6 +145,9 @@ def validate_record(record: Mapping) -> None:
         return
     if record.get("kind") == FLEET_KIND:
         validate_fleet_record(record)
+        return
+    if record.get("kind") == SYNTH_STEP_KIND:
+        validate_synth_step(record)
         return
     missing = REQUIRED_KEYS - set(record)
     if missing:

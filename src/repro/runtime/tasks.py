@@ -220,6 +220,66 @@ class FleetTask:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Measure namespace of synthesis-step tasks — distinct from every other
+#: task family so projected-gradient trajectory records can never
+#: collide with evaluations, verification blocks, or fleet points in a
+#: shared cache.
+_SYNTH_MEASURE = "synth.step"
+
+
+@dataclass(frozen=True)
+class SynthesisStepTask:
+    """One planned projected-gradient synthesis step.
+
+    The cacheable/resumable unit of ``repro synthesize``: a step is a
+    pure function of the base parameter set, the lever box, the current
+    point, and the search configuration, so replaying a trajectory hits
+    the cache step by step until the first genuinely new point.
+
+    Attributes
+    ----------
+    params:
+        The base parameter set (lever values override its fields).
+    levers:
+        ``(name, lower, upper)`` per search dimension, in order.
+    point:
+        The step's current point in raw lever coordinates.
+    options:
+        Canonical key/value pairs of the search configuration (step
+        sizes, tolerances, overhead budget) folded into the cache key.
+    """
+
+    params: GSUParameters
+    levers: tuple[tuple[str, float, float], ...]
+    point: tuple[float, ...]
+    options: tuple[tuple[str, str], ...] = ()
+
+    def key_payload(
+        self, schema_version: int = CACHE_KEY_SCHEMA_VERSION
+    ) -> dict:
+        """The canonical content-address payload (inputs only)."""
+        return {
+            "schema": schema_version,
+            "measure": _SYNTH_MEASURE,
+            "params": params_to_dict(self.params),
+            "levers": [
+                [name, float(lower), float(upper)]
+                for name, lower, upper in self.levers
+            ],
+            "point": [float(value) for value in self.point],
+            "options": {k: v for k, v in self.options},
+        }
+
+    def cache_key(self, schema_version: int = CACHE_KEY_SCHEMA_VERSION) -> str:
+        """SHA-256 content address of this step's inputs."""
+        payload = json.dumps(
+            self.key_payload(schema_version),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def plan_fleet_tasks(
     params: FleetParameters,
     phis: Sequence[float],

@@ -26,6 +26,13 @@ One :class:`PerformabilityService` owns the whole request path:
 processes with shared repair, lumped or flat representation) through
 the same tiered cache under the ``fleet.Y`` measure namespace.
 
+``POST /synthesize`` runs the joint lever optimization of
+:mod:`repro.synth` on a dedicated driver thread; every design point it
+evaluates hops back through the coalescing batcher, so synthesis
+traffic shares the cache, coalescing, and backpressure story of
+``/evaluate``, and its step records resume from the ``synth.step``
+cache namespace.
+
 Overload answers ``429`` with ``Retry-After``; ``SIGTERM``/``SIGINT``
 drain gracefully: new work answers ``503`` while in-flight requests
 finish (up to ``drain_timeout``) and the probe endpoints keep reporting
@@ -73,6 +80,13 @@ from repro.serve.http import (
     write_response,
 )
 from repro.serve.metrics import ServiceMetrics
+from repro.synth.levers import resolve_levers
+from repro.synth.objective import (
+    SynthesisProblem,
+    overhead_from_constituents,
+)
+from repro.synth.optimizer import SynthesisConfig
+from repro.synth.driver import run_synthesis
 
 #: Bound on points per request (a full Table 3 curve is 11 points; this
 #: allows dense grids while keeping one request's work bounded).
@@ -85,6 +99,11 @@ READ_TIMEOUT = 30.0
 #: (``4**9`` — the scaling benchmark's tier).  Bigger fleets must use
 #: the lumped representation, which answers the same measures exactly.
 MAX_FLEET_FLAT_STATES = 4**9
+
+#: Bounds on one synthesis request's search effort: the driver is
+#: sequential, so a runaway request would monopolise the synth thread.
+MAX_SYNTH_ITERS = 200
+MAX_SYNTH_STARTS = 9
 
 #: Fleet parameter fields accepted in ``POST /fleet`` bodies, with the
 #: integer-valued ones called out for coercion.
@@ -180,6 +199,12 @@ class PerformabilityService:
         )
         self.executor = ThreadPoolExecutor(
             max_workers=config.jobs, thread_name_prefix="serve-solver"
+        )
+        # Synthesis drivers run on their own single thread: a driver
+        # *feeds* the batcher (which solves on ``self.executor``), so
+        # parking it on the solver pool would deadlock a jobs=1 server.
+        self.synth_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-synth"
         )
         self.batcher = CoalescingBatcher(
             solve_fn=solve_fn or default_solve_fn,
@@ -456,6 +481,98 @@ class PerformabilityService:
             },
         }
 
+    async def handle_synthesize(self, body: dict) -> dict:
+        """``POST /synthesize`` — joint lever optimization of ``Y``.
+
+        The projected-gradient driver runs on the dedicated synth
+        thread; every point it evaluates routes back through the
+        coalescing batcher on the event loop, so synthesis shares the
+        tiered cache, the request-coalescing map, and the backpressure
+        bound (429 via ``OverloadedError``) with ``/evaluate`` traffic.
+        Step records are cached under the ``synth.step`` namespace —
+        repeating a request replays its trajectories from cache.
+        """
+        params = self._parse_params(body)
+        lever_names = body.get("levers", ["phi"])
+        if (
+            not isinstance(lever_names, list)
+            or not all(isinstance(n, str) for n in lever_names)
+        ):
+            raise HttpError(400, "'levers' must be an array of lever names")
+        raw_bounds = body.get("bounds", {})
+        if not isinstance(raw_bounds, dict):
+            raise HttpError(
+                400, "'bounds' must be an object of [lower, upper] pairs"
+            )
+        bounds = {}
+        for name, pair in raw_bounds.items():
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise HttpError(
+                    400, f"bounds for {name!r} must be a [lower, upper] pair"
+                )
+            try:
+                bounds[name] = (float(pair[0]), float(pair[1]))
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"invalid bounds for {name!r}: {exc}")
+        budget = body.get("budget")
+        try:
+            max_iters = int(body.get("max_iters", 24))
+            starts = int(body.get("starts", 3))
+            budget = float(budget) if budget is not None else None
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"invalid synthesis options: {exc}") from exc
+        if not 1 <= max_iters <= MAX_SYNTH_ITERS:
+            raise HttpError(
+                400, f"max_iters must be in [1, {MAX_SYNTH_ITERS}]"
+            )
+        if not 1 <= starts <= MAX_SYNTH_STARTS:
+            raise HttpError(400, f"starts must be in [1, {MAX_SYNTH_STARTS}]")
+        try:
+            levers = resolve_levers(params, lever_names, bounds=bounds)
+            problem = SynthesisProblem(
+                params=params, levers=levers, budget=budget
+            )
+            config = SynthesisConfig(max_iters=max_iters, starts=starts)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+
+        loop = asyncio.get_running_loop()
+        sources: dict[str, int] = {}
+
+        def evaluate_fn(point_params, phis):
+            # Runs on the synth thread: hop each evaluation back onto
+            # the event loop so it coalesces with concurrent traffic.
+            tasks = self._tasks_for(point_params, [float(p) for p in phis])
+            served = asyncio.run_coroutine_threadsafe(
+                self.batcher.evaluate(point_params, tasks, self.cache), loop
+            ).result()
+            for _, source in served:
+                sources[source] = sources.get(source, 0) + 1
+            return [
+                (
+                    record["value"],
+                    overhead_from_constituents(record["constituents"]),
+                )
+                for record, _ in served
+            ]
+
+        start = time.perf_counter()
+        result = await loop.run_in_executor(
+            self.synth_executor,
+            lambda: run_synthesis(
+                problem, config, cache=self.cache, evaluate_fn=evaluate_fn
+            ),
+        )
+        solve_seconds = time.perf_counter() - start
+        payload = result.to_dict()
+        payload["provenance"] = {
+            "sources": sources,
+            "steps_cached": result.steps_cached,
+            "solve_ms": solve_seconds * 1000.0,
+            "queue_depth": self.batcher.queue_depth,
+        }
+        return payload
+
     def healthz_payload(self) -> dict:
         """``GET /healthz`` body."""
         from repro.gsu.templates import shared_cache
@@ -505,6 +622,7 @@ class PerformabilityService:
             ("POST", "/evaluate"),
             ("POST", "/optimal"),
             ("POST", "/fleet"),
+            ("POST", "/synthesize"),
         ):
             body = request.json()
             if not isinstance(body, dict):
@@ -513,6 +631,7 @@ class PerformabilityService:
                 "/evaluate": self.handle_evaluate,
                 "/optimal": self.handle_optimal,
                 "/fleet": self.handle_fleet,
+                "/synthesize": self.handle_synthesize,
             }[request.target]
             endpoint = request.target.lstrip("/")
             start = time.perf_counter()
@@ -534,7 +653,8 @@ class PerformabilityService:
             )
             return 200, payload, {}
         if request.target in (
-            "/healthz", "/metrics", "/evaluate", "/optimal", "/fleet"
+            "/healthz", "/metrics", "/evaluate", "/optimal", "/fleet",
+            "/synthesize",
         ):
             raise HttpError(
                 405, f"{request.method} not supported on {request.target}"
@@ -669,6 +789,7 @@ class PerformabilityService:
         finally:
             for signum in installed_signals:
                 self._loop.remove_signal_handler(signum)
+            self.synth_executor.shutdown(wait=True, cancel_futures=True)
             self.executor.shutdown(wait=True, cancel_futures=True)
 
 

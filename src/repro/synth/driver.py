@@ -1,0 +1,195 @@
+"""The synthesis driver: cached multi-start trajectories → one optimum.
+
+Each projected-gradient step is content-addressed as a ``synth.step``
+task (base parameters + lever box + point + search options), so a
+trajectory is resumable: re-running the same ``repro synthesize``
+invocation replays every previously computed step from the cache and
+only genuinely new points pay for solves.  Steps are sequential by
+nature (step ``i+1`` starts where step ``i`` stepped to), which is why
+this is a driver loop rather than a fan-out through the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.tasks import SynthesisStepTask
+from repro.synth.objective import (
+    EvaluateFn,
+    ObjectiveEvaluator,
+    SynthesisProblem,
+)
+from repro.synth.optimizer import (
+    SynthesisConfig,
+    compute_step,
+    starting_points,
+)
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Outcome of a joint synthesis run.
+
+    Attributes
+    ----------
+    problem:
+        The problem that was solved.
+    point:
+        The best design point found, in lever order.
+    y / overhead:
+        The performability index and steady-state overhead there.
+    feasible:
+        Whether the point satisfies the overhead budget (always true
+        without a budget).
+    converged:
+        Whether every start's trajectory reached a stationary point
+        within its step budget.
+    trajectories:
+        One list of step records per start, in start order.
+    steps_cached / steps_computed:
+        Cache economics of the run.
+    points_evaluated:
+        Solver evaluations actually performed (gradient probes, line
+        search trials; memo and cache hits excluded).
+    """
+
+    problem: SynthesisProblem
+    point: tuple[float, ...]
+    y: float
+    overhead: float
+    feasible: bool
+    converged: bool
+    trajectories: tuple[tuple[dict, ...], ...]
+    steps_cached: int = 0
+    steps_computed: int = 0
+    points_evaluated: int = 0
+
+    @property
+    def iterations(self) -> int:
+        return sum(len(t) for t in self.trajectories)
+
+    def optimum(self) -> dict[str, float]:
+        """The best point as a ``{lever: value}`` mapping."""
+        return self.problem.describe_point(self.point)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (trajectory lengths, not full records)."""
+        return {
+            "levers": [
+                {"name": s.name, "lower": s.lower, "upper": s.upper}
+                for s in self.problem.levers
+            ],
+            "budget": self.problem.budget,
+            "optimum": self.optimum(),
+            "y": self.y,
+            "overhead": self.overhead,
+            "feasible": self.feasible,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "starts": len(self.trajectories),
+            "trajectory_lengths": [len(t) for t in self.trajectories],
+            "steps_cached": self.steps_cached,
+            "steps_computed": self.steps_computed,
+            "points_evaluated": self.points_evaluated,
+        }
+
+
+def run_synthesis(
+    problem: SynthesisProblem,
+    config: SynthesisConfig | None = None,
+    cache=None,
+    evaluate_fn: EvaluateFn | None = None,
+) -> SynthesisResult:
+    """Maximise ``Y`` over the lever box (optionally budget-constrained).
+
+    ``cache`` is any result cache with the ``get(task)`` / ``put(task,
+    record)`` interface (disk, memory, or tiered); ``evaluate_fn``
+    substitutes the evaluation core (the serving layer routes it through
+    the coalescing batcher).
+    """
+    config = config or SynthesisConfig()
+    evaluator = ObjectiveEvaluator(
+        problem,
+        evaluate_fn=evaluate_fn,
+        penalty_weight=config.penalty_weight,
+    )
+    lever_key = tuple(
+        (s.name, float(s.lower), float(s.upper)) for s in problem.levers
+    )
+    options = config.key_items(problem.budget)
+
+    steps_cached = 0
+    steps_computed = 0
+    trajectories: list[tuple[dict, ...]] = []
+    candidates: dict[tuple[float, ...], tuple[float, float]] = {}
+    converged = True
+
+    for start in starting_points(problem, config):
+        trajectory: list[dict] = []
+        point = tuple(float(v) for v in start)
+        for _ in range(config.max_iters):
+            task = SynthesisStepTask(
+                params=problem.params,
+                levers=lever_key,
+                point=point,
+                options=options,
+            )
+            record = cache.get(task) if cache is not None else None
+            if record is None:
+                record = compute_step(evaluator, point, config)
+                steps_computed += 1
+                if cache is not None:
+                    cache.put(task, record)
+            else:
+                steps_cached += 1
+            trajectory.append(record)
+            candidates[tuple(record["point"])] = (
+                float(record["value"]),
+                float(record["overhead"]),
+            )
+            if record["converged"]:
+                break
+            point = tuple(float(v) for v in record["next_point"])
+        else:
+            converged = False
+        trajectories.append(tuple(trajectory))
+
+    # Select over the step records only (never the evaluator's probe
+    # memo): a fully cached replay sees exactly the same candidate set
+    # as the run that produced it, so resume is bitwise deterministic.
+    best = _select_best(evaluator, candidates)
+    best_point, (best_y, best_overhead) = best
+    return SynthesisResult(
+        problem=problem,
+        point=best_point,
+        y=best_y,
+        overhead=best_overhead,
+        feasible=evaluator.is_feasible(best_overhead),
+        converged=converged,
+        trajectories=tuple(trajectories),
+        steps_cached=steps_cached,
+        steps_computed=steps_computed,
+        points_evaluated=evaluator.points_evaluated,
+    )
+
+
+def _select_best(
+    evaluator: ObjectiveEvaluator,
+    candidates: dict[tuple[float, ...], tuple[float, float]],
+):
+    """The best feasible candidate by ``Y`` (least-infeasible fallback).
+
+    The exterior penalty can leave the final iterate marginally outside
+    the budget; selecting over every trajectory point keeps the
+    reported optimum feasible whenever any visited point was.
+    """
+    feasible = {
+        point: measures
+        for point, measures in candidates.items()
+        if evaluator.is_feasible(measures[1])
+    }
+    if feasible:
+        point = max(feasible, key=lambda p: feasible[p][0])
+        return point, feasible[point]
+    point = min(candidates, key=lambda p: candidates[p][1])
+    return point, candidates[point]

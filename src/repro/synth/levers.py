@@ -1,0 +1,167 @@
+"""Design levers: the box the synthesis search optimises over.
+
+A *lever* is one tunable scalar of the guarded-operation design — the
+duration ``phi`` plus any Table 3 parameter that engineering actually
+controls (coverage of the acceptance tests, AT/checkpoint frequencies,
+the new version's fault rate via test effort, ...).  Each lever carries
+box bounds; the joint search works in *normalized* coordinates
+``u = (x - lower) / (upper - lower)`` on the unit box so one step size
+is meaningful across levers whose raw scales span eight decades
+(``mu_new ~ 1e-4`` vs ``phi ~ 1e4``).
+
+``theta`` is deliberately not a lever: the mission length is a
+requirement of the study, not a design knob, and it defines ``phi``'s
+own domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.gsu.parameters import GSUParameters
+
+#: Parameter fields accepted as levers (plus the pseudo-field ``phi``).
+LEVER_FIELDS = (
+    "phi",
+    "lam",
+    "mu_new",
+    "mu_old",
+    "coverage",
+    "p_ext",
+    "alpha",
+    "beta",
+)
+
+
+@dataclass(frozen=True)
+class LeverSpec:
+    """One search dimension: a named parameter with box bounds."""
+
+    name: str
+    lower: float
+    upper: float
+
+    def __post_init__(self):
+        if self.name not in LEVER_FIELDS:
+            raise ValueError(
+                f"unknown lever {self.name!r}; expected one of {LEVER_FIELDS}"
+            )
+        if not self.lower < self.upper:
+            raise ValueError(
+                f"lever {self.name!r} bounds [{self.lower}, {self.upper}] "
+                "must be increasing"
+            )
+
+    @property
+    def span(self) -> float:
+        return self.upper - self.lower
+
+    def clip(self, value: float) -> float:
+        return min(max(value, self.lower), self.upper)
+
+    def normalize(self, value: float) -> float:
+        return (self.clip(value) - self.lower) / self.span
+
+    def denormalize(self, u: float) -> float:
+        return self.clip(self.lower + min(max(u, 0.0), 1.0) * self.span)
+
+
+def default_bounds(params: GSUParameters, name: str) -> tuple[float, float]:
+    """Conservative box bounds for one lever around the base parameters.
+
+    ``phi`` spans its full domain ``[0, theta]``; probabilities span
+    (nearly) their unit interval; rates get a decade either side of the
+    base value, kept clear of the ``mu_new < lam`` validity constraint.
+    """
+    if name == "phi":
+        return 0.0, params.theta
+    if name == "coverage":
+        return 0.0, 1.0
+    if name == "p_ext":
+        return 1e-9, 1.0
+    base = getattr(params, name)
+    lower, upper = base / 10.0, base * 10.0
+    if name == "mu_new":
+        upper = min(upper, 0.5 * params.lam)
+    if name == "lam":
+        lower = max(lower, 2.0 * params.mu_new)
+    if not lower < upper:
+        raise ValueError(
+            f"cannot derive default bounds for lever {name!r} at base {base}"
+        )
+    return lower, upper
+
+
+def resolve_levers(
+    params: GSUParameters,
+    names: Sequence[str],
+    bounds: Mapping[str, tuple[float, float]] | None = None,
+) -> tuple[LeverSpec, ...]:
+    """Build the lever tuple for a synthesis problem.
+
+    ``names`` picks the search dimensions (``phi`` must be among them —
+    the study is always a joint optimisation *of the duration*);
+    ``bounds`` optionally overrides the default box per lever.
+    """
+    if not names:
+        raise ValueError("at least one lever is required")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate levers in {list(names)}")
+    if "phi" not in names:
+        raise ValueError("'phi' must be one of the levers")
+    overrides = dict(bounds or {})
+    unknown = set(overrides) - set(names)
+    if unknown:
+        raise ValueError(
+            f"bounds given for non-selected levers: {sorted(unknown)}"
+        )
+    levers = []
+    for name in names:
+        lo, hi = overrides.get(name, default_bounds(params, name))
+        levers.append(LeverSpec(name=name, lower=float(lo), upper=float(hi)))
+    return tuple(levers)
+
+
+def apply_point(
+    params: GSUParameters,
+    levers: Sequence[LeverSpec],
+    point: Iterable[float],
+) -> tuple[GSUParameters, float]:
+    """Instantiate ``(parameter set, phi)`` from a point in the box.
+
+    Raises ``ValueError`` (from the parameter dataclass) when the box
+    contains a jointly invalid combination — e.g. a ``mu_new`` upper
+    bound meeting a ``lam`` lower bound.
+    """
+    values = list(point)
+    if len(values) != len(levers):
+        raise ValueError(
+            f"point has {len(values)} coordinates for {len(levers)} levers"
+        )
+    overrides = {}
+    phi = None
+    for lever, value in zip(levers, values):
+        if lever.name == "phi":
+            phi = lever.clip(float(value))
+        else:
+            overrides[lever.name] = lever.clip(float(value))
+    applied = params.with_overrides(**overrides) if overrides else params
+    phi = min(phi, applied.theta)
+    return applied, phi
+
+
+def normalize_point(
+    levers: Sequence[LeverSpec], point: Iterable[float]
+) -> tuple[float, ...]:
+    """Raw coordinates → unit-box coordinates."""
+    return tuple(
+        lever.normalize(value) for lever, value in zip(levers, point)
+    )
+
+
+def denormalize_point(
+    levers: Sequence[LeverSpec], unit: Iterable[float]
+) -> tuple[float, ...]:
+    """Unit-box coordinates → raw coordinates."""
+    return tuple(lever.denormalize(u) for lever, u in zip(levers, unit))

@@ -1,0 +1,209 @@
+"""The synthesis objective: ``Y`` over the lever box, with an overhead
+budget.
+
+The objective surface is the performability index ``Y(params(x), phi(x))``
+evaluated through the parametric template cache (a lever move re-stamps
+rates onto a compiled state space instead of re-exploring it), and the
+*overhead* of a design point is the phi-independent steady-state
+fraction of lost work ``(1 - rho1) + (1 - rho2)`` from the RMGp model —
+the quantity a "max Y subject to overhead <= b" constraint budgets.
+
+Gradients are finite-difference elasticities through
+:func:`repro.ctmc.sensitivity.finite_difference_sensitivity`, taken in
+normalized lever coordinates with the unit box declared as bounds so
+probes at a box face fall back to one-sided differences instead of
+stepping outside the design domain.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.ctmc.sensitivity import finite_difference_sensitivity
+from repro.gsu.parameters import GSUParameters
+from repro.synth.levers import LeverSpec, apply_point
+
+#: Evaluates ``[(Y, overhead), ...]`` for many durations of one
+#: parameter set.  The pluggable core of the synthesis loop: the local
+#: implementation batches through shared solvers, the serving layer
+#: substitutes its coalescing-batcher path.
+EvaluateFn = Callable[
+    [GSUParameters, Sequence[float]], list[tuple[float, float]]
+]
+
+
+@dataclass(frozen=True)
+class SynthesisProblem:
+    """A joint design search: levers, their box, and an overhead budget.
+
+    Attributes
+    ----------
+    params:
+        The base parameter set; lever values override its fields.
+    levers:
+        The search dimensions (``phi`` always among them).
+    budget:
+        Optional overhead budget ``b``: the constrained mode maximises
+        ``Y`` subject to ``(1 - rho1) + (1 - rho2) <= b``.  ``None``
+        runs unconstrained.
+    """
+
+    params: GSUParameters
+    levers: tuple[LeverSpec, ...]
+    budget: float | None = None
+
+    def __post_init__(self):
+        if self.budget is not None and self.budget <= 0.0:
+            raise ValueError(
+                f"overhead budget must be positive, got {self.budget}"
+            )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(lever.name for lever in self.levers)
+
+    def describe_point(self, point: Sequence[float]) -> dict[str, float]:
+        """A point as a ``{lever: value}`` mapping for reports."""
+        return {
+            lever.name: float(value)
+            for lever, value in zip(self.levers, point)
+        }
+
+
+def overhead_from_constituents(constituents) -> float:
+    """``(1 - rho1) + (1 - rho2)`` from a record's constituent block."""
+    return (2.0 - float(constituents["rho1"])) - float(constituents["rho2"])
+
+
+def local_evaluate_fn(
+    parametric: bool = True, max_solvers: int = 8
+) -> EvaluateFn:
+    """The in-process evaluator: batched solves over shared solvers.
+
+    Keeps a small LRU of :class:`ConstituentSolver` instances keyed by
+    parameter set, so the phi coordinate of a gradient step (three
+    durations, one parameter set) costs one batched pass and revisited
+    parameter sets reuse their compiled models.  ``max_solvers=0``
+    disables reuse — the naive per-point re-solve mode the synthesis
+    benchmark compares against (pair it with ``parametric=False``).
+    """
+    from repro.gsu.measures import ConstituentSolver
+    from repro.gsu.performability import evaluate_batch
+
+    solvers: OrderedDict[GSUParameters, object] = OrderedDict()
+
+    def evaluate(params, phis):
+        solver = solvers.get(params)
+        if solver is None:
+            solver = ConstituentSolver(params, parametric=parametric)
+            if max_solvers > 0:
+                solvers[params] = solver
+                while len(solvers) > max_solvers:
+                    solvers.popitem(last=False)
+        else:
+            solvers.move_to_end(params)
+        evaluations = evaluate_batch(params, list(phis), solver=solver)
+        return [
+            (e.value, overhead_from_constituents(e.constituents))
+            for e in evaluations
+        ]
+
+    return evaluate
+
+
+class ObjectiveEvaluator:
+    """Memoised objective/constraint/gradient evaluations over the box.
+
+    Every distinct point is evaluated once per process; gradient centres,
+    line-search revisits, and multi-start collisions are served from the
+    memo.  ``points_evaluated`` counts actual solver evaluations — the
+    cost metric the synthesis benchmark reports.
+    """
+
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        evaluate_fn: EvaluateFn | None = None,
+        penalty_weight: float = 1e4,
+    ):
+        self.problem = problem
+        self.evaluate_fn = (
+            evaluate_fn if evaluate_fn is not None else local_evaluate_fn()
+        )
+        self.penalty_weight = float(penalty_weight)
+        self._memo: dict[tuple[float, ...], tuple[float, float]] = {}
+        self.points_evaluated = 0
+
+    # ------------------------------------------------------------------
+    # Point evaluation
+    # ------------------------------------------------------------------
+    def measures(self, point: Sequence[float]) -> tuple[float, float]:
+        """``(Y, overhead)`` at a raw-coordinate point (memoised)."""
+        key = tuple(float(v) for v in point)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        params, phi = apply_point(self.problem.params, self.problem.levers, key)
+        (result,) = self.evaluate_fn(params, [phi])
+        self.points_evaluated += 1
+        self._memo[key] = result
+        return result
+
+    def objective(self, point: Sequence[float]) -> tuple[float, float, float]:
+        """``(Y, overhead, penalized objective)`` at a point.
+
+        Unconstrained problems maximise ``Y`` directly; with a budget the
+        objective is ``Y`` minus a quadratic exterior penalty on the
+        violation, which pushes the ascent back toward the feasible set
+        while leaving the feasible interior untouched.
+        """
+        y, overhead = self.measures(point)
+        value = y
+        if self.problem.budget is not None:
+            violation = max(0.0, overhead - self.problem.budget)
+            value = y - self.penalty_weight * violation * violation
+        return y, overhead, value
+
+    def is_feasible(self, overhead: float) -> bool:
+        budget = self.problem.budget
+        return budget is None or overhead <= budget * (1.0 + 1e-9)
+
+    # ------------------------------------------------------------------
+    # Gradient (normalized coordinates)
+    # ------------------------------------------------------------------
+    def gradient(
+        self, point: Sequence[float], fd_step: float = 1e-3
+    ) -> tuple[float, ...]:
+        """``dF/du`` of the penalized objective in unit-box coordinates.
+
+        Each component is a bounded finite difference on the unit
+        interval: interior coordinates use central differences, points
+        on a box face fall back to the one-sided estimate — the probes
+        never leave the design domain.
+        """
+        levers = self.problem.levers
+        raw = [float(v) for v in point]
+        components = []
+        for i, lever in enumerate(levers):
+            u0 = lever.normalize(raw[i])
+
+            def measure(
+                u: float, i: int = i, lever: LeverSpec = lever, u0: float = u0
+            ):
+                trial = list(raw)
+                # The centre probe reuses the exact raw coordinate so it
+                # hits the memo instead of re-solving a point that may
+                # differ by one normalization round trip's ulp.
+                trial[i] = raw[i] if u == u0 else lever.denormalize(u)
+                return self.objective(trial)[2]
+
+            result = finite_difference_sensitivity(
+                measure,
+                at=u0,
+                relative_step=fd_step,
+                bounds=(0.0, 1.0),
+            )
+            components.append(result.derivative)
+        return tuple(components)

@@ -1,0 +1,144 @@
+"""Projected-gradient ascent over the lever box.
+
+One *step* is the deterministic unit the runtime caches (see
+``synth.step`` in :mod:`repro.runtime.tasks`): evaluate the penalized
+objective and its bounded finite-difference gradient at the current
+point, then backtrack a projected line search along the normalized
+ascent direction.  A step is a pure function of ``(base parameters,
+levers, point, config)`` — no clocks, no randomness — so its record is
+content-addressable and a re-run replays the identical trajectory from
+the cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.synth.levers import denormalize_point, normalize_point
+from repro.synth.objective import ObjectiveEvaluator, SynthesisProblem
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Tuning of the projected-gradient search (all deterministic).
+
+    Attributes
+    ----------
+    max_iters:
+        Step budget per start.
+    starts:
+        Multi-start count: the box centre plus up to ``starts - 1``
+        corners (deterministic order) guard against ridge-riding into a
+        local optimum on a multimodal surface.
+    fd_step:
+        Relative finite-difference step in normalized coordinates.
+    eta0 / eta_min:
+        Initial and minimal line-search step (fractions of the unit
+        box); the search halves from ``eta0`` and declares convergence
+        when no step down to ``eta_min`` improves the objective.
+    improvement_tol:
+        Relative improvement below which a trial does not count.
+    penalty_weight:
+        Weight of the quadratic exterior penalty in constrained mode.
+    """
+
+    max_iters: int = 24
+    starts: int = 3
+    fd_step: float = 1e-3
+    eta0: float = 0.25
+    eta_min: float = 1.0 / 1024.0
+    improvement_tol: float = 1e-9
+    penalty_weight: float = 1e4
+
+    def __post_init__(self):
+        if self.max_iters < 1:
+            raise ValueError(f"max_iters must be >= 1, got {self.max_iters}")
+        if self.starts < 1:
+            raise ValueError(f"starts must be >= 1, got {self.starts}")
+        if not 0.0 < self.eta_min <= self.eta0 <= 1.0:
+            raise ValueError(
+                f"need 0 < eta_min <= eta0 <= 1, got "
+                f"[{self.eta_min}, {self.eta0}]"
+            )
+        if self.fd_step <= 0.0 or self.improvement_tol < 0.0:
+            raise ValueError("fd_step must be positive, improvement_tol >= 0")
+
+    def key_items(self, budget: float | None) -> tuple[tuple[str, str], ...]:
+        """Canonical ``(key, value)`` pairs for the step cache key."""
+        items = {
+            "budget": "" if budget is None else repr(float(budget)),
+            "eta0": repr(float(self.eta0)),
+            "eta_min": repr(float(self.eta_min)),
+            "fd_step": repr(float(self.fd_step)),
+            "improvement_tol": repr(float(self.improvement_tol)),
+            "penalty_weight": repr(float(self.penalty_weight)),
+        }
+        return tuple(sorted(items.items()))
+
+
+def starting_points(
+    problem: SynthesisProblem, config: SynthesisConfig
+) -> list[tuple[float, ...]]:
+    """Deterministic multi-start seeds: box centre, then corners."""
+    dims = len(problem.levers)
+    seeds = [tuple(0.5 for _ in range(dims))]
+    for corner in itertools.product((0.0, 1.0), repeat=dims):
+        if len(seeds) >= config.starts:
+            break
+        seeds.append(corner)
+    return [denormalize_point(problem.levers, unit) for unit in seeds]
+
+
+def compute_step(
+    evaluator: ObjectiveEvaluator,
+    point: tuple[float, ...],
+    config: SynthesisConfig,
+) -> dict:
+    """One projected-gradient step from ``point``; a plain-data record.
+
+    ``converged`` is set when no projected trial along the ascent
+    direction improves the penalized objective — the point is then a
+    box-constrained stationary point at the line search's resolution.
+    """
+    problem = evaluator.problem
+    y, overhead, objective = evaluator.objective(point)
+    gradient = evaluator.gradient(point, fd_step=config.fd_step)
+
+    next_point = point
+    step_scale = 0.0
+    converged = True
+    norm = math.sqrt(math.fsum(g * g for g in gradient))
+    if math.isfinite(norm) and norm > 0.0:
+        unit = normalize_point(problem.levers, point)
+        direction = tuple(g / norm for g in gradient)
+        tol = config.improvement_tol * max(1.0, abs(objective))
+        eta = config.eta0
+        while eta >= config.eta_min:
+            trial_unit = tuple(
+                min(max(u + eta * d, 0.0), 1.0)
+                for u, d in zip(unit, direction)
+            )
+            if trial_unit != unit:
+                trial = denormalize_point(problem.levers, trial_unit)
+                if trial != point:
+                    trial_objective = evaluator.objective(trial)[2]
+                    if trial_objective > objective + tol:
+                        next_point = trial
+                        step_scale = eta
+                        converged = False
+                        break
+            eta /= 2.0
+
+    return {
+        "kind": "synth.step",
+        "point": [float(v) for v in point],
+        "value": float(y),
+        "overhead": float(overhead),
+        "objective": float(objective),
+        "gradient": [float(g) for g in gradient],
+        "next_point": [float(v) for v in next_point],
+        "step_scale": float(step_scale),
+        "converged": bool(converged),
+    }

@@ -1,0 +1,105 @@
+"""Regression tests for the refinement bracket and section-search fixes.
+
+Two historical defects in :mod:`repro.gsu.optimizer`:
+
+* ``find_optimal_phi(refine=True)`` silently skipped refinement whenever
+  the coarse-grid optimum landed on the first or last grid point, so a
+  grid as coarse as ``{0, theta}`` returned an endpoint even when the
+  true optimum sat thousands of hours inside the bracket.
+* ``_golden_section`` returned ``objective((a + b) / 2)`` — a fresh
+  evaluation at the final bracket midpoint — instead of the best point
+  it had already evaluated, wasting one solve and occasionally reporting
+  a worse ``(phi, Y)`` than it had in hand.
+"""
+
+import pytest
+
+from repro.gsu.measures import ConstituentSolver
+from repro.gsu.optimizer import _golden_section, find_optimal_phi
+from repro.gsu.parameters import PAPER_TABLE3
+
+#: Parameters for which guarded operation never pays off (existing
+#: low-coverage fixture): the true optimum is exactly phi = 0.
+NOT_BENEFICIAL = PAPER_TABLE3.with_overrides(
+    coverage=0.10, alpha=2500.0, beta=2500.0
+)
+
+
+class TestEndpointRefinement:
+    def test_endpoint_grid_optimum_is_refined(self):
+        # A two-point grid {0, theta}: the grid optimum is the last
+        # endpoint (Y(theta) ~ 1.47 > Y(0) = 1) but the true optimum is
+        # near 7000 with Y ~ 1.54.  Before the fix the endpoint guard
+        # skipped refinement entirely and reported the endpoint.
+        solver = ConstituentSolver(PAPER_TABLE3)
+        coarse = find_optimal_phi(PAPER_TABLE3, step=10_000.0, solver=solver)
+        refined = find_optimal_phi(
+            PAPER_TABLE3,
+            step=10_000.0,
+            refine=True,
+            refine_tolerance=50.0,
+            solver=solver,
+        )
+        assert coarse.phi == PAPER_TABLE3.theta
+        assert refined.y > coarse.y + 0.05
+        assert 5500.0 < refined.phi < 8500.0
+
+    def test_refined_never_worse_than_coarse_grid(self):
+        solver = ConstituentSolver(PAPER_TABLE3)
+        for step in (1000.0, 5000.0, 10_000.0):
+            coarse = find_optimal_phi(PAPER_TABLE3, step=step, solver=solver)
+            refined = find_optimal_phi(
+                PAPER_TABLE3,
+                step=step,
+                refine=True,
+                refine_tolerance=25.0,
+                solver=solver,
+            )
+            assert refined.y >= coarse.y
+            assert refined.y >= coarse.grid_optimum().value
+
+    def test_true_optimum_at_zero_survives_refinement(self):
+        # The optimum sits exactly on the lower endpoint; refinement of
+        # the one-sided bracket [phi_0, phi_1] must run without error
+        # and still report the endpoint (nothing inside beats Y(0) = 1).
+        solver = ConstituentSolver(NOT_BENEFICIAL)
+        result = find_optimal_phi(
+            NOT_BENEFICIAL,
+            step=2000.0,
+            refine=True,
+            refine_tolerance=50.0,
+            solver=solver,
+        )
+        assert result.phi == 0.0
+        assert result.y == 1.0
+        assert not result.beneficial
+
+
+class TestGoldenSectionArgmax:
+    def test_returns_best_evaluated_point(self):
+        calls = []
+
+        def objective(x):
+            calls.append(x)
+            return -((x - 0.3819660112501051) ** 2)
+
+        # Bracket narrower than the tolerance: the loop body never runs
+        # and the initial probes c ~ 0.382, d ~ 0.618 are the only
+        # evaluations.  The peak sits exactly on c; the old code instead
+        # evaluated and returned the midpoint 0.5, a worse point.
+        x, fx = _golden_section(objective, 0.0, 1.0, tolerance=2.0)
+        assert calls == pytest.approx([0.3819660112501051, 0.6180339887498949])
+        assert x == calls[0]
+        assert fx == max(-((c - 0.3819660112501051) ** 2) for c in calls)
+
+    def test_no_evaluation_outside_recorded_set(self):
+        evaluated = {}
+
+        def objective(x):
+            evaluated[x] = -((x - 2.0) ** 2)
+            return evaluated[x]
+
+        x, fx = _golden_section(objective, 0.0, 10.0, tolerance=1e-3)
+        assert x in evaluated
+        assert fx == max(evaluated.values())
+        assert abs(x - 2.0) <= 1e-3

@@ -1,0 +1,102 @@
+"""End-to-end tests for ``POST /synthesize``."""
+
+import pytest
+
+from repro.serve.loadgen import request_once
+from repro.serve.service import MAX_SYNTH_ITERS, MAX_SYNTH_STARTS, ServeConfig
+
+SCALED = {
+    "theta": 20.0,
+    "lam": 60.0,
+    "mu_new": 0.2,
+    "mu_old": 1e-4,
+    "coverage": 0.9,
+    "p_ext": 0.1,
+    "alpha": 600.0,
+    "beta": 600.0,
+}
+
+REQUEST = {
+    "params": SCALED,
+    "levers": ["phi"],
+    "max_iters": 4,
+    "starts": 1,
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    from repro.serve.service import start_in_thread
+
+    handle = start_in_thread(ServeConfig(port=0, jobs=2, warm=False))
+    yield handle
+    handle.stop()
+
+
+def post_synthesize(server, body):
+    host, port = server.address
+    return request_once(
+        host, port, endpoint="/synthesize", method="POST", body=body
+    )
+
+
+class TestSynthesizeEndpoint:
+    def test_optimizes_and_matches_local_driver(self, server):
+        status, _, payload = post_synthesize(server, REQUEST)
+        assert status == 200
+        assert payload["levers"] == [
+            {"name": "phi", "lower": 0.0, "upper": 20.0}
+        ]
+        assert payload["feasible"] is True
+        assert 0.0 <= payload["optimum"]["phi"] <= 20.0
+
+        # The served optimum reproduces through the local evaluator.
+        from repro.gsu.parameters import PAPER_TABLE3
+        from repro.synth import local_evaluate_fn
+
+        params = PAPER_TABLE3.with_overrides(**SCALED)
+        ((y, overhead),) = local_evaluate_fn()(
+            params, [payload["optimum"]["phi"]]
+        )
+        assert payload["y"] == pytest.approx(y, rel=1e-12)
+        assert payload["overhead"] == pytest.approx(overhead, rel=1e-12)
+        assert payload["provenance"]["sources"]  # real solves happened
+
+    def test_repeat_request_replays_from_cache(self, server):
+        first_status, _, first = post_synthesize(server, REQUEST)
+        second_status, _, second = post_synthesize(server, REQUEST)
+        assert first_status == second_status == 200
+        assert second["steps_computed"] == 0
+        assert second["steps_cached"] == second["iterations"]
+        assert second["provenance"]["sources"] == {}  # no point re-solved
+        assert second["y"] == first["y"]
+        assert second["optimum"] == first["optimum"]
+        assert second["overhead"] == first["overhead"]
+
+    def test_get_is_rejected(self, server):
+        host, port = server.address
+        status, _, payload = request_once(
+            host, port, endpoint="/synthesize", method="GET"
+        )
+        assert status == 405
+
+    @pytest.mark.parametrize(
+        "body, detail",
+        [
+            ({"levers": ["coverage"]}, "'phi' must be one of the levers"),
+            ({"levers": "phi"}, "array of lever names"),
+            ({"bounds": {"phi": [1.0]}}, "lower, upper"),
+            ({"bounds": [0, 1]}, "'bounds' must be an object"),
+            ({"max_iters": 0}, f"max_iters must be in [1, {MAX_SYNTH_ITERS}]"),
+            (
+                {"starts": MAX_SYNTH_STARTS + 1},
+                f"starts must be in [1, {MAX_SYNTH_STARTS}]",
+            ),
+            ({"budget": -0.5}, "budget must be positive"),
+            ({"params": {"bogus": 1.0}}, "unknown parameter fields"),
+        ],
+    )
+    def test_invalid_requests_get_400(self, server, body, detail):
+        status, _, payload = post_synthesize(server, body)
+        assert status == 400
+        assert detail in payload["error"]

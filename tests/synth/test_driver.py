@@ -1,0 +1,176 @@
+"""Driver mechanics on an analytic objective (no CTMC solves).
+
+A closed-form ``evaluate_fn`` makes the search surface exact and cheap,
+so these tests pin the driver's contract: convergence to a known
+optimum, budget-constrained selection, content-addressed step caching
+with bitwise-deterministic replay, and record-schema validity.
+"""
+
+import pytest
+
+from repro.runtime.cache import MemoryLRUCache
+from repro.runtime.records import validate_record
+from repro.synth.driver import run_synthesis
+from repro.synth.levers import LeverSpec
+from repro.synth.objective import SynthesisProblem
+from repro.synth.optimizer import SynthesisConfig
+
+
+def quadratic_evaluate(params, phis):
+    """Concave surface with its maximum at ``phi = 3``; flat overhead."""
+    return [(-((phi - 3.0) ** 2), 0.01) for phi in phis]
+
+
+def ramp_evaluate(params, phis):
+    """``Y`` and overhead both increase with ``phi``: the budget binds."""
+    return [(float(phi), float(phi) / 10.0) for phi in phis]
+
+
+@pytest.fixture
+def phi_problem(scaled_params):
+    return SynthesisProblem(
+        params=scaled_params,
+        levers=(LeverSpec(name="phi", lower=0.0, upper=10.0),),
+    )
+
+
+class TestSearch:
+    def test_converges_to_interior_optimum(self, phi_problem):
+        result = run_synthesis(
+            phi_problem,
+            SynthesisConfig(starts=2),
+            evaluate_fn=quadratic_evaluate,
+        )
+        assert result.converged
+        assert result.optimum()["phi"] == pytest.approx(3.0, abs=0.15)
+        assert result.y == pytest.approx(0.0, abs=0.05)
+        assert result.feasible  # no budget: always feasible
+        assert result.iterations == sum(
+            len(t) for t in result.trajectories
+        )
+
+    def test_binding_budget_stops_at_the_boundary(self, scaled_params):
+        problem = SynthesisProblem(
+            params=scaled_params,
+            levers=(LeverSpec(name="phi", lower=0.0, upper=10.0),),
+            budget=0.05,  # feasible iff phi <= 0.5 under ramp_evaluate
+        )
+        result = run_synthesis(
+            problem, SynthesisConfig(starts=3), evaluate_fn=ramp_evaluate
+        )
+        assert result.feasible
+        assert result.overhead <= 0.05 * (1.0 + 1e-9)
+        assert result.optimum()["phi"] == pytest.approx(0.5, abs=0.05)
+
+    def test_infeasible_box_reports_least_overhead(self, scaled_params):
+        problem = SynthesisProblem(
+            params=scaled_params,
+            levers=(LeverSpec(name="phi", lower=6.0, upper=10.0),),
+            budget=0.05,  # overhead >= 0.6 everywhere in the box
+        )
+        result = run_synthesis(
+            problem, SynthesisConfig(starts=2), evaluate_fn=ramp_evaluate
+        )
+        assert not result.feasible
+        assert result.overhead == pytest.approx(0.6, abs=0.05)
+
+    def test_exhausted_step_budget_reports_not_converged(self, phi_problem):
+        result = run_synthesis(
+            phi_problem,
+            SynthesisConfig(max_iters=1, starts=1),
+            evaluate_fn=ramp_evaluate,
+        )
+        assert not result.converged
+        assert result.iterations == 1
+
+
+class TestCaching:
+    def test_replay_is_fully_cached_and_bitwise_identical(self, phi_problem):
+        cache = MemoryLRUCache()
+        config = SynthesisConfig(starts=2)
+        first = run_synthesis(
+            phi_problem, config, cache=cache, evaluate_fn=quadratic_evaluate
+        )
+        # Starts may merge onto a shared trajectory (intra-run cache
+        # hits), but every step is accounted one way or the other.
+        assert first.steps_computed > 0
+        assert first.steps_cached + first.steps_computed == first.iterations
+
+        def must_not_solve(params, phis):
+            raise AssertionError("replay must not evaluate any point")
+
+        replay = run_synthesis(
+            phi_problem, config, cache=cache, evaluate_fn=must_not_solve
+        )
+        assert replay.steps_computed == 0
+        assert replay.steps_cached == replay.iterations
+        assert replay.points_evaluated == 0
+        assert replay.point == first.point
+        assert replay.y == first.y
+        assert replay.overhead == first.overhead
+        assert replay.trajectories == first.trajectories
+        assert replay.to_dict()["optimum"] == first.to_dict()["optimum"]
+
+    def test_changed_options_miss_the_cache(self, phi_problem):
+        cache = MemoryLRUCache()
+        run_synthesis(
+            phi_problem,
+            SynthesisConfig(starts=1),
+            cache=cache,
+            evaluate_fn=quadratic_evaluate,
+        )
+        rerun = run_synthesis(
+            phi_problem,
+            SynthesisConfig(starts=1, eta0=0.125),
+            cache=cache,
+            evaluate_fn=quadratic_evaluate,
+        )
+        assert rerun.steps_cached == 0
+        assert rerun.steps_computed == rerun.iterations
+
+    def test_changed_budget_misses_the_cache(self, scaled_params):
+        levers = (LeverSpec(name="phi", lower=0.0, upper=10.0),)
+        cache = MemoryLRUCache()
+        config = SynthesisConfig(starts=1)
+        run_synthesis(
+            SynthesisProblem(params=scaled_params, levers=levers),
+            config,
+            cache=cache,
+            evaluate_fn=ramp_evaluate,
+        )
+        constrained = run_synthesis(
+            SynthesisProblem(params=scaled_params, levers=levers, budget=0.05),
+            config,
+            cache=cache,
+            evaluate_fn=ramp_evaluate,
+        )
+        assert constrained.steps_cached == 0
+
+
+class TestRecords:
+    def test_step_records_validate_and_chain(self, phi_problem):
+        result = run_synthesis(
+            phi_problem, SynthesisConfig(starts=2), evaluate_fn=quadratic_evaluate
+        )
+        for trajectory in result.trajectories:
+            for record in trajectory:
+                assert record["kind"] == "synth.step"
+                validate_record(record)
+            for step, nxt in zip(trajectory, trajectory[1:]):
+                assert step["next_point"] == nxt["point"]
+            assert trajectory[-1]["converged"]
+
+    def test_to_dict_summary(self, phi_problem):
+        result = run_synthesis(
+            phi_problem, SynthesisConfig(starts=2), evaluate_fn=quadratic_evaluate
+        )
+        summary = result.to_dict()
+        assert summary["levers"] == [
+            {"name": "phi", "lower": 0.0, "upper": 10.0}
+        ]
+        assert summary["budget"] is None
+        assert summary["starts"] == 2
+        assert summary["trajectory_lengths"] == [
+            len(t) for t in result.trajectories
+        ]
+        assert summary["points_evaluated"] == result.points_evaluated

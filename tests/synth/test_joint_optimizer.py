@@ -1,0 +1,112 @@
+"""Joint synthesis against exhaustive dense grids (real solves).
+
+The acceptance bar for the synthesis subsystem: on scenario fixtures
+small enough to enumerate, the projected-gradient search must match or
+beat the best point of a dense grid over the same box — unconstrained
+and with a binding overhead budget.  Both scenarios run on the scaled
+validation parameters (sub-second per solve) and share one evaluator so
+grid and search reuse the same parametric solver templates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    SynthesisConfig,
+    SynthesisProblem,
+    local_evaluate_fn,
+    resolve_levers,
+    run_synthesis,
+)
+
+PHI_GRID = np.linspace(0.0, 20.0, 9)
+
+
+@pytest.fixture(scope="module")
+def evaluate_fn():
+    """One shared evaluator: the solver LRU spans grid and search."""
+    return local_evaluate_fn()
+
+
+def dense_grid_best(evaluate_fn, params, field, values, budget=None):
+    """Best ``(Y, phi, value)`` over the phi x ``field`` product grid."""
+    best, arg = -np.inf, None
+    for value in values:
+        point_params = params.with_overrides(**{field: float(value)})
+        for phi, (y, overhead) in zip(
+            PHI_GRID, evaluate_fn(point_params, list(PHI_GRID))
+        ):
+            if budget is not None and overhead > budget:
+                continue
+            if y > best:
+                best, arg = y, (float(phi), float(value))
+    return best, arg
+
+
+class TestUnconstrainedScenario:
+    """Scenario A: phi x coverage, no budget — the optimum is a corner."""
+
+    def test_matches_dense_grid(self, scaled_params, evaluate_fn):
+        levers = resolve_levers(
+            scaled_params, ["phi", "coverage"], bounds={"coverage": (0.6, 0.95)}
+        )
+        problem = SynthesisProblem(params=scaled_params, levers=levers)
+        result = run_synthesis(
+            problem,
+            SynthesisConfig(max_iters=8, starts=1),
+            evaluate_fn=evaluate_fn,
+        )
+        grid_best, grid_arg = dense_grid_best(
+            evaluate_fn, scaled_params, "coverage", np.linspace(0.6, 0.95, 5)
+        )
+
+        assert result.y >= grid_best - 1e-6
+        optimum = result.optimum()
+        # Continuum search lands within one grid cell of the grid argmax.
+        assert abs(optimum["phi"] - grid_arg[0]) <= PHI_GRID[1] - PHI_GRID[0]
+        assert abs(optimum["coverage"] - grid_arg[1]) <= 0.35 / 4
+        # Higher coverage and a near-full guarded duration dominate here.
+        assert optimum["coverage"] == pytest.approx(0.95, abs=1e-9)
+        assert optimum["phi"] == pytest.approx(20.0, abs=0.5)
+        assert result.feasible
+
+
+class TestConstrainedScenario:
+    """Scenario B: phi x lam under an overhead budget that binds.
+
+    Overhead grows monotonically with the operation rate ``lam`` while
+    ``Y`` keeps improving past the budget boundary, so the constrained
+    optimum sits on the boundary — a shape the unconstrained search
+    cannot fake.
+    """
+
+    BUDGET = 0.025
+
+    def test_matches_feasible_grid(self, scaled_params, evaluate_fn):
+        levers = resolve_levers(
+            scaled_params, ["phi", "lam"], bounds={"lam": (6.0, 120.0)}
+        )
+        problem = SynthesisProblem(
+            params=scaled_params, levers=levers, budget=self.BUDGET
+        )
+        result = run_synthesis(
+            problem,
+            SynthesisConfig(max_iters=8, starts=1),
+            evaluate_fn=evaluate_fn,
+        )
+        grid_best, grid_arg = dense_grid_best(
+            evaluate_fn,
+            scaled_params,
+            "lam",
+            np.linspace(6.0, 120.0, 7),
+            budget=self.BUDGET,
+        )
+
+        assert result.feasible
+        assert result.overhead <= self.BUDGET * (1.0 + 1e-9)
+        # The budget binds: the optimum hugs the boundary from inside.
+        assert result.overhead >= 0.9 * self.BUDGET
+        assert result.y >= grid_best - 1e-3
+        optimum = result.optimum()
+        assert abs(optimum["lam"] - grid_arg[1]) <= (120.0 - 6.0) / 6
+        assert optimum["phi"] == pytest.approx(20.0, abs=0.5)

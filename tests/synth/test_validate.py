@@ -1,0 +1,142 @@
+"""Conformance of the analytic distribution measures vs simulation."""
+
+import pytest
+
+from repro.synth.validate import (
+    DISTRIBUTION_MEASURES,
+    DistributionVerdict,
+    distribution_conformance,
+    synthesis_conformance,
+)
+
+
+class TestVerdictBands:
+    def make(self, count, accept_lo=10, accept_hi=20):
+        return DistributionVerdict(
+            measure="guarded-op",
+            check="quantile",
+            level=0.5,
+            threshold=1.0,
+            p_lo=0.4,
+            p_hi=0.5,
+            count=count,
+            replications=100,
+            accept_lo=accept_lo,
+            accept_hi=accept_hi,
+        )
+
+    def test_passed_iff_count_within_band(self):
+        assert self.make(10).passed
+        assert self.make(20).passed
+        assert self.make(15).passed
+        assert not self.make(9).passed
+        assert not self.make(21).passed
+
+    def test_to_dict_round_trip(self):
+        info = self.make(15).to_dict()
+        assert info["passed"] is True
+        assert info["check"] == "quantile"
+        assert info["p_lo"] == 0.4
+        assert info["accept_lo"] == 10
+
+
+class TestDistributionConformance:
+    def test_guarded_op_uses_exact_transient_route(self, scaled_params):
+        report = distribution_conformance(
+            scaled_params, measure="guarded-op", replications=300
+        )
+        assert report.method == "transient"
+        assert report.passed, [v.to_dict() for v in report.verdicts]
+        assert len(report.verdicts) == 5  # 3 quantiles + 2 tails
+        assert report.family == 5
+
+    def test_overhead_measure_exercises_beta_mixture(self, scaled_params):
+        report = distribution_conformance(
+            scaled_params, measure="overhead2", replications=300
+        )
+        assert report.method == "uniformization"
+        assert report.passed, [v.to_dict() for v in report.verdicts]
+
+    def test_deterministic_under_fixed_seed(self, scaled_params):
+        kwargs = dict(
+            measure="guarded-op", replications=200, quantiles=(0.5,), tails=()
+        )
+        first = distribution_conformance(scaled_params, **kwargs)
+        second = distribution_conformance(scaled_params, **kwargs)
+        assert first.verdicts == second.verdicts
+
+    def test_family_override_widens_the_band(self, scaled_params):
+        narrow = distribution_conformance(
+            scaled_params,
+            measure="guarded-op",
+            replications=200,
+            quantiles=(0.5,),
+            tails=(),
+        )
+        wide = distribution_conformance(
+            scaled_params,
+            measure="guarded-op",
+            replications=200,
+            quantiles=(0.5,),
+            tails=(),
+            family=50,
+        )
+        assert wide.family == 50
+        (v_narrow,), (v_wide,) = narrow.verdicts, wide.verdicts
+        assert v_wide.accept_lo <= v_narrow.accept_lo
+        assert v_wide.accept_hi >= v_narrow.accept_hi
+
+    def test_error_cases(self, scaled_params):
+        with pytest.raises(ValueError, match="unknown distribution measure"):
+            distribution_conformance(scaled_params, measure="nope")
+        with pytest.raises(ValueError, match="horizon must be positive"):
+            distribution_conformance(scaled_params, horizon=0.0)
+        with pytest.raises(ValueError, match="at least one"):
+            distribution_conformance(scaled_params, quantiles=(), tails=())
+
+
+class TestSynthesisConformance:
+    def test_full_family_passes_on_scaled_params(self, scaled_params):
+        reports = synthesis_conformance(
+            scaled_params, phi=5.0, replications=400
+        )
+        assert tuple(r.measure for r in reports) == DISTRIBUTION_MEASURES
+        for report in reports:
+            assert report.passed, (
+                report.measure,
+                [v.to_dict() for v in report.verdicts],
+            )
+            # One Sidak family across every measure's checks.
+            assert report.family == 10
+        guarded = reports[0]
+        assert guarded.horizon == 5.0
+
+    def test_table3_profile_passes(self, paper_params):
+        # The paper's stiff parameters: the guarded-op route stays
+        # exact-transient and the overhead horizon contracts to keep
+        # the beta-mixture series (and the simulation) affordable.
+        reports = synthesis_conformance(
+            paper_params, phi=10.0, replications=200
+        )
+        assert tuple(r.method for r in reports) == (
+            "transient",
+            "uniformization",
+        )
+        for report in reports:
+            assert report.passed, (
+                report.measure,
+                [v.to_dict() for v in report.verdicts],
+            )
+
+    def test_phi_horizon_is_clamped_away_from_zero(self, scaled_params):
+        reports = synthesis_conformance(
+            scaled_params,
+            phi=0.0,
+            measures=("guarded-op",),
+            replications=100,
+            quantiles=(0.5,),
+            tails=(),
+        )
+        assert reports[0].horizon == pytest.approx(
+            1e-3 * scaled_params.theta
+        )
