@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke scaling-smoke scaling-full synth-smoke synth-bench bench examples reports experiments clean
+.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke scaling-smoke scaling-full synth-smoke synth-bench surrogate-smoke surrogate-bench bench examples reports experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,7 +18,7 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff)"; \
 	fi
 
-test: lint campaign-smoke serve-smoke scaling-smoke synth-smoke
+test: lint campaign-smoke serve-smoke scaling-smoke synth-smoke surrogate-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tier-1: everything except minutes-scale simulation tests (marker: slow).
@@ -92,6 +92,21 @@ synth-smoke:
 synth-bench:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest \
 		benchmarks/test_synth_scaling.py -q
+
+# Surrogate smoke: fit a reduced-degree box, exercise every acceptance
+# dimension (point eval, serve tier, certification, synthesis) in
+# seconds; writes benchmarks/reports/BENCH_surrogate_smoke.json.
+surrogate-smoke:
+	@SURROGATE_BENCH_PROFILE=smoke PYTHONPATH=src:$$PYTHONPATH \
+		$(PYTHON) -m pytest benchmarks/test_surrogate_scaling.py -q && \
+	echo "surrogate-smoke: OK"
+
+# Full surrogate benchmark: table3-degree fit with all seven acceptance
+# gates (100x point eval, 5x serve p50, 10x synth reduction, 1e-6
+# certified bound, ...); writes benchmarks/reports/BENCH_surrogate.json.
+surrogate-bench:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest \
+		benchmarks/test_surrogate_scaling.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

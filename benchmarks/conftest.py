@@ -12,6 +12,7 @@ benchmark:
 
 from __future__ import annotations
 
+import json
 import pathlib
 import resource
 import sys
@@ -22,6 +23,22 @@ from repro.analysis.experiments import ExperimentOutcome, run_experiment
 
 #: Where the per-artifact reports are written.
 REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Write one machine-readable ``BENCH_*.json`` report.
+
+    ``name`` is the report name with or without the ``.json`` suffix.
+    Every scaling benchmark routes its payload through here so the
+    on-disk format (two-space indent, trailing newline) stays identical
+    across reports — downstream tooling diffs them file-to-file.
+    """
+    REPORTS_DIR.mkdir(exist_ok=True)
+    if not name.endswith(".json"):
+        name = f"{name}.json"
+    path = REPORTS_DIR / name
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 _outcome_cache: dict[str, ExperimentOutcome] = {}
 

@@ -18,13 +18,12 @@ Three engineering claims about ``repro.runtime``:
    ``benchmarks/reports/BENCH_sweep.json``.
 """
 
-import json
 import os
 import time
 
 import pytest
 
-from benchmarks.conftest import REPORTS_DIR, publish_report
+from benchmarks.conftest import publish_report, write_bench_json
 from repro.analysis.tables import format_table
 from repro.gsu.parameters import PAPER_TABLE3
 from repro.gsu.performability import evaluate_index
@@ -205,10 +204,7 @@ def test_batched_sweep_speedup():
         "speedup": speedup,
         "required_speedup": BATCH_BENCH_SPEEDUP,
     }
-    REPORTS_DIR.mkdir(exist_ok=True)
-    (REPORTS_DIR / "BENCH_sweep.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_sweep", payload)
     report = format_table(
         ["path", "wall s", "points/s"],
         [

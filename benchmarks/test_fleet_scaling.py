@@ -34,7 +34,12 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import REPORTS_DIR, peak_rss_bytes, publish_report
+from benchmarks.conftest import (
+    REPORTS_DIR,
+    peak_rss_bytes,
+    publish_report,
+    write_bench_json,
+)
 from repro.analysis.tables import format_table
 from repro.ctmc import config
 from repro.ctmc.transient import transient_grid
@@ -136,7 +141,6 @@ def _solve_fleet_case(params: FleetParameters) -> dict:
 
 
 def _write_results(rows: list[dict]) -> None:
-    REPORTS_DIR.mkdir(exist_ok=True)
     payload = {
         "benchmark": "BENCH_scaling",
         "profile": _profile(),
@@ -144,7 +148,7 @@ def _write_results(rows: list[dict]) -> None:
         "accuracy_bound": ACCURACY_BOUND,
         "results": rows,
     }
-    _results_path().write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(_results_path().name, payload)
 
 
 @pytest.fixture(scope="module")
@@ -227,4 +231,4 @@ def test_million_state_tier():
             for existing in payload["results"]
             if existing["n_processes"] != 10
         ] + [row]
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        write_bench_json(path.name, payload)

@@ -17,10 +17,9 @@ to ``benchmarks/reports/BENCH_param_sweep.json`` (same schema family as
 """
 
 import dataclasses
-import json
 import time
 
-from benchmarks.conftest import REPORTS_DIR, publish_report
+from benchmarks.conftest import publish_report, write_bench_json
 from repro.analysis.tables import format_table
 from repro.gsu.parameters import PAPER_TABLE3
 from repro.gsu.templates import MODEL_KINDS, shared_cache
@@ -114,10 +113,7 @@ def test_parametric_campaign_speedup():
         "speedup": speedup,
         "required_speedup": PARAM_BENCH_SPEEDUP,
     }
-    REPORTS_DIR.mkdir(exist_ok=True)
-    (REPORTS_DIR / "BENCH_param_sweep.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_param_sweep", payload)
     report = format_table(
         ["path", "wall s", "points/s"],
         [

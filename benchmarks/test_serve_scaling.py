@@ -23,10 +23,9 @@ only *logs* the speedup; the full profile asserts warm p50 is at least
 :data:`SERVE_BENCH_SPEEDUP` times better than the cold request.
 """
 
-import json
 import os
 
-from benchmarks.conftest import REPORTS_DIR, publish_report
+from benchmarks.conftest import publish_report, write_bench_json
 from repro.analysis.tables import format_table
 from repro.gsu.templates import shared_cache
 from repro.serve.loadgen import LoadProfile, request_once, run_load
@@ -132,10 +131,7 @@ def test_serve_cold_vs_warm_latency():
         "required_speedup": SERVE_BENCH_SPEEDUP,
         "gated": not reduced,
     }
-    REPORTS_DIR.mkdir(exist_ok=True)
-    (REPORTS_DIR / "BENCH_serve.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_bench_json("BENCH_serve", payload)
 
     report = format_table(
         ["path", "latency ms", "throughput req/s"],

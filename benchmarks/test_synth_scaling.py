@@ -21,11 +21,10 @@ agree on the optimum.  ``SYNTH_BENCH_PROFILE=smoke`` shrinks the
 search, writes ``BENCH_synth_smoke.json``, and only logs the ratios.
 """
 
-import json
 import os
 import time
 
-from benchmarks.conftest import REPORTS_DIR
+from benchmarks.conftest import REPORTS_DIR, write_bench_json
 from repro.gsu.parameters import PAPER_TABLE3
 from repro.runtime.cache import MemoryLRUCache
 from repro.synth import (
@@ -116,8 +115,7 @@ def test_synthesis_templates_and_cache_speedup():
         },
         "speedup_gate": None if smoke else SYNTH_BENCH_SPEEDUP,
     }
-    REPORTS_DIR.mkdir(exist_ok=True)
-    _results_path().write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json(_results_path().name, payload)
     print(
         f"\nsynth bench [{_profile()}]: naive {naive_seconds:.2f}s, "
         f"cold {cold_seconds:.2f}s ({speedup_templates:.1f}x), "

@@ -337,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="root seed for --validate (default: the verify seed)",
     )
     synthesize.add_argument(
+        "--surrogate", default=None, metavar="ARTIFACT",
+        help="drive the search with this surrogate's closed-form values "
+             "and analytic gradients (exact solver kept as line-search "
+             "validator; typically >= 10x fewer exact solves)",
+    )
+    synthesize.add_argument(
         "--json", action="store_true",
         help="emit the full synthesis result as JSON",
     )
@@ -388,6 +394,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="grace period for in-flight requests on shutdown (default 10)",
     )
+    serve.add_argument(
+        "--surrogate", default=None, metavar="ARTIFACT",
+        help="serve in-box /evaluate grids from this certified surrogate "
+             "artifact, ahead of the cache and solver tiers",
+    )
+
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="fit or evaluate a closed-form parametric surrogate: "
+             "tensor-product Chebyshev approximants of the nine "
+             "constituent measures with a certified sup-norm bound",
+    )
+    surrogate_sub = surrogate.add_subparsers(
+        dest="surrogate_command", required=True
+    )
+    sfit = surrogate_sub.add_parser(
+        "fit",
+        help="evaluate the nine measures on a sparse Chebyshev grid and "
+             "write a certified surrogate artifact",
+    )
+    sfit.add_argument(
+        "--spec", choices=["table3", "smoke"], default="table3",
+        help="parameter box preset: table3 = (phi, coverage) box around "
+             "the paper's Table 3 point; smoke = small phi-only fit "
+             "(default table3)",
+    )
+    sfit.add_argument(
+        "--phi-degree", type=_positive_int, default=32,
+        help="Chebyshev degree along the phi axis (default 32)",
+    )
+    sfit.add_argument(
+        "--coverage-degree", type=_positive_int, default=10,
+        help="Chebyshev degree along the coverage axis of the table3 "
+             "spec (default 10)",
+    )
+    sfit.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=LO:HI:DEG",
+        help="custom box axis (repeatable; first must be phi); "
+             "overrides --spec presets entirely when given",
+    )
+    sfit.add_argument(
+        "--out", default="surrogates", metavar="PATH",
+        help="artifact destination: a directory (content-addressed "
+             "filename) or an exact file path (default ./surrogates)",
+    )
+    sfit.add_argument(
+        "--spot-checks", type=int, default=16, metavar="N",
+        help="random in-box spot-check points vs the exact solver "
+             "folded into the certificate (default 16)",
+    )
+    sfit.add_argument(
+        "--seed", type=int, default=7,
+        help="seed for the spot-check sampler (default 7)",
+    )
+    sfit.add_argument(
+        "--safety", type=float, default=4.0,
+        help="certified bound = safety x worst held-out residual "
+             "(default 4)",
+    )
+    _add_parameter_flags(sfit)
+    _add_runtime_flags(sfit)
+    seval = surrogate_sub.add_parser(
+        "eval",
+        help="answer Y(phi) from a surrogate artifact in microseconds",
+    )
+    seval.add_argument("artifact", help="path to a surrogate artifact")
+    seval.add_argument(
+        "--phis", default=None, metavar="P1,P2,...",
+        help="phi grid to evaluate (default: the artifact's phi box "
+             "sampled at 11 points)",
+    )
+    seval.add_argument(
+        "--grad", action="store_true",
+        help="also report the analytic gradient of Y at each point",
+    )
+    seval.add_argument(
+        "--json", action="store_true",
+        help="emit results as JSON",
+    )
+    _add_parameter_flags(seval)
 
     verify = sub.add_parser(
         "verify",
@@ -416,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--confidence", type=float, default=None,
         help="override the verdict confidence level (profile default 0.99)",
+    )
+    verify.add_argument(
+        "--surrogate", default=None, metavar="ARTIFACT",
+        help="conformance-check this surrogate's answers (instead of "
+             "the exact analytic solution) against simulation",
     )
     _add_runtime_flags(verify)
 
@@ -762,11 +853,21 @@ def _cmd_synthesize(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    surrogate = None
+    if args.surrogate is not None:
+        from repro.surrogate import load_surrogate
+
+        try:
+            surrogate = load_surrogate(args.surrogate)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load surrogate: {exc}", file=sys.stderr)
+            return 2
     result = run_synthesis(
         problem,
         synth_config,
         cache=config.make_cache(),
         evaluate_fn=local_evaluate_fn(parametric=config.parametric),
+        surrogate=surrogate,
     )
 
     quantiles = tuple(args.quantiles) if args.quantiles else (0.25, 0.5, 0.9)
@@ -813,11 +914,16 @@ def _cmd_synthesize(args) -> int:
             if problem.budget is not None
             else ""
         )
+        surrogate_note = (
+            f", {result.surrogate_points} surrogate points"
+            if result.surrogate_points
+            else ""
+        )
         print(
             f"synthesis over {', '.join(problem.names)}{budget_note}: "
             f"{result.iterations} steps / {len(result.trajectories)} starts "
             f"({result.points_evaluated} points solved, "
-            f"{result.steps_cached} steps cached)"
+            f"{result.steps_cached} steps cached{surrogate_note})"
         )
         for name, value in optimum.items():
             print(f"  {name:<10} = {value:g}")
@@ -868,12 +974,17 @@ def _cmd_serve(args) -> int:
             retry_after=args.retry_after,
             warm=not args.no_warm,
             drain_timeout=args.drain_timeout,
+            surrogate=args.surrogate,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    service = PerformabilityService(config)
+    try:
+        service = PerformabilityService(config)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load surrogate: {exc}", file=sys.stderr)
+        return 2
 
     def _announce(svc: PerformabilityService) -> None:
         warm = (
@@ -885,6 +996,11 @@ def _cmd_serve(args) -> int:
             f"repro serve listening on http://{config.host}:{svc.port} "
             f"({config.jobs} workers, {warm}); Ctrl-C or SIGTERM drains"
         )
+        if svc.surrogate is not None:
+            print(
+                f"surrogate tier: {svc.surrogate.spec.axis_names} box, "
+                f"certified bound {svc.surrogate.worst_bound:.3g}"
+            )
 
     try:
         asyncio.run(service.serve(on_ready=_announce))
@@ -895,6 +1011,155 @@ def _cmd_serve(args) -> int:
               file=sys.stderr)
         return 1
     print("repro serve: drained and stopped")
+    return 0
+
+
+def _cmd_surrogate(args) -> int:
+    if args.surrogate_command == "fit":
+        return _cmd_surrogate_fit(args)
+    return _cmd_surrogate_eval(args)
+
+
+def _cmd_surrogate_fit(args) -> int:
+    from repro.surrogate import (
+        AxisSpec,
+        SurrogateSpec,
+        fit_surrogate,
+        save_surrogate,
+        smoke_spec,
+        table3_spec,
+    )
+
+    try:
+        if args.axis:
+            axes = []
+            for text in args.axis:
+                name, sep, box = text.partition("=")
+                parts = box.split(":")
+                if not sep or len(parts) != 3:
+                    raise ValueError(
+                        f"bad --axis {text!r} (expected NAME=LO:HI:DEG)"
+                    )
+                axes.append(
+                    AxisSpec(
+                        name=name.strip(),
+                        lo=float(parts[0]),
+                        hi=float(parts[1]),
+                        degree=int(parts[2]),
+                    )
+                )
+            spec = SurrogateSpec(
+                params=_params_from(args, PAPER_TABLE3), axes=tuple(axes)
+            )
+        elif args.spec == "smoke":
+            spec = smoke_spec(params=_params_from(args, PAPER_TABLE3))
+        else:
+            spec = table3_spec(
+                phi_degree=args.phi_degree,
+                coverage_degree=args.coverage_degree,
+            )
+            params = _params_from(args, spec.params)
+            if params != spec.params:
+                spec = SurrogateSpec(params=params, axes=spec.axes)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    config = _runtime_config_from(args)
+    try:
+        report = fit_surrogate(
+            spec,
+            config=config,
+            cache=config.make_cache(),
+            spot_checks=args.spot_checks,
+            seed=args.seed,
+            safety=args.safety,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = save_surrogate(report.model, args.out)
+    axes = ", ".join(
+        f"{axis.name}[{axis.lo:g},{axis.hi:g}] deg {axis.degree}"
+        for axis in spec.axes
+    )
+    print(f"fit {axes}")
+    print(
+        f"{report.node_tasks} node solves ({report.cached_nodes} cached), "
+        f"{report.holdout_points} held-out points, "
+        f"{report.spot_points} spot checks, "
+        f"wall {report.wall_seconds:.2f}s (solve {report.solve_seconds:.2f}s)"
+    )
+    print(
+        f"certified bound {report.model.worst_bound:.3g} "
+        f"(unit-scaled sup-norm, safety {args.safety:g})"
+    )
+    print(f"artifact: {path}")
+    return 0
+
+
+def _cmd_surrogate_eval(args) -> int:
+    from repro.surrogate import OutOfDomainError, load_surrogate
+
+    try:
+        model = load_surrogate(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = _params_from(args, model.spec.params)
+    phi_axis = model.spec.axes[0]
+    if args.phis is not None:
+        try:
+            phis = [float(p) for p in args.phis.split(",") if p.strip()]
+        except ValueError:
+            print(f"error: bad --phis {args.phis!r}", file=sys.stderr)
+            return 2
+    else:
+        span = phi_axis.hi - phi_axis.lo
+        phis = [phi_axis.lo + span * i / 10 for i in range(11)]
+    rows = []
+    try:
+        for phi in phis:
+            if args.grad:
+                y, grad = model.y_and_gradient(params, phi)
+            else:
+                y = model.evaluate(params, phi).value
+                grad = None
+            rows.append(
+                {
+                    "phi": phi,
+                    "y": y,
+                    "error_bound": model.y_error_bound(params, phi),
+                    **({"gradient": grad} if grad is not None else {}),
+                }
+            )
+    except OutOfDomainError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "digest": model.meta.get("digest"),
+                    "bound": model.worst_bound,
+                    "points": rows,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"{'phi':>10}  {'Y(phi)':>12}  {'bound':>10}")
+    for row in rows:
+        print(
+            f"{row['phi']:>10g}  {row['y']:>12.6f}  "
+            f"{row['error_bound']:>10.3g}"
+        )
+        if args.grad:
+            grad_text = ", ".join(
+                f"dY/d{name} = {value:.4g}"
+                for name, value in row["gradient"].items()
+            )
+            print(f"{'':>10}  {grad_text}")
     return 0
 
 
@@ -919,9 +1184,22 @@ def _cmd_verify(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    surrogate = None
+    if args.surrogate is not None:
+        from repro.surrogate import load_surrogate
+
+        try:
+            surrogate = load_surrogate(args.surrogate)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load surrogate: {exc}", file=sys.stderr)
+            return 2
     config = _runtime_config_from(args)
     with use_config(config):
-        report = run_verify(profile)
+        try:
+            report = run_verify(profile, surrogate=surrogate)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     print(summarize_report(report))
     if report.cache_stats is not None:
         stats = report.cache_stats
@@ -1087,6 +1365,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "synthesize": _cmd_synthesize,
     "serve": _cmd_serve,
+    "surrogate": _cmd_surrogate,
     "verify": _cmd_verify,
     "validate": _cmd_validate,
     "hybrid": _cmd_hybrid,

@@ -274,6 +274,170 @@ def aggregate_breakdown(
     }
 
 
+def aggregate_partials(
+    values: Mapping[str, float], params: Mapping[str, float]
+) -> tuple[float, dict[str, float], float]:
+    """``Y`` plus its exact partial derivatives through the aggregation.
+
+    Returns ``(y, dY_dm, dY_dphi_explicit)`` where ``dY_dm[name]`` is
+    ``dY/d(measure)`` holding the other measures and ``phi`` fixed, and
+    ``dY_dphi_explicit`` is the *explicit* ``phi`` dependence of the
+    aggregation formula (the ``rho_sum * phi + 2 (theta - phi)`` weight
+    in ``Y_S1``) — the total derivative along a sweep adds the chain
+    terms ``sum_i dY/dm_i * dm_i/dphi``, which the surrogate supplies
+    analytically from its Chebyshev derivative tensors.
+
+    The closed form differentiates Eq. (1) with ``E[W_I] = 2 theta``
+    constant: ``dY/dX = [-dE[W_0]/dX * D + N * dE[W_phi]/dX] / D**2``
+    with ``N = E[W_I] - E[W_0]``, ``D = E[W_I] - E[W_phi]``.  Unlike
+    :func:`aggregate_breakdown` the ``phi == 0`` branch uses the
+    continuous ``phi -> 0+`` limit of the general formula (the two
+    agree in value; the limit also defines the one-sided derivative
+    the optimizer needs at the box edge).
+
+    When the denominator is non-positive (``Y = inf``) every partial is
+    returned as ``0.0`` — there is no useful gradient through a pole.
+    """
+    theta = params["theta"]
+    phi = params["phi"]
+    e_wi = 2.0 * theta
+    e_w0 = 2.0 * theta * values["p_nd_theta"]
+
+    rho_sum = values["rho1"] + values["rho2"]
+    p_gd = values["p_gd_phi_a1"]
+    p_nd_rem = values["p_nd_theta_minus_phi"]
+    int_h = values["int_h"]
+    int_tau_h = values["int_tau_h"]
+    int_hf = values["int_hf"]
+    int_f = values["int_f"]
+
+    s1_weight = rho_sum * phi + 2.0 * (theta - phi)
+    p_s1 = p_gd * p_nd_rem
+    y_s1 = s1_weight * p_s1
+    gamma = 1.0 - int_tau_h / theta
+    minuend = 2.0 * theta * int_h - (2.0 - rho_sum) * int_tau_h
+    subtrahend = 2.0 * theta * (int_hf + int_h * int_f)
+    y_s2 = gamma * (minuend - subtrahend)
+    e_wphi = y_s1 + y_s2
+
+    numerator = e_wi - e_w0
+    denominator = e_wi - e_wphi
+    if denominator <= 0.0:
+        zero = {name: 0.0 for name in values}
+        return float("inf"), zero, 0.0
+    y = numerator / denominator
+
+    # d(e_wphi)/d(measure), measure by measure.
+    de_wphi = {
+        "p_nd_theta": 0.0,
+        "p_gd_phi_a1": s1_weight * p_nd_rem,
+        "p_nd_theta_minus_phi": s1_weight * p_gd,
+        "rho1": phi * p_s1 + gamma * int_tau_h,
+        "rho2": phi * p_s1 + gamma * int_tau_h,
+        "int_h": gamma * (2.0 * theta - 2.0 * theta * int_f),
+        "int_tau_h": (
+            -(minuend - subtrahend) / theta - gamma * (2.0 - rho_sum)
+        ),
+        "int_hf": gamma * (-2.0 * theta),
+        "int_f": gamma * (-2.0 * theta * int_h),
+    }
+    de_w0 = {name: 0.0 for name in de_wphi}
+    de_w0["p_nd_theta"] = 2.0 * theta
+
+    inv_d = 1.0 / denominator
+    dY_dm = {
+        name: (-de_w0[name] + y * de_wphi[name]) * inv_d
+        for name in de_wphi
+    }
+    # Explicit phi dependence: only the S1 weight carries raw phi.
+    dY_dphi = y * ((rho_sum - 2.0) * p_s1) * inv_d
+    return y, dY_dm, dY_dphi
+
+
+def aggregate_grid(
+    values: Mapping[str, "np.ndarray"], phis: "np.ndarray", theta: float
+) -> dict:
+    """Vectorized :func:`aggregate_breakdown` + :func:`aggregate_partials`.
+
+    ``values`` maps each constituent measure to a ``(p,)`` array over a
+    ``phi`` grid; returns a dict of ``(p,)`` arrays: the breakdown
+    quantities (``y``, ``y_s1``, ``y_s2``, ``gamma``, ``e_w0``, plus
+    scalar ``e_wi``) computed exactly as the scalar breakdown (branch
+    conventions at ``phi == 0`` included), and the partials
+    (``dY_dm[name]``, ``dY_dphi_explicit``) via the continuous-limit
+    formulas of :func:`aggregate_partials` — zeroed past the pole.
+    This is the surrogate serving tier's hot path: one request's whole
+    grid aggregates in a handful of array operations.
+    """
+    import numpy as np
+
+    phis = np.asarray(phis, dtype=float)
+    e_wi = 2.0 * theta
+    e_w0 = 2.0 * theta * values["p_nd_theta"]
+
+    rho_sum = values["rho1"] + values["rho2"]
+    p_s1 = values["p_gd_phi_a1"] * values["p_nd_theta_minus_phi"]
+    s1_weight = rho_sum * phis + 2.0 * (theta - phis)
+    y_s1_g = s1_weight * p_s1
+    gamma_g = 1.0 - values["int_tau_h"] / theta
+    minuend = (
+        2.0 * theta * values["int_h"]
+        - (2.0 - rho_sum) * values["int_tau_h"]
+    )
+    subtrahend = 2.0 * theta * (
+        values["int_hf"] + values["int_h"] * values["int_f"]
+    )
+    y_s2_g = gamma_g * (minuend - subtrahend)
+
+    # Breakdown values follow the scalar branch conventions at phi == 0.
+    at_zero = phis == 0.0
+    y_s1 = np.where(at_zero, e_w0, y_s1_g)
+    y_s2 = np.where(at_zero, 0.0, y_s2_g)
+    gamma = np.where(at_zero, 1.0, gamma_g)
+    e_wphi = y_s1 + y_s2
+    denominator = e_wi - e_wphi
+    ok = denominator > 0.0
+    safe_d = np.where(ok, denominator, 1.0)
+    y = np.where(ok, (e_wi - e_w0) / safe_d, np.inf)
+
+    # Partials via the continuous-limit general formula (the scalar
+    # aggregate_partials contract), zeroed where Y has hit its pole.
+    d_general = e_wi - (y_s1_g + y_s2_g)
+    ok_g = d_general > 0.0
+    inv_d = np.where(ok_g, 1.0 / np.where(ok_g, d_general, 1.0), 0.0)
+    y_g = (e_wi - e_w0) * inv_d
+    de_wphi = {
+        "p_nd_theta": np.zeros_like(phis),
+        "p_gd_phi_a1": s1_weight * values["p_nd_theta_minus_phi"],
+        "p_nd_theta_minus_phi": s1_weight * values["p_gd_phi_a1"],
+        "rho1": phis * p_s1 + gamma_g * values["int_tau_h"],
+        "rho2": phis * p_s1 + gamma_g * values["int_tau_h"],
+        "int_h": gamma_g * (2.0 * theta - 2.0 * theta * values["int_f"]),
+        "int_tau_h": (
+            -(minuend - subtrahend) / theta - gamma_g * (2.0 - rho_sum)
+        ),
+        "int_hf": gamma_g * (-2.0 * theta) * np.ones_like(phis),
+        "int_f": gamma_g * (-2.0 * theta * values["int_h"]),
+    }
+    dY_dm = {}
+    for name, partial in de_wphi.items():
+        de_w0 = e_wi if name == "p_nd_theta" else 0.0
+        dY_dm[name] = np.where(ok_g, (-de_w0 + y_g * partial) * inv_d, 0.0)
+    dY_dphi = np.where(ok_g, y_g * ((rho_sum - 2.0) * p_s1) * inv_d, 0.0)
+
+    return {
+        "y": y,
+        "y_s1": y_s1,
+        "y_s2": y_s2,
+        "gamma": gamma,
+        "e_wi": e_wi,
+        "e_w0": e_w0,
+        "e_wphi": e_wphi,
+        "dY_dm": dY_dm,
+        "dY_dphi_explicit": dY_dphi,
+    }
+
+
 def build_translation_pipeline() -> TranslationPipeline:
     """The paper's translation pipeline (Figure 3), ready to evaluate."""
     return TranslationPipeline(

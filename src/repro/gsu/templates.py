@@ -111,6 +111,26 @@ class TemplateCacheStats:
     restamps: int = 0
     fallbacks: int = 0
 
+    def snapshot(self) -> "TemplateCacheStats":
+        """An immutable copy (for before/after delta accounting)."""
+        return TemplateCacheStats(self.compiles, self.restamps, self.fallbacks)
+
+    def delta(self, before: "TemplateCacheStats") -> "TemplateCacheStats":
+        """Counters accumulated since ``before`` was snapshotted."""
+        return TemplateCacheStats(
+            compiles=self.compiles - before.compiles,
+            restamps=self.restamps - before.restamps,
+            fallbacks=self.fallbacks - before.fallbacks,
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-data form (manifests, /metrics)."""
+        return {
+            "compiles": self.compiles,
+            "restamps": self.restamps,
+            "fallbacks": self.fallbacks,
+        }
+
 
 @dataclass
 class TemplateCache:

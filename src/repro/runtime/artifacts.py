@@ -30,6 +30,7 @@ from repro.runtime.spec import CampaignSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.analysis.sweep import SweepResult
+    from repro.gsu.templates import TemplateCacheStats
 
 #: Manifest format version (independent of the cache-key schema).
 MANIFEST_VERSION = 1
@@ -90,13 +91,17 @@ def write_run_artifacts(
     cache: ResultCache | None = None,
     run_stats: "CacheStats | None" = None,
     run_tier_stats: "dict[str, CacheStats] | None" = None,
+    template_stats: "TemplateCacheStats | None" = None,
 ) -> RunArtifacts:
     """Write the manifest and results files for one campaign run.
 
     ``run_stats`` holds this run's cache counters; when omitted, the
     cache instance's lifetime counters are recorded instead.  With a
     tiered cache, ``run_tier_stats`` adds the per-tier (memory vs.
-    disk) breakdown under ``cache.tiers``.
+    disk) breakdown under ``cache.tiers``.  ``template_stats`` records
+    this run's SAN template-cache traffic (compiles / restamps /
+    fallbacks) under ``templates`` so template-vs-exact solver routing
+    is observable per run, mirroring the serve layer's ``/metrics``.
     """
     run_dir = _unique_run_dir(Path(root), spec.name)
     run_dir.mkdir(parents=True, exist_ok=False)
@@ -116,6 +121,9 @@ def write_run_artifacts(
         cache_entry["tiers"] = {
             name: stats.to_dict() for name, stats in run_tier_stats.items()
         }
+    templates_entry = (
+        template_stats.to_dict() if template_stats is not None else None
+    )
     manifest = {
         "manifest_version": MANIFEST_VERSION,
         "campaign": spec.to_dict(),
@@ -126,6 +134,7 @@ def write_run_artifacts(
         "wall_seconds": wall_seconds,
         "solver_seconds": solver_seconds,
         "cache": cache_entry,
+        "templates": templates_entry,
         "tasks": [
             {
                 "index": outcome.task.index,

@@ -35,6 +35,7 @@ from repro.runtime.tasks import plan_campaign
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.analysis.sweep import SweepResult
+    from repro.gsu.templates import TemplateCacheStats
 
 
 @dataclass(frozen=True)
@@ -145,6 +146,10 @@ class CampaignResult:
     cache_tier_stats:
         Per-tier (``memory`` / ``disk``) counters for this run; ``None``
         unless a tiered cache served it.
+    template_stats:
+        This run's SAN template-cache traffic (compiles / restamps /
+        fallbacks) in the executing process — the in-process share of
+        the solver work; process-pool workers hold their own caches.
     """
 
     spec: CampaignSpec
@@ -154,6 +159,7 @@ class CampaignResult:
     wall_seconds: float
     artifacts: RunArtifacts | None
     cache_tier_stats: dict[str, CacheStats] | None = None
+    template_stats: "TemplateCacheStats | None" = None
 
     @property
     def solver_seconds(self) -> float:
@@ -244,6 +250,9 @@ def run_campaign(
         if isinstance(cache, TieredResultCache)
         else None
     )
+    from repro.gsu.templates import shared_cache
+
+    templates_before = shared_cache().stats.snapshot()
     start = time.perf_counter()
     tasks = plan_campaign(spec)
     outcomes = execute_tasks(
@@ -270,6 +279,7 @@ def run_campaign(
                 name: stats.delta(tiers_before[name])
                 for name, stats in cache.tier_stats().items()
             }
+    template_stats = shared_cache().stats.delta(templates_before)
 
     artifacts = None
     if artifacts_dir is not None:
@@ -284,6 +294,7 @@ def run_campaign(
             cache=cache,
             run_stats=run_stats,
             run_tier_stats=run_tier_stats,
+            template_stats=template_stats,
         )
 
     return CampaignResult(
@@ -294,4 +305,5 @@ def run_campaign(
         wall_seconds=wall_seconds,
         artifacts=artifacts,
         cache_tier_stats=run_tier_stats,
+        template_stats=template_stats,
     )

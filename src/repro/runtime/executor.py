@@ -40,6 +40,7 @@ from repro.runtime.records import record_from_evaluation
 from repro.runtime.tasks import (
     EvaluationTask,
     FleetTask,
+    SurrogateFitTask,
     VerificationTask,
     group_by_params,
     order_groups_by_structure,
@@ -394,6 +395,84 @@ def execute_verify_tasks(
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(_simulate_verify_block, task) for _, task in pending
+            ]
+            solved = [future.result() for future in futures]
+
+    for (position, task), (record, seconds) in zip(pending, solved):
+        if cache is not None:
+            cache.put(task, record)
+        outcomes[position] = TaskOutcome(
+            task=task, record=record, seconds=seconds, cached=False
+        )
+
+    return [outcomes[position] for position in range(len(tasks))]
+
+
+def _solve_surrogate_node(task: SurrogateFitTask) -> tuple[dict, float]:
+    """Module-level fit-node worker (picklable for the process pool).
+
+    One batched :meth:`ConstituentSolver.batch` pass over the node's phi
+    grid — the same arithmetic the campaign path uses, so fit nodes and
+    sweep points agree bitwise where grids coincide.
+    """
+    from repro.runtime.spec import params_to_dict
+
+    solver = ConstituentSolver(task.params)
+    start = time.perf_counter()
+    constituents = solver.batch(list(task.phis))
+    record = {
+        "kind": "surrogate.node",
+        "params": params_to_dict(task.params),
+        "phis": [float(phi) for phi in task.phis],
+        "constituents": constituents,
+    }
+    return record, time.perf_counter() - start
+
+
+def execute_surrogate_tasks(
+    tasks: Sequence[SurrogateFitTask],
+    backend: str = "serial",
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[TaskOutcome]:
+    """Execute surrogate fit nodes and return outcomes in submission order.
+
+    A node is already chunk-sized work (one batched grid solve at one
+    lever point), so like verification blocks there is no extra chunking
+    layer; each cache-missing node dispatches as one unit.  Fitting is
+    therefore cached, parallel, and resumable for free: re-running a fit
+    whose nodes are cached touches no solver at all.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    outcomes: dict[int, TaskOutcome] = {}
+    pending: list[tuple[int, SurrogateFitTask]] = []
+    for position, task in enumerate(tasks):
+        record = cache.get(task) if cache is not None else None
+        if record is not None:
+            outcomes[position] = TaskOutcome(
+                task=task, record=record, seconds=0.0, cached=True
+            )
+        else:
+            pending.append((position, task))
+
+    if backend == "serial" or jobs == 1 or len(pending) <= 1:
+        solved = [_solve_surrogate_node(task) for _, task in pending]
+    elif backend == "thread":
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_solve_surrogate_node, task)
+                for _, task in pending
+            ]
+            solved = [future.result() for future in futures]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_solve_surrogate_node, task)
+                for _, task in pending
             ]
             solved = [future.result() for future in futures]
 

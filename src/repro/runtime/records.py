@@ -56,6 +56,54 @@ SYNTH_STEP_REQUIRED_KEYS = frozenset(
 )
 
 
+#: Kind tag of surrogate fit-node records (one batched grid solve).
+SURROGATE_NODE_KIND = "surrogate.node"
+
+#: The nine constituent-measure keys every surrogate node entry carries.
+CONSTITUENT_KEYS = frozenset(
+    {
+        "p_nd_theta",
+        "p_gd_phi_a1",
+        "p_nd_theta_minus_phi",
+        "rho1",
+        "rho2",
+        "int_h",
+        "int_tau_h",
+        "int_hf",
+        "int_f",
+    }
+)
+
+
+def validate_surrogate_node(record: Mapping) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid surrogate node.
+
+    A node record holds the exact constituent solutions along one phi
+    grid at one lever point of the fit box: ``{"kind":
+    "surrogate.node", "params": {...}, "phis": [...], "constituents":
+    [{measure: value}, ...]}`` with one nine-key entry per phi.
+    """
+    for key in ("params", "phis", "constituents"):
+        if key not in record:
+            raise ValueError(f"surrogate node missing key: {key!r}")
+    if not isinstance(record["params"], Mapping):
+        raise ValueError("surrogate node params must be a mapping")
+    phis = record["phis"]
+    entries = record["constituents"]
+    if not isinstance(phis, (list, tuple)) or not isinstance(
+        entries, (list, tuple)
+    ):
+        raise ValueError("surrogate node phis/constituents must be lists")
+    if len(phis) != len(entries):
+        raise ValueError(
+            f"surrogate node has {len(phis)} phis but "
+            f"{len(entries)} constituent entries"
+        )
+    for entry in entries:
+        if not isinstance(entry, Mapping) or set(entry) != CONSTITUENT_KEYS:
+            raise ValueError("surrogate node constituent entry malformed")
+
+
 def validate_synth_step(record: Mapping) -> None:
     """Raise ``ValueError`` unless ``record`` is a valid synthesis step."""
     missing = SYNTH_STEP_REQUIRED_KEYS - set(record)
@@ -148,6 +196,9 @@ def validate_record(record: Mapping) -> None:
         return
     if record.get("kind") == SYNTH_STEP_KIND:
         validate_synth_step(record)
+        return
+    if record.get("kind") == SURROGATE_NODE_KIND:
+        validate_surrogate_node(record)
         return
     missing = REQUIRED_KEYS - set(record)
     if missing:

@@ -280,6 +280,63 @@ class SynthesisStepTask:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Measure namespace of surrogate fit-node tasks — distinct from every
+#: other task family so fit-grid solves can never collide with campaign
+#: evaluations in a shared cache (and stay reusable across fits whose
+#: grids overlap).
+_SURROGATE_MEASURE = "surrogate.node"
+
+
+@dataclass(frozen=True)
+class SurrogateFitTask:
+    """One planned surrogate fit node: a batched phi-grid solve.
+
+    The cacheable/resumable unit of ``repro surrogate fit``: the exact
+    nine-measure solutions along one phi grid at one lever point of the
+    fit box.  Keyed purely by inputs (parameter set, grid, solver
+    options) — two fits whose boxes share a lever node reuse each
+    other's solves, and an interrupted fit resumes from cache.
+
+    Attributes
+    ----------
+    index:
+        Position in the fit plan (reassembly order only).
+    params:
+        The concrete parameter set at this lever node.
+    phis:
+        The phi node grid (all phi-axis Chebyshev nodes, plus any
+        holdout points the fitter rides along).
+    solver_options:
+        Canonical key/value pairs folded into the cache key.
+    """
+
+    index: int
+    params: GSUParameters
+    phis: tuple[float, ...]
+    solver_options: tuple[tuple[str, str], ...] = ()
+
+    def key_payload(
+        self, schema_version: int = CACHE_KEY_SCHEMA_VERSION
+    ) -> dict:
+        """The canonical content-address payload (inputs only)."""
+        return {
+            "schema": schema_version,
+            "measure": _SURROGATE_MEASURE,
+            "params": params_to_dict(self.params),
+            "phis": [float(phi) for phi in self.phis],
+            "solver": {k: v for k, v in self.solver_options},
+        }
+
+    def cache_key(self, schema_version: int = CACHE_KEY_SCHEMA_VERSION) -> str:
+        """SHA-256 content address of this node's inputs."""
+        payload = json.dumps(
+            self.key_payload(schema_version),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def plan_fleet_tasks(
     params: FleetParameters,
     phis: Sequence[float],

@@ -323,6 +323,27 @@ def _symbolic_md(value, marking: Marking) -> ParamExpr:
     return wrap(result)
 
 
+def referenced_parameters(expr: ParamExpr) -> frozenset[str]:
+    """The names of every parameter an expression actually reads.
+
+    Walks the :meth:`ParamExpr.structure` tuples (no isinstance ladder,
+    so it works on any node — including future ones — that honours the
+    structural contract).  Surrogate fitting uses this to reject dead
+    box axes: a declared fit dimension no rate expression references
+    would silently waste a whole tensor axis on a constant.
+    """
+    names: set[str] = set()
+    stack = [expr.structure()]
+    while stack:
+        node = stack.pop()
+        tag = node[0]
+        if tag == "param":
+            names.add(node[1])
+        elif tag != "const":
+            stack.extend(node[1:])
+    return frozenset(names)
+
+
 # ----------------------------------------------------------------------
 # Template
 # ----------------------------------------------------------------------
@@ -386,6 +407,13 @@ class ParametricSAN:
     def num_states(self) -> int:
         """Number of tangible states."""
         return len(self.markings)
+
+    def parameter_names(self) -> frozenset[str]:
+        """Every parameter name referenced by this template's rates."""
+        names: set[str] = set()
+        for expr in self.coefficients:
+            names |= referenced_parameters(expr)
+        return frozenset(names)
 
     # ------------------------------------------------------------------
     def _evaluate_coefficients(self, env: dict) -> list[float]:

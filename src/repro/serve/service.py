@@ -6,21 +6,29 @@ One :class:`PerformabilityService` owns the whole request path:
    :class:`~repro.gsu.parameters.GSUParameters` (Table 3 base point
    plus overrides) and ``phi`` grids, rejected with ``400`` on any
    malformed field before touching a solver.
-2. **Tiered cache probe** — every point is content-addressed exactly
+2. **Surrogate probe** — with a certified surrogate artifact loaded
+   (``--surrogate``), an ``/evaluate`` grid whose every point lies
+   inside the surrogate's parameter box is answered directly from the
+   closed-form Chebyshev approximants — no cache lookup, no solver
+   dispatch, ~10 microseconds per nine-measure point.  Answers carry
+   ``source: "surrogate"`` plus the certified error bound; requests
+   demanding a tighter ``max_error`` than the certificate, or touching
+   any out-of-box point, fall through to the exact path below.
+3. **Tiered cache probe** — every point is content-addressed exactly
    like the campaign runtime's tasks and probed against the shared
    in-memory LRU tier in front of the on-disk
    :class:`~repro.runtime.cache.ResultCache`, so CLI campaigns and the
    service interoperate at 100% cache hits.
-3. **Coalesce + batch** — misses route through the
+4. **Coalesce + batch** — misses route through the
    :class:`~repro.serve.batcher.CoalescingBatcher`: concurrent demands
    for the same point share one future, and each parameter set's
    pending points are solved in a single batched grid solve on the
    warm worker pool (template re-stamping, one solver pass per model).
-4. **Respond with provenance** — every answer carries per-point cache
+5. **Respond with provenance** — every answer carries per-point cache
    sources and request latency; ``GET /metrics`` exposes p50/p99
    latency, queue depth, per-tier cache hit rates, template
-   compile/re-stamp counts, and solver-backend dispatch counters
-   (dense vs sparse vs uniformization).
+   compile/re-stamp counts, surrogate-tier traffic, and solver-backend
+   dispatch counters (dense vs sparse vs uniformization).
 
 ``POST /fleet`` answers fleet ``Y(phi)`` queries (N replicated MDCD
 processes with shared repair, lumped or flat representation) through
@@ -105,6 +113,10 @@ MAX_FLEET_FLAT_STATES = 4**9
 MAX_SYNTH_ITERS = 200
 MAX_SYNTH_STARTS = 9
 
+#: Fully built surrogate responses memoized per (params, grid) — the
+#: model is immutable, so identical in-box requests are pure replays.
+SURROGATE_MEMO_CAPACITY = 128
+
 #: Fleet parameter fields accepted in ``POST /fleet`` bodies, with the
 #: integer-valued ones called out for coercion.
 _FLEET_FIELDS = (
@@ -140,6 +152,10 @@ class ServeConfig:
         Pre-compile the template cache before accepting connections.
     drain_timeout:
         Seconds to wait for in-flight requests on shutdown.
+    surrogate:
+        Path to a certified surrogate artifact (``repro surrogate
+        fit``); when set, in-box ``/evaluate`` grids are answered from
+        the closed-form approximants ahead of every other tier.
     """
 
     host: str = "127.0.0.1"
@@ -152,6 +168,7 @@ class ServeConfig:
     batch_window: float = DEFAULT_BATCH_WINDOW
     warm: bool = True
     drain_timeout: float = 10.0
+    surrogate: Path | str | None = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -176,6 +193,24 @@ def default_solve_fn(params: GSUParameters, phis: list[float]) -> list[dict]:
         record_from_evaluation(evaluation)
         for evaluation in evaluate_batch(params, phis, solver=solver)
     ]
+
+
+def _freeze(value):
+    """A hashable canonical form of a JSON body value (TypeError if not)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return ("__list__",) + tuple(_freeze(v) for v in value)
+    hash(value)
+    return value
+
+
+def _request_key(body: dict) -> tuple | None:
+    """The surrogate-memo key of an ``/evaluate`` body (None if unkeyable)."""
+    try:
+        return _freeze(body)
+    except TypeError:
+        return None
 
 
 class PerformabilityService:
@@ -214,6 +249,18 @@ class PerformabilityService:
             retry_after=config.retry_after,
             metrics=self.metrics,
         )
+        self.surrogate = None
+        if config.surrogate is not None:
+            from repro.surrogate import load_surrogate
+
+            self.surrogate = load_surrogate(config.surrogate)
+        # Surrogate-tier traffic counters (requests routed, points
+        # served, and requests that had a surrogate but fell back to
+        # the exact path).  Only the event loop touches these.
+        self.surrogate_requests = 0
+        self.surrogate_points = 0
+        self.surrogate_fallbacks = 0
+        self._surrogate_memo: dict[tuple, dict] = {}
         self.port: int | None = None
         self.warm_seconds: float | None = None
         self._draining = False
@@ -345,10 +392,95 @@ class PerformabilityService:
     # ------------------------------------------------------------------
     # Endpoint handlers
     # ------------------------------------------------------------------
+    def _try_surrogate(
+        self, params: GSUParameters, phis: list[float], max_error: float | None
+    ) -> dict | None:
+        """Answer a grid from the surrogate tier, or ``None`` to fall back.
+
+        Routing is whole-request: the surrogate answers only when its
+        certificate meets the requested ``max_error`` *and* every point
+        of the grid lies inside the fitted box — a grid that strays
+        outside is solved exactly in full rather than silently
+        extrapolated or stitched from mixed provenances.
+        """
+        model = self.surrogate
+        if model is None:
+            return None
+        self.surrogate_requests += 1
+        if not model.meets(max_error) or not model.covers(params, phis):
+            self.surrogate_fallbacks += 1
+            return None
+
+        start = time.perf_counter()
+        records, bounds = model.grid_records(params, phis)
+        points = [
+            {
+                "phi": record["phi"],
+                "y": record["value"],
+                "source": "surrogate",
+                "error_bound": bound,
+                "record": record,
+            }
+            for record, bound in zip(records, bounds)
+        ]
+        solve_seconds = time.perf_counter() - start
+        self.surrogate_points += len(points)
+        return {
+            "params": {name: getattr(params, name) for name in _PARAM_FIELDS},
+            "points": points,
+            "provenance": {
+                "sources": {"surrogate": len(points)},
+                "surrogate_bound": model.worst_bound,
+                "surrogate_digest": model.meta.get("digest"),
+                "solve_ms": solve_seconds * 1000.0,
+                "queue_depth": self.batcher.queue_depth,
+            },
+        }
+
     async def handle_evaluate(self, body: dict) -> dict:
-        """``POST /evaluate`` — ``Y(phi)`` for a parameter set + grid."""
+        """``POST /evaluate`` — ``Y(phi)`` for a parameter set + grid.
+
+        An optional ``max_error`` field demands an absolute accuracy:
+        the surrogate tier only answers when its certified bound is at
+        least that tight, otherwise the request routes to the exact
+        solver path (whose answers are exact up to solver tolerance).
+        """
+        # Surrogate responses are pure functions of the request body
+        # (immutable model, deterministic parse), so identical repeats
+        # answer from a bounded memo of fully built responses before
+        # the body is even parsed; only the queue gauge refreshes.
+        memo_key = _request_key(body) if self.surrogate is not None else None
+        if memo_key is not None:
+            cached = self._surrogate_memo.get(memo_key)
+            if cached is not None:
+                self.surrogate_requests += 1
+                self.surrogate_points += len(cached["points"])
+                return {
+                    **cached,
+                    "provenance": {
+                        **cached["provenance"],
+                        "queue_depth": self.batcher.queue_depth,
+                    },
+                }
         params = self._parse_params(body)
         phis = self._parse_phis(body, params)
+        max_error = body.get("max_error")
+        if max_error is not None:
+            try:
+                max_error = float(max_error)
+            except (TypeError, ValueError) as exc:
+                raise HttpError(400, f"invalid max_error: {exc}") from exc
+            if max_error <= 0:
+                raise HttpError(
+                    400, f"max_error must be positive, got {max_error:g}"
+                )
+        shortcut = self._try_surrogate(params, phis, max_error)
+        if shortcut is not None:
+            if memo_key is not None:
+                if len(self._surrogate_memo) >= SURROGATE_MEMO_CAPACITY:
+                    self._surrogate_memo.pop(next(iter(self._surrogate_memo)))
+                self._surrogate_memo[memo_key] = shortcut
+            return shortcut
         start = time.perf_counter()
         served = await self.batcher.evaluate(
             params, self._tasks_for(params, phis), self.cache
@@ -604,6 +736,22 @@ class PerformabilityService:
             "fallbacks": template_stats.fallbacks,
         }
         payload["solver"]["dispatch"] = dispatch_counts()
+        payload["surrogate"] = {
+            "loaded": self.surrogate is not None,
+            "digest": (
+                self.surrogate.meta.get("digest")
+                if self.surrogate is not None
+                else None
+            ),
+            "bound": (
+                self.surrogate.worst_bound
+                if self.surrogate is not None
+                else None
+            ),
+            "requests": self.surrogate_requests,
+            "points": self.surrogate_points,
+            "fallbacks": self.surrogate_fallbacks,
+        }
         payload["warm_seconds"] = self.warm_seconds
         payload["draining"] = self._draining
         return payload

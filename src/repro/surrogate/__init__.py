@@ -1,0 +1,36 @@
+"""Closed-form parametric surrogate of the nine constituent measures.
+
+Fits per-measure tensor-product Chebyshev approximants over a declared
+parameter box (ROADMAP item 1, after Fang et al., arXiv:2208.12723) so
+any in-box parameter point is answered in microseconds with a certified
+sup-norm error bound, the exact solver remaining the fallback and
+validator.
+"""
+
+from repro.surrogate.artifact import (
+    load_surrogate,
+    save_surrogate,
+    surrogate_to_dict,
+)
+from repro.surrogate.fitter import FitReport, fit_surrogate
+from repro.surrogate.model import OutOfDomainError, SurrogateModel
+from repro.surrogate.spec import (
+    AxisSpec,
+    SurrogateSpec,
+    smoke_spec,
+    table3_spec,
+)
+
+__all__ = [
+    "AxisSpec",
+    "FitReport",
+    "OutOfDomainError",
+    "SurrogateModel",
+    "SurrogateSpec",
+    "fit_surrogate",
+    "load_surrogate",
+    "save_surrogate",
+    "smoke_spec",
+    "surrogate_to_dict",
+    "table3_spec",
+]

@@ -1,0 +1,128 @@
+"""Content-addressed surrogate artifacts (JSON on disk).
+
+An artifact is the complete serialized surrogate — spec, stacked
+coefficient tensor, certified bounds, scales, fit provenance — plus a
+SHA-256 digest of its canonical payload.  Floats are serialized via
+``repr`` (what :mod:`json` emits), which round-trips bit-identically,
+so a loaded surrogate reproduces the original's evaluations and
+gradients to the last ulp; the digest makes artifacts shareable and
+tamper-evident, and doubles as the cache-key ingredient synthesis
+folds into its ``synth.step`` options.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.surrogate.model import MEASURE_NAMES, SurrogateModel
+from repro.surrogate.spec import SurrogateSpec
+
+#: Artifact format tag and version.
+ARTIFACT_FORMAT = "repro.surrogate"
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def surrogate_to_dict(model: SurrogateModel) -> dict:
+    """The canonical plain-data payload of a surrogate (digest input).
+
+    The in-memory ``meta["digest"]`` annotation is excluded — the
+    digest is *of* the payload, so folding it in would make save/load
+    non-idempotent.
+    """
+    return {
+        "format": ARTIFACT_FORMAT,
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "spec": model.spec.to_dict(),
+        "measures": list(MEASURE_NAMES),
+        "coefficients": model.coeffs.tolist(),
+        "bounds": {name: model.bounds[name] for name in MEASURE_NAMES},
+        "scales": {name: model.scales[name] for name in MEASURE_NAMES},
+        "meta": {k: v for k, v in model.meta.items() if k != "digest"},
+    }
+
+
+def surrogate_digest(model: SurrogateModel) -> str:
+    """SHA-256 content address of a surrogate's canonical payload."""
+    payload = json.dumps(
+        surrogate_to_dict(model), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def save_surrogate(model: SurrogateModel, target: Path | str) -> Path:
+    """Serialize a surrogate to JSON; returns the written path.
+
+    ``target`` may be a ``.json`` file path (written as given) or a
+    directory (existing or not) — then the artifact is
+    content-addressed as ``surrogate-<digest16>.json`` inside it, so
+    distinct fits never clobber each other and identical fits are
+    idempotent.
+    """
+    digest = surrogate_digest(model)
+    target = Path(target)
+    if target.is_dir() or target.suffix != ".json":
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / f"surrogate-{digest[:16]}.json"
+    else:
+        path = target
+        path.parent.mkdir(parents=True, exist_ok=True)
+    envelope = {"digest": digest, **surrogate_to_dict(model)}
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(envelope, sort_keys=True) + "\n")
+    tmp.replace(path)
+    model.meta["digest"] = digest
+    return path
+
+
+def load_surrogate(path: Path | str) -> SurrogateModel:
+    """Load and verify a serialized surrogate.
+
+    Raises ``ValueError`` on any mismatch: unknown format/schema,
+    measure-order drift, or a digest that does not match the payload
+    (a corrupted or hand-edited artifact must never silently serve
+    answers carrying a certification it no longer has).
+    """
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: not a surrogate artifact "
+            f"(format {data.get('format')!r})"
+        )
+    if data.get("schema") != ARTIFACT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported artifact schema {data.get('schema')!r} "
+            f"(expected {ARTIFACT_SCHEMA_VERSION})"
+        )
+    if tuple(data.get("measures", ())) != MEASURE_NAMES:
+        raise ValueError(f"{path}: measure order does not match this build")
+
+    stored_digest = data.get("digest")
+    payload = {k: v for k, v in data.items() if k != "digest"}
+    recomputed = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+    ).hexdigest()
+    if stored_digest != recomputed:
+        raise ValueError(
+            f"{path}: digest mismatch (stored {stored_digest!r}, payload "
+            f"hashes to {recomputed!r}) — artifact corrupted or edited"
+        )
+
+    model = SurrogateModel(
+        spec=SurrogateSpec.from_dict(data["spec"]),
+        coeffs=np.array(data["coefficients"], dtype=float),
+        bounds={
+            name: float(value) for name, value in data["bounds"].items()
+        },
+        scales={
+            name: float(value) for name, value in data["scales"].items()
+        },
+        meta=data.get("meta", {}),
+    )
+    model.meta["digest"] = stored_digest
+    return model

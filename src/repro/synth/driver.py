@@ -51,6 +51,9 @@ class SynthesisResult:
     points_evaluated:
         Solver evaluations actually performed (gradient probes, line
         search trials; memo and cache hits excluded).
+    surrogate_points:
+        Points answered by the closed-form surrogate instead of the
+        solver (zero without a surrogate).
     """
 
     problem: SynthesisProblem
@@ -63,6 +66,7 @@ class SynthesisResult:
     steps_cached: int = 0
     steps_computed: int = 0
     points_evaluated: int = 0
+    surrogate_points: int = 0
 
     @property
     def iterations(self) -> int:
@@ -91,6 +95,7 @@ class SynthesisResult:
             "steps_cached": self.steps_cached,
             "steps_computed": self.steps_computed,
             "points_evaluated": self.points_evaluated,
+            "surrogate_points": self.surrogate_points,
         }
 
 
@@ -99,24 +104,37 @@ def run_synthesis(
     config: SynthesisConfig | None = None,
     cache=None,
     evaluate_fn: EvaluateFn | None = None,
+    surrogate=None,
 ) -> SynthesisResult:
     """Maximise ``Y`` over the lever box (optionally budget-constrained).
 
     ``cache`` is any result cache with the ``get(task)`` / ``put(task,
     record)`` interface (disk, memory, or tiered); ``evaluate_fn``
     substitutes the evaluation core (the serving layer routes it through
-    the coalescing batcher).
+    the coalescing batcher).  ``surrogate`` (a certified
+    :class:`~repro.surrogate.model.SurrogateModel`) makes in-box
+    objective values and gradients closed-form — the exact solver only
+    validates ambiguous line-search comparisons and the final optimum.
+    The surrogate's content digest is folded into the step cache key, so
+    surrogate-driven trajectories never collide with exact ones (or with
+    a different surrogate's).
     """
     config = config or SynthesisConfig()
     evaluator = ObjectiveEvaluator(
         problem,
         evaluate_fn=evaluate_fn,
         penalty_weight=config.penalty_weight,
+        surrogate=surrogate,
     )
     lever_key = tuple(
         (s.name, float(s.lower), float(s.upper)) for s in problem.levers
     )
     options = config.key_items(problem.budget)
+    if surrogate is not None:
+        from repro.surrogate.artifact import surrogate_digest
+
+        digest = surrogate.meta.get("digest") or surrogate_digest(surrogate)
+        options = options + (("surrogate", digest),)
 
     steps_cached = 0
     steps_computed = 0
@@ -159,6 +177,11 @@ def run_synthesis(
     # as the run that produced it, so resume is bitwise deterministic.
     best = _select_best(evaluator, candidates)
     best_point, (best_y, best_overhead) = best
+    if surrogate is not None:
+        # The reported optimum is always exact: one final solver
+        # evaluation replaces the surrogate's (certified-but-bounded)
+        # answer at the selected point.
+        best_y, best_overhead = evaluator.measures(best_point, exact=True)
     return SynthesisResult(
         problem=problem,
         point=best_point,
@@ -170,6 +193,7 @@ def run_synthesis(
         steps_cached=steps_cached,
         steps_computed=steps_computed,
         points_evaluated=evaluator.points_evaluated,
+        surrogate_points=evaluator.surrogate_points,
     )
 
 

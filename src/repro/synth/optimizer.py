@@ -125,6 +125,27 @@ def compute_step(
                 if trial != point:
                     trial_objective = evaluator.objective(trial)[2]
                     if trial_objective > objective + tol:
+                        # Line-search validation: when the claimed
+                        # improvement is within what the surrogate's
+                        # certified error bounds could fabricate,
+                        # resolve the comparison with exact solves
+                        # before committing the step.
+                        uncertainty = evaluator.objective_bound(
+                            point
+                        ) + evaluator.objective_bound(trial)
+                        if (
+                            uncertainty > 0.0
+                            and trial_objective - objective <= uncertainty
+                        ):
+                            objective = evaluator.objective(
+                                point, exact=True
+                            )[2]
+                            trial_objective = evaluator.objective(
+                                trial, exact=True
+                            )[2]
+                            if trial_objective <= objective + tol:
+                                eta /= 2.0
+                                continue
                         next_point = trial
                         step_scale = eta
                         converged = False

@@ -34,6 +34,7 @@ from repro.verify.runner import (
     plan_verify_tasks,
     run_verify,
     summarize_report,
+    surrogate_solutions,
     write_verify_artifacts,
 )
 
@@ -59,5 +60,6 @@ __all__ = [
     "run_verify",
     "simulate_block",
     "summarize_report",
+    "surrogate_solutions",
     "write_verify_artifacts",
 ]

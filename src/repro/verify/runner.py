@@ -182,6 +182,25 @@ def analytic_solutions(
     return {float(phi): row for phi, row in zip(profile.phis, rows)}
 
 
+def surrogate_solutions(
+    profile: VerifyProfile, surrogate
+) -> dict[float, dict[str, float]]:
+    """Surrogate-answered constituents at every profile phi.
+
+    Substituting these for :func:`analytic_solutions` re-validates the
+    surrogate end to end: its answers must sit inside the simulated
+    confidence intervals under the same Šidák family-wise verdicts the
+    exact solution is held to.  Raises
+    :class:`~repro.surrogate.model.OutOfDomainError` when the profile
+    strays outside the fitted box — a surrogate is never conformance-
+    checked on points it would refuse to serve.
+    """
+    rows = surrogate.constituents_grid(
+        profile.params, [float(p) for p in profile.phis]
+    )
+    return {float(phi): row for phi, row in zip(profile.phis, rows)}
+
+
 def write_verify_artifacts(
     root: Path | str,
     profile: VerifyProfile,
@@ -266,6 +285,7 @@ def run_verify(
     no_cache: bool = False,
     artifacts_dir: Path | str | None = None,
     parametric: bool | None = None,
+    surrogate=None,
 ) -> ConformanceReport:
     """Run one full verification campaign and return its report.
 
@@ -274,6 +294,10 @@ def run_verify(
     already-resolved :class:`VerifyProfile`.  Execution options default
     to the installed :class:`~repro.runtime.campaign.RuntimeConfig`,
     exactly like :func:`~repro.runtime.campaign.run_campaign`.
+
+    ``surrogate`` swaps the analytic solution for the surrogate's
+    answers: the verdict matrix then certifies the *surrogate* against
+    simulation at the same family-wise confidence.
     """
     if isinstance(profile, str):
         profile = resolve_profile(
@@ -302,7 +326,10 @@ def run_verify(
     tasks = plan_verify_tasks(profile)
     outcomes = execute_verify_tasks(tasks, backend=backend, jobs=jobs, cache=cache)
     merged = merge_block_records([outcome.record for outcome in outcomes])
-    analytic_by_phi = analytic_solutions(profile, parametric=parametric)
+    if surrogate is not None:
+        analytic_by_phi = surrogate_solutions(profile, surrogate)
+    else:
+        analytic_by_phi = analytic_solutions(profile, parametric=parametric)
 
     # The profile confidence is family-wise: every statistical verdict
     # is judged at the Šidák-adjusted per-test level so the whole

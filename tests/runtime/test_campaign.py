@@ -132,6 +132,32 @@ class TestArtifacts:
         assert manifest["cache"]["hits"] == 2
         assert manifest["cache"]["misses"] == 0
 
+    def test_manifest_reports_template_stats(self, tmp_path):
+        cold = run_campaign(tiny_spec(), artifacts_dir=tmp_path / "runs")
+        manifest = json.loads(cold.artifacts.manifest_path.read_text())
+        templates = manifest["templates"]
+        assert set(templates) == {"compiles", "restamps", "fallbacks"}
+        # An uncached run really solved, so this run's own delta shows
+        # template traffic (a first-ever structure compiles; a repeat
+        # structure re-stamps).
+        assert templates["compiles"] + templates["restamps"] > 0
+
+        run_campaign(
+            tiny_spec(),
+            cache_dir=tmp_path / "cache",
+            artifacts_dir=tmp_path / "runs",
+        )
+        replay = run_campaign(  # warm replay: all hits, no solver
+            tiny_spec(),
+            cache_dir=tmp_path / "cache",
+            artifacts_dir=tmp_path / "runs",
+        )
+        warm_manifest = json.loads(
+            replay.artifacts.manifest_path.read_text()
+        )
+        assert warm_manifest["templates"]["compiles"] == 0
+        assert warm_manifest["templates"]["restamps"] == 0
+
     def test_run_dirs_never_collide(self, tmp_path):
         a = run_campaign(tiny_spec(), artifacts_dir=tmp_path)
         b = run_campaign(tiny_spec(), artifacts_dir=tmp_path)

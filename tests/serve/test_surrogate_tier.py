@@ -1,0 +1,179 @@
+"""Serving through the surrogate tier: routing, fallback, provenance.
+
+A real server (real sockets, real event loop) boots with a certified
+smoke-spec artifact and ``warm=False``, so the template-cache counters
+start at zero — any solver activity is visible as counter movement.
+The routing assertions are therefore airtight: a request answered by
+the surrogate tier must leave the solver counters *and* the template
+cache untouched.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.gsu.templates import shared_cache
+from repro.serve.loadgen import request_once
+from repro.serve.service import ServeConfig
+from repro.surrogate import fit_surrogate, save_surrogate, smoke_spec
+
+THETA = PAPER_TABLE3.theta
+PHIS = [0.0, THETA / 4, THETA / 2, 3 * THETA / 4, THETA]
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    """One fitted smoke surrogate, serialized for server boots."""
+    report = fit_surrogate(smoke_spec())
+    path = save_surrogate(
+        report.model, tmp_path_factory.mktemp("surrogate") / "model.json"
+    )
+    return {"path": path, "model": report.model}
+
+
+@pytest.fixture
+def surrogate_server(artifact, serve_server):
+    """A cold (warm=False) server with the surrogate tier enabled."""
+    return serve_server(
+        ServeConfig(port=0, jobs=1, warm=False, surrogate=artifact["path"])
+    )
+
+
+def evaluate(handle, body):
+    status, _, payload = request_once(
+        *handle.address, "/evaluate", method="POST", body=body
+    )
+    return status, payload
+
+
+def metrics(handle):
+    status, _, payload = request_once(*handle.address, "/metrics")
+    assert status == 200
+    return payload
+
+
+class TestSurrogateRouting:
+    def test_concurrent_identical_requests_skip_the_solver(
+        self, surrogate_server, artifact
+    ):
+        templates_before = shared_cache().stats.snapshot()
+        body = {"phis": PHIS}
+        results = [None] * 8
+
+        def fire(i):
+            results[i] = evaluate(surrogate_server, body)
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for status, payload in results:
+            assert status == 200
+            assert len(payload["points"]) == len(PHIS)
+            for point in payload["points"]:
+                assert point["source"] == "surrogate"
+                assert point["error_bound"] >= 0.0
+                assert "constituents" in point["record"]
+            assert payload["provenance"]["sources"] == {
+                "surrogate": len(PHIS)
+            }
+
+        payload = metrics(surrogate_server)
+        assert payload["surrogate"]["loaded"] is True
+        assert payload["surrogate"]["requests"] >= 8
+        assert payload["surrogate"]["points"] >= 8 * len(PHIS)
+        assert payload["surrogate"]["fallbacks"] == 0
+        # No request touched the exact path: no batches, no solved
+        # points, and no template compiles or re-stamps.
+        assert payload["solver"]["points_solved"] == 0
+        delta = shared_cache().stats.delta(templates_before)
+        assert delta.compiles == 0
+        assert delta.restamps == 0
+
+    def test_identical_repeat_replays_the_memoized_response(
+        self, surrogate_server
+    ):
+        body = {"phis": PHIS[:3]}
+        _, first = evaluate(surrogate_server, body)
+        _, second = evaluate(surrogate_server, body)
+        assert second["points"] == first["points"]
+        assert (
+            second["provenance"]["surrogate_digest"]
+            == first["provenance"]["surrogate_digest"]
+        )
+
+    def test_provenance_carries_certificate(self, surrogate_server, artifact):
+        _, payload = evaluate(surrogate_server, {"phis": [THETA / 3]})
+        provenance = payload["provenance"]
+        model = artifact["model"]
+        assert provenance["surrogate_digest"] == model.meta["digest"]
+        assert provenance["surrogate_bound"] == model.worst_bound
+        assert provenance["solve_ms"] >= 0.0
+
+
+class TestExactFallback:
+    def test_tighter_max_error_routes_to_exact_tier(
+        self, surrogate_server, artifact
+    ):
+        demanded = artifact["model"].worst_bound / 10.0
+        status, payload = evaluate(
+            surrogate_server, {"phis": PHIS[:2], "max_error": demanded}
+        )
+        assert status == 200
+        sources = {point["source"] for point in payload["points"]}
+        assert "surrogate" not in sources
+
+        stats = metrics(surrogate_server)
+        assert stats["surrogate"]["fallbacks"] >= 1
+        assert stats["solver"]["points_solved"] >= len(PHIS[:2])
+
+    def test_out_of_box_params_route_to_exact_tier(self, surrogate_server):
+        # The smoke box pins every non-phi parameter; a coverage
+        # override is off-axis and must be solved exactly.
+        status, payload = evaluate(
+            surrogate_server,
+            {"phis": PHIS[:2], "params": {"coverage": 0.5}},
+        )
+        assert status == 200
+        sources = {point["source"] for point in payload["points"]}
+        assert "surrogate" not in sources
+        assert metrics(surrogate_server)["surrogate"]["fallbacks"] >= 1
+
+    def test_loose_max_error_still_served_by_surrogate(
+        self, surrogate_server, artifact
+    ):
+        demanded = artifact["model"].worst_bound * 10.0
+        _, payload = evaluate(
+            surrogate_server, {"phis": PHIS[:2], "max_error": demanded}
+        )
+        assert all(
+            point["source"] == "surrogate" for point in payload["points"]
+        )
+
+
+class TestTemplateCounters:
+    def test_counters_move_under_warm_serve_workload(self, serve_server):
+        """Satellite check: /metrics template counters track real work."""
+        handle = serve_server(ServeConfig(port=0, jobs=1, warm=True))
+        warm = metrics(handle)["templates"]
+        assert warm["compiles"] > 0  # the boot warm-up compiled
+
+        status, _, _ = request_once(
+            *handle.address,
+            "/evaluate",
+            method="POST",
+            body={"phis": PHIS[:2], "params": {"coverage": 0.93}},
+        )
+        assert status == 200
+        after = metrics(handle)["templates"]
+        moved = (after["compiles"] + after["restamps"]) - (
+            warm["compiles"] + warm["restamps"]
+        )
+        assert moved > 0
+        assert json.dumps(after)  # JSON-serializable counters

@@ -1,0 +1,36 @@
+"""Shared fixtures for the surrogate tests.
+
+One small 2-D fit (phi x coverage at toy degrees) is shared across the
+fitter, model, and artifact tests — fitting is the expensive step, the
+assertions are not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gsu.parameters import PAPER_TABLE3
+from repro.surrogate import AxisSpec, SurrogateSpec, fit_surrogate
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> SurrogateSpec:
+    """A cheap 2-D box: full phi range, a narrow coverage band."""
+    return SurrogateSpec(
+        params=PAPER_TABLE3,
+        axes=(
+            AxisSpec("phi", 0.0, PAPER_TABLE3.theta, 8),
+            AxisSpec("coverage", 0.85, 0.95, 4),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def fit_report(small_spec):
+    """One fitted+certified surrogate over :func:`small_spec`."""
+    return fit_surrogate(small_spec)
+
+
+@pytest.fixture(scope="session")
+def model(fit_report):
+    return fit_report.model

@@ -1,0 +1,108 @@
+"""Surrogate-gradient synthesis on both scenario fixtures.
+
+Mirrors the scenario boxes of ``test_joint_optimizer.py`` (phi x
+coverage unconstrained; phi x lam under a binding overhead budget) and
+checks the integration semantics on each: analytic surrogate gradients
+reach the finite-difference optimum with several-fold fewer exact
+solver evaluations, the exact path surviving only as line-search
+validator and final re-evaluation.  (The 10x-reduction acceptance gate
+runs in ``benchmarks/test_surrogate_scaling.py`` against the
+tight table3-degree fit; these scenario fits are deliberately small, so
+their looser certificates trigger more exact resolutions near the flat
+optimum.)
+"""
+
+import pytest
+
+from repro.surrogate import AxisSpec, SurrogateSpec, fit_surrogate
+from repro.synth import (
+    SynthesisConfig,
+    SynthesisProblem,
+    local_evaluate_fn,
+    resolve_levers,
+    run_synthesis,
+)
+
+SOLVE_REDUCTION = 3.0
+
+CONFIG = SynthesisConfig(max_iters=8, starts=1)
+
+
+@pytest.fixture(scope="module")
+def evaluate_fn():
+    """One shared exact evaluator across both runs of each scenario."""
+    return local_evaluate_fn()
+
+
+def fit_scenario(params, lever_axis):
+    """A surrogate spanning one scenario's full lever box."""
+    spec = SurrogateSpec(
+        params=params,
+        axes=(AxisSpec("phi", 0.0, params.theta, 16), lever_axis),
+    )
+    return fit_surrogate(spec).model
+
+
+def run_both(problem, evaluate_fn, surrogate):
+    fd = run_synthesis(problem, CONFIG, evaluate_fn=evaluate_fn)
+    sg = run_synthesis(
+        problem, CONFIG, evaluate_fn=evaluate_fn, surrogate=surrogate
+    )
+    assert fd.points_evaluated >= SOLVE_REDUCTION * sg.points_evaluated, (
+        f"surrogate run used {sg.points_evaluated} exact solves vs "
+        f"{fd.points_evaluated} finite-difference ones"
+    )
+    assert sg.points_evaluated >= 1  # the optimum is always re-solved
+    # The surrogate, not the solver, carries the bulk of the search.
+    assert sg.surrogate_points > sg.points_evaluated
+    return fd, sg
+
+
+class TestUnconstrainedScenario:
+    """Scenario A: phi x coverage, no budget (corner optimum)."""
+
+    def test_reaches_fd_optimum_with_fewer_solves(
+        self, scaled_params, evaluate_fn
+    ):
+        surrogate = fit_scenario(
+            scaled_params, AxisSpec("coverage", 0.6, 0.95, 8)
+        )
+        levers = resolve_levers(
+            scaled_params, ["phi", "coverage"], bounds={"coverage": (0.6, 0.95)}
+        )
+        problem = SynthesisProblem(params=scaled_params, levers=levers)
+        fd, sg = run_both(problem, evaluate_fn, surrogate)
+
+        fd_opt, sg_opt = fd.optimum(), sg.optimum()
+        assert abs(sg_opt["coverage"] - fd_opt["coverage"]) <= 0.35 * 1e-2
+        assert abs(sg_opt["phi"] - fd_opt["phi"]) <= scaled_params.theta * 1e-2
+        # Both optima are exact re-evaluations; near the flat corner the
+        # two searches stop at slightly different phi, so Y agrees to the
+        # surface's local variation, not to solver precision.
+        assert sg.y == pytest.approx(fd.y, abs=5e-3)
+
+
+class TestConstrainedScenario:
+    """Scenario B: phi x lam, overhead budget binding at the boundary."""
+
+    BUDGET = 0.025
+
+    def test_reaches_fd_optimum_with_fewer_solves(
+        self, scaled_params, evaluate_fn
+    ):
+        surrogate = fit_scenario(
+            scaled_params, AxisSpec("lam", 6.0, 120.0, 8)
+        )
+        levers = resolve_levers(
+            scaled_params, ["phi", "lam"], bounds={"lam": (6.0, 120.0)}
+        )
+        problem = SynthesisProblem(
+            params=scaled_params, levers=levers, budget=self.BUDGET
+        )
+        fd, sg = run_both(problem, evaluate_fn, surrogate)
+
+        assert sg.feasible
+        assert sg.overhead <= self.BUDGET * (1.0 + 1e-9)
+        fd_opt, sg_opt = fd.optimum(), sg.optimum()
+        assert abs(sg_opt["lam"] - fd_opt["lam"]) <= (120.0 - 6.0) * 3e-2
+        assert sg.y == pytest.approx(fd.y, abs=1e-2)

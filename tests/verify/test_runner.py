@@ -130,6 +130,44 @@ class TestRunVerify:
         assert all(len(t["key"]) == 64 for t in manifest["tasks"])
         assert manifest["cache"]["writes"] == 8
 
+    def test_surrogate_conforms_on_scaled_profile(self, small_profile, tmp_path):
+        """The conformance layer re-validates a fitted surrogate.
+
+        Its answers replace the analytic solution and must sit inside
+        the simulated confidence intervals under the same Šidák
+        family-wise verdicts the exact solver is held to.
+        """
+        from repro.surrogate import AxisSpec, SurrogateSpec, fit_surrogate
+
+        theta = small_profile.params.theta
+        spec = SurrogateSpec(
+            params=small_profile.params,
+            axes=(AxisSpec("phi", 0.0, theta, 16),),
+        )
+        model = fit_surrogate(spec).model
+        report = run_verify(
+            small_profile, surrogate=model, cache_dir=tmp_path / "cache"
+        )
+        assert report.passed, report.failures
+
+    def test_surrogate_refuses_out_of_box_profile(self, small_profile):
+        """A surrogate is never conformance-checked outside its box."""
+        from repro.surrogate import (
+            AxisSpec,
+            OutOfDomainError,
+            SurrogateSpec,
+            fit_surrogate,
+        )
+
+        theta = small_profile.params.theta
+        half_box = SurrogateSpec(
+            params=small_profile.params,
+            axes=(AxisSpec("phi", 0.0, theta / 4.0, 8),),
+        )
+        model = fit_surrogate(half_box).model
+        with pytest.raises(OutOfDomainError):
+            run_verify(small_profile, surrogate=model, no_cache=True)
+
     def test_cached_rerun_reproduces_verdicts(self, small_profile, tmp_path):
         cold = run_verify(small_profile, cache_dir=tmp_path / "cache")
         warm = run_verify(small_profile, cache_dir=tmp_path / "cache")
