@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke scaling-smoke scaling-full synth-smoke synth-bench surrogate-smoke surrogate-bench bench examples reports experiments clean
+.PHONY: install lint test test-fast test-slow verify-smoke campaign-smoke serve-smoke scaling-smoke scaling-full scaling-slow synth-smoke synth-bench surrogate-smoke surrogate-bench bench examples reports experiments clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -60,19 +60,28 @@ serve-smoke:
 	echo "serve-smoke: OK"
 
 # Fleet scaling benchmark, reduced profile (seconds-scale): sparse
-# solvers vs the lumped reference on small fleets; writes
-# benchmarks/reports/BENCH_scaling_smoke.json.
+# solvers vs the lumped reference on small fleets, plus the
+# cross-solver differential harness (streaming vs krylov vs dense expm
+# vs spectral); writes benchmarks/reports/BENCH_scaling_smoke.json.
 scaling-smoke:
 	@FLEET_BENCH_PROFILE=smoke PYTHONPATH=src:$$PYTHONPATH \
 		$(PYTHON) -m pytest benchmarks/test_fleet_scaling.py \
+		tests/ctmc/test_solver_differential.py \
 		-m "not slow" -q && \
 	echo "scaling-smoke: OK"
 
 # The full sweep (1e3..2.6e5 flat states, plus the 1e6 slow tier);
-# writes benchmarks/reports/BENCH_scaling.json.
+# writes benchmarks/reports/BENCH_scaling.json.  The 1e7 streaming-only
+# tier needs FLEET_BENCH_PROFILE=slow (see scaling-slow).
 scaling-full:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m pytest \
 		benchmarks/test_fleet_scaling.py -q
+
+# Nightly tier: the full sweep plus the 1e7-state streaming-only
+# point, under the slow-profile memory budget.
+scaling-slow:
+	FLEET_BENCH_PROFILE=slow PYTHONPATH=src:$$PYTHONPATH \
+		$(PYTHON) -m pytest benchmarks/test_fleet_scaling.py -q
 
 # Joint-synthesis smoke: a small phi-only optimization on the scaled
 # profile whose analytic quantile/exceedance measures are validated

@@ -267,9 +267,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-server repair completion rate per hour (default 2.0)",
     )
     fleet.add_argument(
+        "--upgraded", type=int, default=None, metavar="K",
+        help="staged upgrade: only the first K processes run the new "
+             "version; the rest stay on the legacy fault-manifestation "
+             "rate (requires --mu-legacy)",
+    )
+    fleet.add_argument(
+        "--mu-legacy", type=float, default=None, metavar="RATE",
+        help="legacy-version fault-manifestation rate per hour for the "
+             "not-yet-upgraded processes (requires --upgraded)",
+    )
+    fleet.add_argument(
         "--mode", choices=FLEET_MODES, default="auto",
         help="state-space representation: 'lumped' is the exact "
-             "C(N+3,3)-state symmetry quotient, 'flat' the full 4**N "
+             "symmetry quotient (C(N+3,3) states, or the per-group "
+             "product for staged upgrades), 'flat' the full 4**N "
              "product chain (auto = lumped)",
     )
     fleet.add_argument(
@@ -744,6 +756,10 @@ def _cmd_fleet(args) -> int:
             repair_servers=args.repair_servers,
             repair_rate=args.repair_rate,
         )
+        if args.upgraded is not None or args.mu_legacy is not None:
+            params = params.with_overrides(
+                n_upgraded=args.upgraded, mu_legacy=args.mu_legacy
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -784,9 +800,14 @@ def _cmd_fleet(args) -> int:
         print(json.dumps([o.record for o in outcomes], indent=2))
         return 0
     states = outcomes[0].record["states"] if outcomes else 0
+    staged = (
+        f", {params.n_upgraded}/{params.n_processes} upgraded"
+        if params.staged
+        else ""
+    )
     print(
         f"Fleet of {params.n_processes} MDCD processes, "
-        f"{params.repair_servers} repair server(s) "
+        f"{params.repair_servers} repair server(s){staged} "
         f"({mode}: {states} states)"
     )
     print(f"{'phi':>10}  {'Y(phi)':>10}  {'op.time':>12}")

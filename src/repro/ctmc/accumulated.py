@@ -35,6 +35,7 @@ from repro.ctmc import config
 from repro.ctmc.chain import CTMC
 from repro.ctmc.errors import CTMCError
 from repro.ctmc.linalg import validate_rewards
+from repro.ctmc.streaming import streaming_accumulated_grid
 from repro.ctmc.transient import transient_distribution
 from repro.ctmc.uniformization import (
     _accumulated_uniformization_walk,
@@ -46,6 +47,7 @@ from repro.ctmc.uniformization import (
 #: Supported accumulated-reward solver backends.
 ACCUMULATED_METHODS = (
     "uniformization",
+    "streaming",
     "augmented-expm",
     "augmented-krylov",
     "quadrature",
@@ -56,6 +58,7 @@ ACCUMULATED_METHODS = (
 ACCUMULATED_GRID_METHODS = (
     "auto",
     "uniformization",
+    "streaming",
     "augmented-expm",
     "augmented-krylov",
     "augmented-propagator",
@@ -115,7 +118,11 @@ def accumulated_reward(
         lim = config.limits()
         max_exit = float(np.max(chain.exit_rates(), initial=0.0))
         if max_exit * t <= lim.auto_stiffness_threshold:
-            method = "uniformization"
+            method = (
+                "streaming"
+                if chain.num_states >= lim.streaming_state_threshold
+                else "uniformization"
+            )
         elif chain.num_states < lim.dense_state_limit:
             method = "augmented-expm"
         else:
@@ -126,6 +133,16 @@ def accumulated_reward(
         return accumulated_by_uniformization(
             chain.generator, chain.initial_distribution, r, t, tolerance=tolerance
         )
+    if method == "streaming":
+        config.record_dispatch("streaming-uniformization")
+        result = streaming_accumulated_grid(
+            chain.generator,
+            chain.initial_distribution,
+            r,
+            np.array([t]),
+            tolerance=tolerance,
+        )
+        return float(result.accumulated[0])
     if method == "augmented-expm":
         config.record_dispatch("augmented-expm")
         return _augmented_expm(chain, r, t)
@@ -220,7 +237,11 @@ def accumulated_grid(
         lim = config.limits()
         max_exit = float(np.max(chain.exit_rates(), initial=0.0))
         if max_exit * float(unique[-1]) <= lim.auto_stiffness_threshold:
-            method = "uniformization"
+            method = (
+                "streaming"
+                if chain.num_states >= lim.streaming_state_threshold
+                else "uniformization"
+            )
         elif chain.num_states < lim.dense_state_limit:
             method = "augmented-expm"
         else:
@@ -234,6 +255,15 @@ def accumulated_grid(
             unique,
             tolerance=tolerance,
         )
+    elif method == "streaming":
+        config.record_dispatch("streaming-uniformization")
+        out = streaming_accumulated_grid(
+            chain.generator,
+            chain.initial_distribution,
+            r,
+            unique,
+            tolerance=tolerance,
+        ).accumulated
     elif method == "augmented-expm":
         config.record_dispatch("augmented-expm", n=max(int(unique.size), 1))
         out = np.array([_augmented_expm(chain, r, float(t)) for t in unique])
@@ -292,6 +322,7 @@ def _augmented_krylov_grid(
 TRANSIENT_ACCUMULATED_GRID_METHODS = (
     "auto",
     "uniformization",
+    "streaming",
     "augmented-expm",
     "augmented-krylov",
 )
@@ -336,7 +367,11 @@ def transient_accumulated_grid(
         lim = config.limits()
         max_exit = float(np.max(chain.exit_rates(), initial=0.0))
         if max_exit * float(unique[-1]) <= lim.auto_stiffness_threshold:
-            method = "uniformization"
+            method = (
+                "streaming"
+                if chain.num_states >= lim.streaming_state_threshold
+                else "uniformization"
+            )
         elif chain.num_states < lim.dense_state_limit:
             method = "augmented-expm"
         else:
@@ -350,6 +385,16 @@ def transient_accumulated_grid(
             unique,
             tolerance,
         )
+    elif method == "streaming":
+        config.record_dispatch("streaming-uniformization")
+        result = streaming_accumulated_grid(
+            chain.generator,
+            chain.initial_distribution,
+            r,
+            unique,
+            tolerance=tolerance,
+        )
+        rows, acc = result.rows, result.accumulated
     elif method == "augmented-krylov":
         config.record_dispatch("augmented-krylov")
         rows, acc = _augmented_krylov_grid(chain, r, unique)

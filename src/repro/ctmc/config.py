@@ -27,6 +27,14 @@ one documented place, instead of being scattered across
     Largest chain :func:`repro.ctmc.lumping.lump` processes with the
     per-state reference loop; larger chains use the vectorised sparse
     aggregation path.
+``STREAMING_STATE_THRESHOLD``
+    State count at which the grid ``auto`` dispatch swaps the plain
+    uniformization walk for the *streaming* bounded-truncation path
+    (:mod:`repro.ctmc.streaming`): preallocated ping-pong workspaces
+    sized against ``REPRO_MEMORY_BUDGET_MB``, no per-step allocation,
+    and a per-call truncation-error certificate.  Both paths walk the
+    same Fox–Glynn series; streaming is about memory discipline at the
+    1e6+-state tier, not a different numeric method.
 
 Each limit has an environment override (``REPRO_<NAME>``) read at
 dispatch time, so a campaign can be re-run with, say,
@@ -72,6 +80,10 @@ MAX_UNIFORMIZATION_TERMS = 1_000_000
 #: Largest chain lumped with the per-state reference loop.
 LUMP_LOOP_LIMIT = 2_000
 
+#: State count at which grid ``auto`` dispatch prefers the streaming
+#: (workspace-disciplined, certificate-carrying) uniformization path.
+STREAMING_STATE_THRESHOLD = 100_000
+
 _ENV_PREFIX = "REPRO_"
 
 
@@ -86,6 +98,7 @@ class SolverLimits:
     direct_steady_limit: int = DIRECT_STEADY_LIMIT
     max_uniformization_terms: int = MAX_UNIFORMIZATION_TERMS
     lump_loop_limit: int = LUMP_LOOP_LIMIT
+    streaming_state_threshold: int = STREAMING_STATE_THRESHOLD
 
 
 _DEFAULTS = SolverLimits()
@@ -120,6 +133,43 @@ def limits() -> SolverLimits:
             for spec in fields(SolverLimits)
         }
     )
+
+
+# ----------------------------------------------------------------------
+# Memory budget
+# ----------------------------------------------------------------------
+def memory_budget_bytes() -> int:
+    """The working-set budget for large-model solver state.
+
+    ``REPRO_MEMORY_BUDGET_MB`` overrides; the default is half of
+    physical RAM (graceful fallback to 4 GiB where the sysconf keys are
+    unavailable).  Two consumers share this single definition: the
+    campaign executor caps *per-chunk* grid blocks with it, and the
+    streaming uniformization path (:mod:`repro.ctmc.streaming`) refuses
+    to start a solve whose preallocated workspaces would not fit.
+    Read at call time, so long-lived processes pick up changes.
+    """
+    raw = os.environ.get("REPRO_MEMORY_BUDGET_MB")
+    if raw is not None:
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"invalid value {raw!r} for REPRO_MEMORY_BUDGET_MB"
+            ) from exc
+        if value <= 0:
+            raise ValueError(
+                f"REPRO_MEMORY_BUDGET_MB must be positive, got {raw!r}"
+            )
+        return int(value * 1024 * 1024)
+    try:
+        pages = os.sysconf("SC_PHYS_PAGES")
+        page_size = os.sysconf("SC_PAGE_SIZE")
+        if pages > 0 and page_size > 0:
+            return (pages * page_size) // 2
+    except (ValueError, OSError, AttributeError):
+        pass
+    return 4 * 1024 ** 3
 
 
 # ----------------------------------------------------------------------

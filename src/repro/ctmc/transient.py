@@ -25,7 +25,13 @@ The primary entry points are :func:`transient_distribution` and
   cheaper than repeated Padé exponentials on tiny chains; limited to
   ``SPECTRAL_STATE_LIMIT`` states and falls back to dense expm on
   defective or ill-conditioned generators.
-* ``"auto"`` — uniformization when ``Lambda * t`` is small; for stiff
+* ``"streaming"`` — the same Jensen series with production memory
+  discipline (:mod:`repro.ctmc.streaming`): preallocated ping-pong
+  workspaces admitted against ``REPRO_MEMORY_BUDGET_MB``, no per-step
+  allocation, and a certified truncation-error bound.  The 1e6+-state
+  tier's non-stiff workhorse.
+* ``"auto"`` — uniformization when ``Lambda * t`` is small (streaming
+  at or above ``STREAMING_STATE_THRESHOLD`` states); for stiff
   problems, spectral on tiny chains, dense expm within the dense limit,
   and sparse Krylov beyond it (the default used by the GSU measures).
 
@@ -50,6 +56,7 @@ from repro.ctmc.config import (  # noqa: F401  (re-exported compatibility names)
 )
 from repro.ctmc.errors import CTMCError
 from repro.ctmc.linalg import validate_rewards
+from repro.ctmc.streaming import streaming_transient_grid
 from repro.ctmc.uniformization import (
     _validate_time_grid,
     transient_by_uniformization,
@@ -57,12 +64,20 @@ from repro.ctmc.uniformization import (
 )
 
 #: Supported transient solver backends.
-TRANSIENT_METHODS = ("uniformization", "expm", "dense-expm", "spectral", "auto")
+TRANSIENT_METHODS = (
+    "uniformization",
+    "streaming",
+    "expm",
+    "dense-expm",
+    "spectral",
+    "auto",
+)
 
 #: Supported grid solver backends (see :func:`transient_grid`).
 TRANSIENT_GRID_METHODS = (
     "auto",
     "uniformization",
+    "streaming",
     "dense-expm",
     "spectral",
     "propagator",
@@ -109,6 +124,12 @@ def transient_distribution(
         return transient_by_uniformization(
             chain.generator, pi0, t, tolerance=tolerance
         )
+    if method == "streaming":
+        config.record_dispatch("streaming-uniformization")
+        result = streaming_transient_grid(
+            chain.generator, pi0, np.array([t]), tolerance=tolerance
+        )
+        return result.rows[0]
     if method == "spectral":
         rows = _spectral_rows(chain, np.array([t]))
         if rows is not None:
@@ -136,6 +157,8 @@ def _choose_method(chain: CTMC, t: float) -> str:
     lim = config.limits()
     max_exit = float(np.max(chain.exit_rates(), initial=0.0))
     if max_exit * t <= lim.auto_stiffness_threshold:
+        if chain.num_states >= lim.streaming_state_threshold:
+            return "streaming"
         return "uniformization"
     if chain.num_states <= lim.spectral_state_limit:
         return "spectral"
@@ -252,6 +275,14 @@ def transient_grid(
             unique,
             tolerance=tolerance,
         )
+    elif method == "streaming":
+        config.record_dispatch("streaming-uniformization")
+        out = streaming_transient_grid(
+            chain.generator,
+            chain.initial_distribution,
+            unique,
+            tolerance=tolerance,
+        ).rows
     elif method == "spectral":
         out = _spectral_rows(chain, unique)
         if out is None:
@@ -277,6 +308,8 @@ def _choose_grid_method(chain: CTMC, t_max: float) -> str:
     lim = config.limits()
     max_exit = float(np.max(chain.exit_rates(), initial=0.0))
     if max_exit * t_max <= lim.auto_stiffness_threshold:
+        if chain.num_states >= lim.streaming_state_threshold:
+            return "streaming"
         return "uniformization"
     if chain.num_states <= lim.spectral_state_limit:
         return "spectral"

@@ -76,6 +76,56 @@ class PoissonWindow:
         """Sum of retained weights (``>= 1 - tolerance``)."""
         return float(self.weights.sum())
 
+    @property
+    def truncated_mass(self) -> float:
+        """Poisson mass outside ``[left, right]`` — the left *and* right
+        truncation error combined.  The L1 error of the renormalised
+        Jensen sum is at most ``2 * truncated_mass`` (one factor for the
+        dropped terms, one for scaling the retained ones up by
+        ``1 / total_mass``)."""
+        return max(0.0, 1.0 - self.total_mass)
+
+
+def poisson_excess_mean(mean: float, m: int) -> float:
+    """``E[(N - m)^+]`` for ``N ~ Poisson(mean)``, in closed form.
+
+    Uses the identity ``k * pmf(k) = mean * pmf(k - 1)``:
+
+        E[(N - m)^+] = mean * sf(m - 1) - m * sf(m)
+
+    This is exactly the tail ``sum_{k >= m} sf(k)`` of the Poisson
+    survival series — the quantity the integrated-uniformization
+    truncation neglects — so it certifies the accumulated-reward
+    accrual error: truncating the survival series after term ``R``
+    leaves an absolute error of at most
+    ``(max|r| / Lambda) * poisson_excess_mean(mean, R + 1)``.
+    """
+    if m <= 0:
+        return float(mean)
+    dist = stats.poisson(mean)
+    return float(max(0.0, mean * dist.sf(m - 1) - m * dist.sf(m)))
+
+
+def accrual_right_point(mean: float, tolerance: float) -> int:
+    """Truncation point of the Poisson *survival* series for accrual.
+
+    Picks the smallest practical ``R`` such that the neglected tail
+    ``sum_{k > R} sf(k) = E[(N - R - 1)^+]`` is below
+    ``tolerance * max(mean, 1)``.  Dividing by ``Lambda`` (the series
+    prefactor) this bounds the accumulated-reward error by
+    ``tolerance * max|r| * max(t, 1 / Lambda)`` — a *scale-relative*
+    bound, unlike the old ``sf(R) < tolerance`` criterion, which only
+    bounded the first neglected term and silently under-reported the
+    accrued tail for long horizons.
+    """
+    tolerance = max(tolerance, 1e-15)
+    dist = stats.poisson(mean)
+    right = int(dist.ppf(1.0 - tolerance))
+    target = tolerance * max(mean, 1.0)
+    while poisson_excess_mean(mean, right + 1) > target:
+        right += 1
+    return right
+
 
 def fox_glynn_weights(mean: float, tolerance: float = 1e-12) -> PoissonWindow:
     """Compute truncated Poisson(``mean``) weights.
@@ -281,9 +331,7 @@ def _accumulated_uniformization_walk(
                 p, rate = uniformize(q)
             mean = rate * dt
             dist = stats.poisson(mean)
-            sf_right = int(dist.ppf(1.0 - tolerance))
-            while dist.sf(sf_right) > tolerance:
-                sf_right += 1
+            sf_right = accrual_right_point(mean, tolerance)
             window = fox_glynn_weights(mean, tolerance=tolerance)
             right = max(sf_right, window.right)
             _check_window_bound(right)
@@ -347,8 +395,11 @@ def accumulated_by_uniformization(
 
         E[Y(t)] = (1/Lambda) * sum_{k>=0} Pois_sf(k; Lambda t) * pi(0) P^k r
 
-    where ``Pois_sf(k; m) = P(N > k)`` for ``N ~ Poisson(m)``.  The series
-    is truncated when the survival function falls below ``tolerance``.
+    where ``Pois_sf(k; m) = P(N > k)`` for ``N ~ Poisson(m)``.  The
+    truncation point is chosen by :func:`accrual_right_point`, so the
+    neglected accrual tail is certified below
+    ``tolerance * max|r| * max(t, 1 / Lambda)`` — not merely "the first
+    neglected term is small".
     """
     if t < 0:
         raise CTMCError(f"time must be non-negative, got {t}")
@@ -359,11 +410,7 @@ def accumulated_by_uniformization(
     p, rate = uniformize(q)
     mean = rate * t
     dist = stats.poisson(mean)
-    # Need terms while survival mass is significant; the tail beyond the
-    # Fox-Glynn right point contributes < tolerance * t to the integral.
-    right = int(dist.ppf(1.0 - tolerance))
-    while dist.sf(right) > tolerance:
-        right += 1
+    right = accrual_right_point(mean, tolerance)
     _check_window_bound(right)
     vec = pi0.copy()
     total = 0.0

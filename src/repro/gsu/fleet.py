@@ -53,7 +53,10 @@ from repro.san.composition import (
 )
 from repro.san.symmetry import (
     fleet_count_states,
+    fleet_group_states,
+    fleet_grouped_lumped_chain,
     fleet_lumped_chain,
+    fleet_rate_groups,
 )
 
 #: Supported solver representations (see module docstring).
@@ -79,6 +82,13 @@ class FleetParameters:
     lam / mu / coverage / p_ext / theta:
         As in :class:`GSUParameters` (``mu`` is the new-version
         fault-manifestation rate ``mu_new``).
+    n_upgraded / mu_legacy:
+        The staged-upgrade scenario.  Both ``None`` (the default) means
+        the whole fleet runs the new version.  Otherwise the first
+        ``n_upgraded`` processes run at ``mu`` and the remaining
+        ``n_processes - n_upgraded`` still run the old version at
+        ``mu_legacy`` — a heterogeneous fleet that only *partially*
+        lumps (per-group count vectors instead of one count vector).
     """
 
     n_processes: int = 9
@@ -89,6 +99,8 @@ class FleetParameters:
     coverage: float = 0.95
     p_ext: float = 0.1
     theta: float = 10_000.0
+    n_upgraded: int | None = None
+    mu_legacy: float | None = None
 
     def __post_init__(self):
         if self.n_processes < 1:
@@ -109,6 +121,21 @@ class FleetParameters:
             )
         if not 0.0 < self.p_ext <= 1.0:
             raise ValueError(f"p_ext must be in (0, 1], got {self.p_ext}")
+        if (self.n_upgraded is None) != (self.mu_legacy is None):
+            raise ValueError(
+                "staged upgrades need both n_upgraded and mu_legacy "
+                "(or neither)"
+            )
+        if self.n_upgraded is not None:
+            if not 0 <= self.n_upgraded <= self.n_processes:
+                raise ValueError(
+                    f"n_upgraded must lie in [0, n_processes="
+                    f"{self.n_processes}], got {self.n_upgraded}"
+                )
+            if self.mu_legacy <= 0:
+                raise ValueError(
+                    f"mu_legacy must be positive, got {self.mu_legacy}"
+                )
 
     @classmethod
     def from_gsu(
@@ -139,18 +166,49 @@ class FleetParameters:
         return 4**self.n_processes
 
     @property
+    def staged(self) -> bool:
+        """Whether this is a staged-upgrade (heterogeneous) scenario."""
+        return self.n_upgraded is not None
+
+    @property
     def lumped_states(self) -> int:
-        """Count-space size ``C(N + 3, 3)``."""
-        return math.comb(self.n_processes + 3, 3)
+        """Quotient size: ``C(N + 3, 3)`` for a homogeneous fleet,
+        the product of per-rate-group counts for a staged one."""
+        groups = fleet_rate_groups(self.rates_sequence())
+        return math.prod(
+            math.comb(len(members) + 3, 3) for members, _ in groups
+        )
 
     def rates(self) -> FleetRates:
-        """The per-process transition-class rates."""
+        """The new-version per-process transition-class rates."""
         external = self.lam * self.p_ext
         return FleetRates(
             contaminate=self.mu,
             detect=external * self.coverage,
             fail=external * (1.0 - self.coverage),
             repair=self.repair_rate,
+        )
+
+    def rates_sequence(self) -> tuple[FleetRates, ...]:
+        """Per-process rates, in process order.
+
+        Homogeneous fleets repeat :meth:`rates`; staged fleets put the
+        ``n_upgraded`` new-version processes first, then the legacy
+        stragglers — same guard (detect/fail derive from ``lam``,
+        ``p_ext``, ``coverage``) but the old fault-manifestation rate
+        ``mu_legacy``.
+        """
+        new = self.rates()
+        if not self.staged:
+            return (new,) * self.n_processes
+        legacy = FleetRates(
+            contaminate=self.mu_legacy,
+            detect=new.detect,
+            fail=new.fail,
+            repair=new.repair,
+        )
+        return (new,) * self.n_upgraded + (legacy,) * (
+            self.n_processes - self.n_upgraded
         )
 
     def validate_phi(self, phi: float) -> float:
@@ -202,12 +260,23 @@ class FleetSolver:
         return self._resolved
 
     def chain(self) -> CTMC:
-        """The (lazily built, cached) fleet CTMC."""
+        """The (lazily built, cached) fleet CTMC.
+
+        Staged-upgrade scenarios build the heterogeneous chain: the
+        blocked flat assembly with per-process rates, or the grouped
+        partial quotient (per-rate-group count vectors) on the lumped
+        side.
+        """
         if self._chain is None:
             p = self.params
             if self._resolved == "flat":
+                rates = p.rates_sequence() if p.staged else p.rates()
                 self._chain = fleet_chain(
-                    p.n_processes, p.rates(), repair_servers=p.repair_servers
+                    p.n_processes, rates, repair_servers=p.repair_servers
+                )
+            elif p.staged:
+                self._chain = fleet_grouped_lumped_chain(
+                    p.rates_sequence(), repair_servers=p.repair_servers
                 )
             else:
                 self._chain = fleet_lumped_chain(
@@ -218,12 +287,22 @@ class FleetSolver:
     def operational_rewards(self) -> np.ndarray:
         """Per-state fraction of processes that are not failed."""
         if self._rewards is None:
-            n = self.params.n_processes
+            p = self.params
+            n = p.n_processes
             if self._resolved == "flat":
                 digits = fleet_digits(n)
                 self._rewards = (
                     (digits != FLEET_FAILED).sum(axis=1).astype(np.float64)
                     / n
+                )
+            elif p.staged:
+                groups = fleet_rate_groups(p.rates_sequence())
+                sizes = [len(members) for members, _ in groups]
+                self._rewards = np.array(
+                    [
+                        (n - sum(vec[3] for vec in state)) / n
+                        for state in fleet_group_states(sizes)
+                    ]
                 )
             else:
                 self._rewards = np.array(

@@ -21,12 +21,12 @@ worker count never change the output, only the wall clock.
 from __future__ import annotations
 
 import math
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.ctmc import config
 from repro.gsu.fleet import FleetParameters, FleetSolver
 from repro.gsu.measures import ConstituentSolver
 from repro.gsu.parameters import GSUParameters
@@ -141,35 +141,10 @@ def _chunk_length(group_size: int, jobs: int, chunk_size: int | None) -> int:
     return max(1, math.ceil(group_size / (2 * jobs)))
 
 
-def memory_budget_bytes() -> int:
-    """The executor's working-set budget for large-model chunks.
-
-    ``REPRO_MEMORY_BUDGET_MB`` overrides; the default is half of
-    physical RAM (graceful fallback to 4 GiB where the sysconf keys are
-    unavailable).  The budget bounds *per-chunk* solver state — grid
-    result rows plus generator — not total process memory.
-    """
-    raw = os.environ.get("REPRO_MEMORY_BUDGET_MB")
-    if raw is not None:
-        try:
-            value = float(raw)
-        except ValueError as exc:
-            raise ValueError(
-                f"invalid value {raw!r} for REPRO_MEMORY_BUDGET_MB"
-            ) from exc
-        if value <= 0:
-            raise ValueError(
-                f"REPRO_MEMORY_BUDGET_MB must be positive, got {raw!r}"
-            )
-        return int(value * 1024 * 1024)
-    try:
-        pages = os.sysconf("SC_PHYS_PAGES")
-        page_size = os.sysconf("SC_PAGE_SIZE")
-        if pages > 0 and page_size > 0:
-            return (pages * page_size) // 2
-    except (ValueError, OSError, AttributeError):
-        pass
-    return 4 * 1024 ** 3
+#: Canonical budget reader — shared with the streaming solver path so a
+#: single ``REPRO_MEMORY_BUDGET_MB`` declaration governs chunk sizing
+#: here *and* workspace admission in :mod:`repro.ctmc.streaming`.
+memory_budget_bytes = config.memory_budget_bytes
 
 
 def _memory_aware_chunk_length(

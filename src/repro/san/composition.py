@@ -449,20 +449,239 @@ def fleet_pattern(n: int, repair_servers: int) -> _FleetPattern:
         return _FLEET_PATTERN_CACHE.setdefault(key, pattern)
 
 
+#: Flat state count above which :func:`fleet_chain` assembles in row
+#: blocks instead of stamping the cached whole-space pattern.  The
+#: pattern path materialises the full triplet arrays plus a global
+#: lexsort — fine to ~2.6e5 states, prohibitive at the 1e6–1e7 tier.
+FLEET_PATTERN_STATE_LIMIT = 4**9
+
+#: Default row-block size of the blocked assembly (states per block).
+#: Peak transient memory is ``O(block * n)`` triplets regardless of the
+#: total state count, so the 1e7 tier assembles in the same footprint
+#: as the 1e5 tier.
+FLEET_ASSEMBLY_BLOCK_STATES = 1 << 16
+
+#: Out-moves per local state (OK→CTN; CTN→DET, CTN→FAIL; DET→OK; none
+#: from FAILED) — the per-state out-degree table of the blocked pass.
+_FLEET_MOVES_PER_LOCAL = np.array([1, 2, 1, 0], dtype=np.int64)
+
+
+def fleet_rate_matrix(rates, n: int) -> np.ndarray:
+    """Per-process class-rate matrix ``(n, 4)`` from homogeneous or
+    heterogeneous rate declarations.
+
+    ``rates`` is either one :class:`FleetRates` (applied to every
+    process) or a sequence of ``n`` of them — the multi-upgrade form,
+    where e.g. already-upgraded processes carry the new version's
+    fault-manifestation rate and the rest the old one.
+    """
+    if isinstance(rates, FleetRates):
+        return np.tile(rates.as_array(), (n, 1))
+    rates = tuple(rates)
+    if len(rates) != n:
+        raise ModelStructureError(
+            f"need one FleetRates per process ({n}), got {len(rates)}"
+        )
+    if not all(isinstance(r, FleetRates) for r in rates):
+        raise ModelStructureError(
+            "heterogeneous rates must be FleetRates instances"
+        )
+    return np.stack([r.as_array() for r in rates])
+
+
+def _fleet_block_entries(
+    start: int,
+    stop: int,
+    n: int,
+    rate_matrix: np.ndarray,
+    repair_servers: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sorted CSR triplets ``(rows, cols, data)`` of one row block.
+
+    Vectorised over the block's states only: digit extraction, class
+    masks, and the shared-repair coupling all touch ``stop - start``
+    rows, never the full space.  Diagonal entries are included for every
+    state with at least one out-move; within each row, entries are in
+    ascending column order (the canonical CSR layout the pattern path
+    also produces).
+    """
+    idx = np.arange(start, stop, dtype=np.int64)
+    digits = np.empty((idx.size, n), dtype=np.uint8)
+    for j in range(n):
+        digits[:, j] = (idx >> (2 * j)) & 3
+    n_detected = (digits == FLEET_DETECTED).sum(axis=1).astype(np.float64)
+
+    rows_parts, cols_parts, data_parts = [], [], []
+    for j in range(n):
+        stride = FLEET_LOCAL_STATES**j
+        col_j = digits[:, j]
+        for cls, (src, dst) in enumerate(_FLEET_CLASS_MOVES):
+            mask = col_j == src
+            srcs = idx[mask]
+            if srcs.size == 0:
+                continue
+            if cls == _FLEET_REPAIR_CLASS:
+                det = n_detected[mask]
+                # multiplier-first, matching the pattern path's
+                # ``off_multiplier * rate`` so both assemblies agree
+                # bitwise, not just to rounding.
+                values = (
+                    np.minimum(det, float(repair_servers))
+                    / det
+                    * rate_matrix[j, cls]
+                )
+            else:
+                values = np.full(srcs.size, rate_matrix[j, cls])
+            rows_parts.append(srcs)
+            cols_parts.append(srcs + (dst - src) * stride)
+            data_parts.append(values)
+
+    rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, np.int64)
+    cols = np.concatenate(cols_parts) if cols_parts else np.empty(0, np.int64)
+    data = np.concatenate(data_parts) if data_parts else np.empty(0)
+
+    exits = np.zeros(idx.size)
+    np.add.at(exits, rows - start, data)
+    has_exit = np.zeros(idx.size, dtype=bool)
+    has_exit[rows - start] = True
+    diag_states = idx[has_exit]
+
+    rows = np.concatenate([rows, diag_states])
+    cols = np.concatenate([cols, diag_states])
+    data = np.concatenate([data, -exits[has_exit]])
+    order = np.lexsort((cols, rows))
+    return rows[order], cols[order], data[order]
+
+
+def fleet_generator_blocked(
+    rate_matrix: np.ndarray,
+    repair_servers: int = 1,
+    block_states: int | None = None,
+) -> sp.csr_matrix:
+    """Assemble the flat fleet generator in row blocks.
+
+    Out-of-core-friendly CSR construction: a first pass counts row
+    out-degrees straight off the digit arithmetic and preallocates the
+    final ``indices``/``data``/``indptr`` arrays; a second pass fills
+    them block by block.  No whole-space triplet arrays, no global
+    lexsort — transient memory is bounded by ``block_states`` rows, so
+    this is the assembly path for the 1e6–1e7-state tier (and the only
+    one supporting heterogeneous per-process rates).
+    """
+    rate_matrix = np.asarray(rate_matrix, dtype=np.float64)
+    if rate_matrix.ndim != 2 or rate_matrix.shape[1] != FLEET_LOCAL_STATES:
+        raise ModelStructureError(
+            f"rate matrix must be (n, 4), got {rate_matrix.shape}"
+        )
+    if np.any(rate_matrix < 0):
+        raise ModelStructureError("fleet rates must be non-negative")
+    n = rate_matrix.shape[0]
+    if n < 1:
+        raise ModelStructureError(f"fleet size must be >= 1, got {n}")
+    if repair_servers < 1:
+        raise ModelStructureError(
+            f"repair_servers must be >= 1, got {repair_servers}"
+        )
+    num_states = FLEET_LOCAL_STATES**n
+    if block_states is None:
+        block_states = FLEET_ASSEMBLY_BLOCK_STATES
+    if block_states < 1:
+        raise ModelStructureError(
+            f"block_states must be >= 1, got {block_states}"
+        )
+
+    # Pass 1: per-row entry counts -> indptr.  A state's out-degree is
+    # the sum of its digits' move counts; the diagonal adds one entry
+    # wherever that sum is positive.
+    indptr = np.zeros(num_states + 1, dtype=np.int64)
+    for start in range(0, num_states, block_states):
+        stop = min(start + block_states, num_states)
+        idx = np.arange(start, stop, dtype=np.int64)
+        moves = np.zeros(idx.size, dtype=np.int64)
+        for j in range(n):
+            moves += _FLEET_MOVES_PER_LOCAL[(idx >> (2 * j)) & 3]
+        moves[moves > 0] += 1  # the diagonal entry
+        indptr[start + 1 : stop + 1] = moves
+    np.cumsum(indptr, out=indptr)
+
+    nnz = int(indptr[-1])
+    indices = np.empty(nnz, dtype=np.int32)
+    data = np.empty(nnz)
+
+    # Pass 2: fill each block's slice.  Entries arrive row-major with
+    # ascending columns, so the slice layout is exactly CSR order.
+    for start in range(0, num_states, block_states):
+        stop = min(start + block_states, num_states)
+        _rows, cols, values = _fleet_block_entries(
+            start, stop, n, rate_matrix, repair_servers
+        )
+        lo, hi = indptr[start], indptr[stop]
+        indices[lo:hi] = cols
+        data[lo:hi] = values
+
+    return sp.csr_matrix(
+        (data, indices, indptr), shape=(num_states, num_states)
+    )
+
+
 def fleet_chain(
     n: int,
-    rates: FleetRates,
+    rates,
     repair_servers: int = 1,
+    assembly: str = "auto",
+    block_states: int | None = None,
 ) -> CTMC:
     """The flat ``4**n``-state CTMC of an ``n``-process MDCD fleet.
 
-    All processes start in the ``ok`` state.  The generator is stamped
-    onto the cached CSR pattern for ``(n, repair_servers)``; repeated
-    calls with different rates share the structure arrays.  Unlabelled —
-    flat states are addressed positionally via :func:`fleet_digits`.
+    All processes start in the ``ok`` state.  ``rates`` is one
+    :class:`FleetRates` (homogeneous fleet) or a sequence of ``n`` —
+    the multi-upgrade scenario form, where per-process rates differ
+    (staged upgrades, heterogeneous fault exposure).
+
+    ``assembly`` picks the construction path:
+
+    ``"pattern"``
+        Stamp the cached whole-space CSR skeleton — compile-once /
+        re-stamp economics for parameter sweeps.  Homogeneous rates
+        only; state count bounded by the global-lexsort footprint.
+    ``"blocked"``
+        Row-block assembly (:func:`fleet_generator_blocked`) — bounded
+        transient memory, heterogeneous rates supported.
+    ``"auto"``
+        Pattern for homogeneous fleets up to
+        ``FLEET_PATTERN_STATE_LIMIT`` states, blocked beyond it and for
+        every heterogeneous fleet.
+
+    Unlabelled — flat states are addressed positionally via
+    :func:`fleet_digits`.
     """
-    pattern = fleet_pattern(n, repair_servers)
-    q = pattern.stamp(rates)
-    initial = np.zeros(pattern.num_states)
+    if assembly not in ("auto", "pattern", "blocked"):
+        raise ModelStructureError(
+            f"unknown assembly {assembly!r}; choose auto, pattern or blocked"
+        )
+    homogeneous = isinstance(rates, FleetRates)
+    if assembly == "pattern" and not homogeneous:
+        raise ModelStructureError(
+            "pattern assembly requires homogeneous rates; use "
+            "assembly='blocked' for per-process rates"
+        )
+    if assembly == "auto":
+        use_pattern = (
+            homogeneous and FLEET_LOCAL_STATES**n <= FLEET_PATTERN_STATE_LIMIT
+        )
+    else:
+        use_pattern = assembly == "pattern"
+    if use_pattern:
+        pattern = fleet_pattern(n, repair_servers)
+        q = pattern.stamp(rates)
+        num_states = pattern.num_states
+    else:
+        q = fleet_generator_blocked(
+            fleet_rate_matrix(rates, n),
+            repair_servers=repair_servers,
+            block_states=block_states,
+        )
+        num_states = q.shape[0]
+    initial = np.zeros(num_states)
     initial[0] = 1.0  # every process in FLEET_OK
     return CTMC(q, initial=initial)

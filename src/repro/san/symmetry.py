@@ -30,6 +30,7 @@ from repro.san.composition import (
     FLEET_CONTAMINATED,
     FLEET_DETECTED,
     FLEET_FAILED,
+    FLEET_LOCAL_STATES,
     FleetRates,
     fleet_digits,
 )
@@ -245,4 +246,172 @@ def reduce_fleet(flat: CTMC, n: int) -> FleetReduction:
             f"has {4**n}"
         )
     lumped = lump_from_block_map(flat, fleet_block_map(n))
+    return FleetReduction(flat=flat, lumped=lumped)
+
+
+# ----------------------------------------------------------------------
+# Partial symmetry: heterogeneous fleets
+# ----------------------------------------------------------------------
+# A multi-upgrade fleet (staged rollout, mixed hardware) is only
+# *partially* symmetric: processes are exchangeable within a rate group
+# but not across groups, so the full count-vector quotient above is not
+# lumpable — and :func:`reduce_fleet` correctly refuses it.  The exact
+# quotient that *does* exist is per-group count vectors: the state is a
+# tuple of ``(ok, ctn, det, fail)`` counts, one per group, giving
+# ``prod_i C(n_i + 3, 3)`` states.  For a 10-process fleet split 5/5
+# that is ``56**2 = 3136`` against ``4**10 = 1048576`` — still an
+# exponential reduction, but the flat sparse path stays the only route
+# to the unquotiented dynamics.
+
+
+def fleet_rate_groups(
+    rates: list[FleetRates] | tuple[FleetRates, ...],
+) -> list[tuple[tuple[int, ...], FleetRates]]:
+    """Partition process indices by identical rates.
+
+    Returns ``(members, rates)`` pairs in first-appearance order; two
+    processes share a group iff their :class:`FleetRates` agree exactly.
+    A homogeneous fleet yields a single group.
+    """
+    if len(rates) < 1:
+        raise SANError("need at least one process")
+    groups: dict[tuple, list[int]] = {}
+    reps: dict[tuple, FleetRates] = {}
+    for j, r in enumerate(rates):
+        key = tuple(r.as_array())
+        groups.setdefault(key, []).append(j)
+        reps.setdefault(key, r)
+    return [(tuple(members), reps[key]) for key, members in groups.items()]
+
+
+def fleet_group_states(
+    sizes: list[int] | tuple[int, ...],
+) -> list[tuple[tuple[int, int, int, int], ...]]:
+    """All grouped count states: one count vector per rate group.
+
+    Deterministic order — the cartesian product of the per-group
+    :func:`fleet_count_states` enumerations with group 0 varying
+    slowest.  With a single group this degenerates to
+    ``fleet_count_states(n)`` (each state wrapped in a 1-tuple).
+    """
+    if len(sizes) < 1:
+        raise SANError("need at least one group")
+    per_group = [fleet_count_states(size) for size in sizes]
+    states: list[tuple[tuple[int, int, int, int], ...]] = [()]
+    for options in per_group:
+        states = [s + (o,) for s in states for o in options]
+    return states
+
+
+def fleet_group_block_map(
+    groups: list[tuple[tuple[int, ...], FleetRates]],
+) -> np.ndarray:
+    """Per-flat-state block index of the grouped count partition.
+
+    ``groups`` is the :func:`fleet_rate_groups` output (member process
+    indices per group); the fleet size is the total member count, and
+    members must cover ``0..n-1`` exactly once.  Vectorised like
+    :func:`fleet_block_map`: per-group digit columns collapse to counts,
+    key into per-group lookup tables, and combine in mixed radix with
+    group 0 outermost — matching :func:`fleet_group_states` order.
+    """
+    members_flat = sorted(j for members, _ in groups for j in members)
+    n = len(members_flat)
+    if members_flat != list(range(n)):
+        raise SANError(
+            "group members must cover each process index exactly once"
+        )
+    digits = fleet_digits(n)
+    block = np.zeros(FLEET_LOCAL_STATES**n, dtype=np.int64)
+    for members, _rates in groups:
+        size = len(members)
+        side = size + 1
+        table = np.full(side * side * side, -1, dtype=np.int64)
+        for b, (_ok, ctn, det, fail) in enumerate(
+            fleet_count_states(size)
+        ):
+            table[(ctn * side + det) * side + fail] = b
+        cols = digits[:, list(members)]
+        ctn = (cols == FLEET_CONTAMINATED).sum(axis=1).astype(np.int64)
+        det = (cols == FLEET_DETECTED).sum(axis=1).astype(np.int64)
+        fail = (cols == FLEET_FAILED).sum(axis=1).astype(np.int64)
+        block = block * len(fleet_count_states(size)) + table[
+            (ctn * side + det) * side + fail
+        ]
+    return block
+
+
+def fleet_grouped_lumped_chain(
+    rates: list[FleetRates] | tuple[FleetRates, ...],
+    repair_servers: int = 1,
+) -> CTMC:
+    """The grouped count-space CTMC of a heterogeneous fleet — the
+    exact partial quotient of the flat heterogeneous chain.
+
+    Per-group dynamics use that group's rates; the only cross-group
+    coupling is the shared repair pool: a detected process of group
+    ``i`` repairs at ``repair_i * min(D, servers) / D`` where ``D`` is
+    the *total* detected count — identical for every member, which is
+    exactly why the partition stays lumpable within groups.
+    """
+    if repair_servers < 1:
+        raise SANError(
+            f"repair_servers must be >= 1, got {repair_servers}"
+        )
+    groups = fleet_rate_groups(rates)
+    sizes = [len(members) for members, _ in groups]
+    states = fleet_group_states(sizes)
+    index = {s: b for b, s in enumerate(states)}
+    chain_rates: dict[tuple[int, int], float] = {}
+
+    def _replace(state, i, vec):
+        return state[:i] + (vec,) + state[i + 1 :]
+
+    for b, state in enumerate(states):
+        total_det = sum(vec[2] for vec in state)
+        for i, (_members, g_rates) in enumerate(groups):
+            ok, ctn, det, fail = state[i]
+            if ok > 0 and g_rates.contaminate > 0:
+                dst = index[_replace(state, i, (ok - 1, ctn + 1, det, fail))]
+                chain_rates[(b, dst)] = ok * g_rates.contaminate
+            if ctn > 0 and g_rates.detect > 0:
+                dst = index[_replace(state, i, (ok, ctn - 1, det + 1, fail))]
+                chain_rates[(b, dst)] = ctn * g_rates.detect
+            if ctn > 0 and g_rates.fail > 0:
+                dst = index[_replace(state, i, (ok, ctn - 1, det, fail + 1))]
+                chain_rates[(b, dst)] = ctn * g_rates.fail
+            if det > 0 and g_rates.repair > 0:
+                dst = index[_replace(state, i, (ok + 1, ctn, det - 1, fail))]
+                chain_rates[(b, dst)] = (
+                    det
+                    * (min(total_det, repair_servers) / total_det)
+                    * g_rates.repair
+                )
+    initial = np.zeros(len(states))
+    initial[index[tuple((len(m), 0, 0, 0) for m, _ in groups)]] = 1.0
+    return CTMC.from_rates(
+        len(states), chain_rates, initial=initial, labels=states
+    )
+
+
+def reduce_fleet_grouped(
+    flat: CTMC,
+    rates: list[FleetRates] | tuple[FleetRates, ...],
+) -> FleetReduction:
+    """Lump a heterogeneous flat fleet chain onto grouped count vectors.
+
+    The partition derives from the declared per-process rates
+    (:func:`fleet_rate_groups`); lumpability is *verified*, so passing
+    rates that do not match the chain — or a genuinely asymmetric chain
+    with a too-coarse grouping — fails loudly instead of silently
+    producing wrong numbers.
+    """
+    n = len(rates)
+    if flat.num_states != 4**n:
+        raise SANError(
+            f"chain has {flat.num_states} states; an {n}-process fleet "
+            f"has {4**n}"
+        )
+    groups = fleet_rate_groups(rates)
+    lumped = lump_from_block_map(flat, fleet_group_block_map(groups))
     return FleetReduction(flat=flat, lumped=lumped)

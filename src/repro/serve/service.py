@@ -122,8 +122,11 @@ SURROGATE_MEMO_CAPACITY = 128
 _FLEET_FIELDS = (
     "n_processes", "repair_servers", "repair_rate",
     "lam", "mu", "coverage", "p_ext", "theta",
+    "n_upgraded", "mu_legacy",
 )
-_FLEET_INT_FIELDS = frozenset({"n_processes", "repair_servers"})
+_FLEET_INT_FIELDS = frozenset({"n_processes", "repair_servers", "n_upgraded"})
+#: Staged-upgrade fields; ``null`` (→ ``None``) means "not staged".
+_FLEET_OPTIONAL_FIELDS = frozenset({"n_upgraded", "mu_legacy"})
 
 
 @dataclass(frozen=True)
@@ -352,7 +355,11 @@ class PerformabilityService:
         try:
             values = {
                 name: (
-                    int(value) if name in _FLEET_INT_FIELDS else float(value)
+                    None
+                    if value is None and name in _FLEET_OPTIONAL_FIELDS
+                    else int(value)
+                    if name in _FLEET_INT_FIELDS
+                    else float(value)
                 )
                 for name, value in overrides.items()
             }

@@ -81,6 +81,103 @@ def mm13_stationary() -> np.ndarray:
     return mm1k_stationary(2.0, 3.0, 3)
 
 
+# ----------------------------------------------------------------------
+# Randomized-chain generators (shared by the cross-solver differential
+# harness and the property tests).  Seeded: the same (num_states, seed,
+# density, rate_scale) always yields the same chain, so differential
+# failures reproduce exactly from the printed parameters.
+# ----------------------------------------------------------------------
+
+
+def make_random_chain(
+    num_states: int,
+    seed: int,
+    density: float = 0.4,
+    rate_scale: float = 1.0,
+) -> CTMC:
+    """A random irreducible-ish CTMC with seeded structure and rates.
+
+    Off-diagonal rates are uniform on ``(0, rate_scale]`` over a random
+    sparsity mask; a cyclic backbone guarantees every state has an exit
+    so no accidental absorbing states distort solver comparisons.  The
+    initial distribution is a random stochastic vector.
+    """
+    rng = np.random.default_rng(seed)
+    mask = rng.random((num_states, num_states)) < density
+    np.fill_diagonal(mask, False)
+    q = np.where(mask, rng.uniform(0.1, 1.0, mask.shape), 0.0) * rate_scale
+    for i in range(num_states):  # the cyclic backbone
+        q[i, (i + 1) % num_states] = rng.uniform(0.1, 1.0) * rate_scale
+    np.fill_diagonal(q, 0.0)
+    np.fill_diagonal(q, -q.sum(axis=1))
+    initial = rng.random(num_states)
+    return CTMC(q, initial=initial / initial.sum())
+
+
+def make_random_rewards(num_states: int, seed: int) -> np.ndarray:
+    """A seeded reward vector on ``[-1, 1]`` (signed — exercises the
+    ``max|r|`` term of the accrual certificates)."""
+    rng = np.random.default_rng(seed + 7919)
+    return rng.uniform(-1.0, 1.0, num_states)
+
+
+def make_small_fleet(
+    n: int,
+    seed: int,
+    repair_servers: int = 1,
+    heterogeneous: bool = False,
+):
+    """A small MDCD fleet for differential tests: ``(flat, lumped,
+    rewards)`` with seeded rates.
+
+    ``heterogeneous=True`` splits the fleet into two rate groups
+    (staged upgrade), in which case ``lumped`` is the grouped partial
+    quotient.  ``rewards`` is the flat-space operational fraction;
+    ``lumped_rewards`` its image on the quotient's states.
+    """
+    from repro.san.composition import FLEET_FAILED, FleetRates, fleet_chain, fleet_digits
+    from repro.san.symmetry import (
+        fleet_group_states,
+        fleet_grouped_lumped_chain,
+        fleet_rate_groups,
+    )
+
+    rng = np.random.default_rng(seed + 104729)
+
+    def _rates() -> FleetRates:
+        return FleetRates(
+            contaminate=rng.uniform(0.01, 0.2),
+            detect=rng.uniform(1.0, 4.0),
+            fail=rng.uniform(0.1, 1.0),
+            repair=rng.uniform(0.5, 3.0),
+        )
+
+    if heterogeneous and n >= 2:
+        upgraded = int(rng.integers(1, n))
+        first, second = _rates(), _rates()
+        rates = [first] * upgraded + [second] * (n - upgraded)
+    else:
+        rates = [_rates()] * n
+    flat = fleet_chain(n, rates, repair_servers=repair_servers)
+    lumped = fleet_grouped_lumped_chain(rates, repair_servers=repair_servers)
+    digits = fleet_digits(n)
+    rewards = (digits != FLEET_FAILED).sum(axis=1).astype(np.float64) / n
+    sizes = [len(m) for m, _ in fleet_rate_groups(rates)]
+    lumped_rewards = np.array(
+        [
+            (n - sum(vec[3] for vec in state)) / n
+            for state in fleet_group_states(sizes)
+        ]
+    )
+    return flat, lumped, rewards, lumped_rewards
+
+
+@pytest.fixture
+def random_chain_factory():
+    """The seeded random-chain builder, as a fixture for discoverability."""
+    return make_random_chain
+
+
 @pytest.fixture
 def simple_san() -> SANModel:
     """A two-place SAN cycling one token (rates 1 and 2)."""

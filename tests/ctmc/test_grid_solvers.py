@@ -110,6 +110,7 @@ class TestTransientGridMatchesScalar:
         assert set(TRANSIENT_GRID_METHODS) == {
             "auto",
             "uniformization",
+            "streaming",
             "dense-expm",
             "spectral",
             "propagator",

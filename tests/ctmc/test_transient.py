@@ -63,6 +63,7 @@ class TestValidation:
     def test_methods_tuple_is_exhaustive(self):
         assert set(TRANSIENT_METHODS) == {
             "uniformization",
+            "streaming",
             "expm",
             "dense-expm",
             "spectral",

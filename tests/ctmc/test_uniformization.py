@@ -157,3 +157,109 @@ class TestAccumulated:
         # E[time in down] = t - (1 - e^-t); reward -2 per unit.
         expected = -2.0 * (t - (1 - np.exp(-t)))
         assert value == pytest.approx(expected, rel=1e-8)
+
+
+class TestTruncationAccounting:
+    """Regression suite for the certified truncation-error accounting.
+
+    The original accrual criterion stopped the survival series at the
+    first term below tolerance — unsound, since the tail *sum* can be
+    orders of magnitude larger than its first term.  The fix bounds the
+    tail in closed form via the Poisson excess mean
+    ``E[(N - m)^+] = mean * sf(m - 1) - m * sf(m)`` and is pinned here
+    against brute-force sums and a closed-form hypoexponential model.
+    """
+
+    def test_truncated_mass_complements_total_mass(self):
+        window = fox_glynn_weights(50.0, tolerance=1e-8)
+        assert window.truncated_mass == pytest.approx(
+            1.0 - window.total_mass, abs=1e-15
+        )
+        assert window.truncated_mass >= 0.0
+
+    @pytest.mark.parametrize("mean", [0.3, 2.0, 17.5, 400.0])
+    @pytest.mark.parametrize("m", [0, 1, 5, 30])
+    def test_poisson_excess_mean_closed_form(self, mean, m):
+        from repro.ctmc.uniformization import poisson_excess_mean
+
+        ks = np.arange(m, int(mean + 40 * np.sqrt(mean) + 50))
+        brute = float(
+            np.sum((ks - m) * stats.poisson(mean).pmf(ks))
+        )
+        assert poisson_excess_mean(mean, m) == pytest.approx(
+            brute, rel=1e-9, abs=1e-12
+        )
+
+    def test_excess_mean_at_zero_is_the_mean(self):
+        from repro.ctmc.uniformization import poisson_excess_mean
+
+        assert poisson_excess_mean(3.7, 0) == pytest.approx(3.7)
+
+    @pytest.mark.parametrize("mean", [1.0, 30.0, 900.0])
+    def test_accrual_right_point_bounds_the_tail(self, mean):
+        from repro.ctmc.uniformization import (
+            accrual_right_point,
+            poisson_excess_mean,
+        )
+
+        tolerance = 1e-10
+        right = accrual_right_point(mean, tolerance)
+        # The certified criterion: the remaining survival-series tail
+        # (an excess mean) is below tolerance * max(mean, 1).
+        assert poisson_excess_mean(mean, right + 1) <= (
+            tolerance * max(mean, 1.0)
+        )
+
+    def test_accumulated_matches_hypoexponential_closed_form(self):
+        """Pinned: 0 -> 1 -> 2 chain; expected time in state 0 by t is
+        ``(1 - exp(-a t)) / a`` exactly."""
+        a, b = 3.0, 0.7
+        chain = CTMC.from_rates(3, {(0, 1): a, (1, 2): b})
+        rewards = np.array([1.0, 0.0, 0.0])
+        for t in (0.1, 1.0, 4.0):
+            value = accumulated_by_uniformization(
+                chain.generator,
+                chain.initial_distribution,
+                rewards,
+                t,
+                tolerance=1e-13,
+            )
+            closed = (1.0 - np.exp(-a * t)) / a
+            assert value == pytest.approx(closed, abs=5e-13)
+
+    def test_accumulated_grid_matches_closed_form(self):
+        from repro.ctmc.uniformization import accumulated_by_uniformization_grid
+
+        a, b = 2.0, 5.0
+        chain = CTMC.from_rates(3, {(0, 1): a, (1, 2): b})
+        rewards = np.array([1.0, 0.0, 0.0])
+        grid = np.array([0.0, 0.25, 1.5, 3.0])
+        values = accumulated_by_uniformization_grid(
+            chain.generator,
+            chain.initial_distribution,
+            rewards,
+            grid,
+            tolerance=1e-13,
+        )
+        closed = (1.0 - np.exp(-a * grid)) / a
+        np.testing.assert_allclose(values, closed, atol=5e-13)
+
+    def test_streaming_accrual_certificate_honest_on_hypoexponential(self):
+        """The streaming certificate's accrual bound must dominate the
+        true error against the closed form."""
+        from repro.ctmc.streaming import streaming_accumulated_grid
+
+        a, b = 4.0, 1.0
+        chain = CTMC.from_rates(3, {(0, 1): a, (1, 2): b})
+        rewards = np.array([1.0, 0.0, 0.0])
+        grid = np.array([0.5, 2.0])
+        result = streaming_accumulated_grid(
+            chain.generator,
+            chain.initial_distribution,
+            rewards,
+            grid,
+            tolerance=1e-10,
+        )
+        closed = (1.0 - np.exp(-a * grid)) / a
+        true_error = float(np.max(np.abs(result.accumulated - closed)))
+        assert true_error <= result.certificate.accrual_bound + 1e-14
